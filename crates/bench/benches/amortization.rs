@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the Amortization Plan formulas and ECP
+//! operations — the per-tick budget arithmetic the controller runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imcf_core::amortization::{AmortizationPlan, ApKind};
+use imcf_core::calendar::{PaperCalendar, HOURS_PER_YEAR};
+use imcf_core::ecp::Ecp;
+
+fn one_year(kind: ApKind) -> AmortizationPlan {
+    AmortizationPlan::new(
+        kind,
+        Ecp::flat_table1(),
+        3666.0,
+        HOURS_PER_YEAR,
+        PaperCalendar::january_start(),
+    )
+}
+
+fn bench_formulas(c: &mut Criterion) {
+    let laf = one_year(ApKind::Laf);
+    let blaf = one_year(ApKind::blaf_april_to_october(0.3));
+    let eaf = one_year(ApKind::Eaf);
+    c.bench_function("laf_hourly_budget", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = (h + 1) % HOURS_PER_YEAR;
+            laf.hourly_budget(h)
+        });
+    });
+    c.bench_function("blaf_hourly_budget", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = (h + 1) % HOURS_PER_YEAR;
+            blaf.hourly_budget(h)
+        });
+    });
+    c.bench_function("eaf_hourly_budget", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = (h + 1) % HOURS_PER_YEAR;
+            eaf.hourly_budget(h)
+        });
+    });
+}
+
+fn bench_ecp(c: &mut Criterion) {
+    let ecp = Ecp::flat_table1();
+    c.bench_function("ecp_weights", |b| b.iter(|| ecp.weights()));
+    c.bench_function("ecp_total", |b| b.iter(|| ecp.total_kwh()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_formulas, bench_ecp
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the Energy Planner hot paths: per-slot
+//! optimization at the three dataset scales, objective evaluation, and
+//! initialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imcf_core::candidate::{CandidateRule, PlanningSlot};
+use imcf_core::init::InitStrategy;
+use imcf_core::objective::evaluate;
+use imcf_core::optimizer::{HillClimbing, Optimizer, SimulatedAnnealing};
+use imcf_core::solution::Solution;
+use imcf_rules::meta_rule::RuleId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A synthetic slot with `n` candidates shaped like a winter evening.
+fn slot_with(n: usize) -> PlanningSlot {
+    let candidates = (0..n)
+        .map(|i| {
+            let desired = if i % 2 == 0 { 24.0 } else { 40.0 };
+            let ambient = if i % 2 == 0 {
+                12.0 + (i % 7) as f64
+            } else {
+                (i % 30) as f64
+            };
+            let kwh = if i % 2 == 0 {
+                0.35 + 0.04 * (desired - ambient).abs()
+            } else {
+                0.04
+            };
+            CandidateRule::convenience(RuleId(i as u32), desired, ambient, kwh)
+        })
+        .collect();
+    // Budget admits roughly 60 % of the maximum energy.
+    let max: f64 = (0..n).map(|i| if i % 2 == 0 { 0.8 } else { 0.04 }).sum();
+    PlanningSlot::new(0, candidates, max * 0.6)
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_optimize");
+    for n in [2usize, 8, 28, 200] {
+        let slot = slot_with(n);
+        group.bench_with_input(
+            BenchmarkId::new("hill_climbing_t100", n),
+            &slot,
+            |b, slot| {
+                let hc = HillClimbing::new(2, 100);
+                let mut rng = ChaCha8Rng::seed_from_u64(0);
+                b.iter(|| hc.optimize(slot, Solution::all_ones(slot.len()), &mut rng));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("annealing_t100", n), &slot, |b, slot| {
+            let sa = SimulatedAnnealing::new(2, 100, 0.5, 0.95);
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            b.iter(|| sa.optimize(slot, Solution::all_ones(slot.len()), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective_evaluate");
+    for n in [8usize, 200] {
+        let slot = slot_with(n);
+        let bits = Solution::all_ones(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &slot, |b, slot| {
+            b.iter(|| evaluate(slot, &bits));
+        });
+    }
+    group.finish();
+}
+
+fn bench_init(c: &mut Criterion) {
+    c.bench_function("init_random_200", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        b.iter(|| InitStrategy::Random.generate(200, &mut rng));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_optimizers, bench_evaluate, bench_init
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the substrates: trace generation, slot
+//! building, firewall evaluation, IFTTT resolution and WAL throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imcf_bench::harness::DatasetBundle;
+use imcf_controller::firewall::{Chain, FirewallRule, Verdict};
+use imcf_core::amortization::ApKind;
+use imcf_core::calendar::PaperCalendar;
+use imcf_devices::channel::ChannelUid;
+use imcf_devices::command::{Command, CommandPayload};
+use imcf_devices::thing::Thing;
+use imcf_rules::env::EnvSnapshot;
+use imcf_rules::ifttt::IftttTable;
+use imcf_sim::building::DatasetKind;
+use imcf_sim::slots::SlotBuilder;
+use imcf_traces::generator::{ClimateModel, TraceGenerator};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("generate_one_month_zone", |b| {
+        let g = TraceGenerator {
+            climate: ClimateModel::mediterranean(),
+            calendar: PaperCalendar::january_start(),
+            horizon_hours: 744,
+            seed: 0,
+        };
+        b.iter(|| g.generate_zone("bench"));
+    });
+}
+
+fn bench_slot_building(c: &mut Criterion) {
+    let bundle = DatasetBundle::build(DatasetKind::House, 0);
+    let plan = bundle.plan(ApKind::Eaf, 0.0);
+    let builder = SlotBuilder::new(&bundle.dataset, &plan);
+    c.bench_function("slot_build_house_hour", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = (h + 1) % bundle.dataset.horizon_hours;
+            builder.slot_at(h)
+        });
+    });
+}
+
+fn bench_firewall(c: &mut Criterion) {
+    let mut chain = Chain::new(Verdict::Accept);
+    for i in 0..32 {
+        chain.append(FirewallRule::drop_host(&format!("10.0.0.{i}")));
+    }
+    let thing = Thing::daikin_example();
+    let cmd = Command::binding(
+        ChannelUid::new(thing.uid.clone(), "power"),
+        CommandPayload::Power(true),
+    );
+    c.bench_function("firewall_eval_32_rules_miss", |b| {
+        b.iter(|| chain.evaluate(&thing, &cmd));
+    });
+}
+
+fn bench_ifttt(c: &mut Criterion) {
+    let table = IftttTable::flat_table3();
+    let env = EnvSnapshot::neutral()
+        .with_month(7)
+        .with_hour(13)
+        .with_temperature(31.0)
+        .with_light(70.0);
+    c.bench_function("ifttt_resolve_table3", |b| b.iter(|| table.resolve(&env)));
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut wal = imcf_store::wal::Wal::open(dir.path().join("bench.wal")).unwrap();
+    let payload = vec![0xA5u8; 256];
+    c.bench_function("wal_append_256b", |b| {
+        b.iter(|| wal.append(&payload).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trace_generation, bench_slot_building, bench_firewall, bench_ifttt, bench_wal
+}
+criterion_main!(benches);

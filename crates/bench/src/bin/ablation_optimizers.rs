@@ -1,0 +1,64 @@
+//! Ablation (extension): the paper notes "any heuristic or meta-heuristic
+//! approach can be utilized in the EP optimization step". This experiment
+//! compares the paper's hill climbing against simulated annealing and —
+//! on slots small enough to enumerate — the exhaustive oracle, measuring
+//! how close each heuristic gets to the per-slot optimum.
+
+use imcf_bench::harness::DatasetBundle;
+use imcf_core::amortization::ApKind;
+use imcf_core::init::InitStrategy;
+use imcf_core::optimizer::{ExhaustiveOracle, HillClimbing, SimulatedAnnealing};
+use imcf_core::planner::EnergyPlanner;
+use imcf_sim::building::DatasetKind;
+use imcf_sim::slots::SlotBuilder;
+
+fn main() {
+    println!("=== Ablation: optimizer choice (flat & house) ===\n");
+    for kind in [DatasetKind::Flat, DatasetKind::House] {
+        let bundle = DatasetBundle::build(kind, 0);
+        let plan = bundle.plan(ApKind::Eaf, 0.0);
+        let builder = SlotBuilder::new(&bundle.dataset, &plan);
+        println!("--- {} ---", kind.label());
+        println!(
+            "{:<20} | {:>10} | {:>14} | {:>10}",
+            "optimizer", "F_CE (%)", "F_E (kWh)", "F_T (s)"
+        );
+
+        let hc = EnergyPlanner::with_optimizer(HillClimbing::new(2, 100), InitStrategy::AllOnes, 0);
+        let r = hc.plan(builder.iter());
+        println!(
+            "{:<20} | {:>10.3} | {:>14.1} | {:>10.3}",
+            "hill-climbing",
+            r.fce_percent(),
+            r.fe_kwh(),
+            r.ft_seconds()
+        );
+
+        let sa = EnergyPlanner::with_optimizer(
+            SimulatedAnnealing::new(2, 100, 0.5, 0.95),
+            InitStrategy::AllOnes,
+            0,
+        );
+        let r = sa.plan(builder.iter());
+        println!(
+            "{:<20} | {:>10.3} | {:>14.1} | {:>10.3}",
+            "simulated-annealing",
+            r.fce_percent(),
+            r.fe_kwh(),
+            r.ft_seconds()
+        );
+
+        // The oracle enumerates 2^droppable per slot — flat and house slots
+        // stay well under the 20-component limit.
+        let oracle = EnergyPlanner::with_optimizer(ExhaustiveOracle, InitStrategy::AllOnes, 0);
+        let r = oracle.plan(builder.iter());
+        println!(
+            "{:<20} | {:>10.3} | {:>14.1} | {:>10.3}",
+            "exhaustive-oracle",
+            r.fce_percent(),
+            r.fe_kwh(),
+            r.ft_seconds()
+        );
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Internal calibration probe: prints raw method metrics per dataset so the
+//! device constants can be tuned against the paper's targets.
+
+use imcf_bench::harness::{run_method, DatasetBundle, Method};
+use imcf_core::planner::PlannerConfig;
+use imcf_sim::building::DatasetKind;
+
+fn main() {
+    let kinds = match std::env::args().nth(1).as_deref() {
+        Some("flat") => vec![DatasetKind::Flat],
+        Some("house") => vec![DatasetKind::House],
+        Some("dorms") => vec![DatasetKind::Dorms],
+        _ => vec![DatasetKind::Flat, DatasetKind::House, DatasetKind::Dorms],
+    };
+    for kind in kinds {
+        let bundle = DatasetBundle::build(kind, 0);
+        println!(
+            "== {} (budget {} kWh, rules {}) ==",
+            kind.label(),
+            bundle.dataset.budget_kwh,
+            bundle.dataset.total_rules()
+        );
+        for method in [
+            Method::Nr,
+            Method::Ifttt,
+            Method::Ep {
+                config: PlannerConfig::default(),
+                savings: 0.0,
+            },
+            Method::Mr,
+        ] {
+            let m = run_method(&bundle, method);
+            println!(
+                "{:>6}: F_CE {:6.2}%  F_E {:>10.0} kWh  F_T {:7.3}s",
+                method.label(),
+                m.fce_percent,
+                m.fe_kwh,
+                m.ft_seconds
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Fig. 6** (Performance Evaluation): Convenience Error
+//! (F_CE), Energy Consumption (F_E) and CPU time (F_T) for the four
+//! methods — NR, IFTTT, EP, MR — over the flat, house and dorms datasets.
+//!
+//! EP repeats `IMCF_REPS` times (default 10, as in the paper) with seeds
+//! 0..reps and reports mean ± stdev; the baselines are deterministic.
+//!
+//! Expected shape (paper): F_CE ordering MR (0 %) < EP (2–4 %) < IFTTT
+//! (26–39 %) < NR (≈62 %); F_E ordering NR (0) < EP (≤ budget) <
+//! IFTTT ≈ MR; F_T ordering NR ≈ MR ≪ EP.
+
+use imcf_bench::harness::{ep_summary, repetitions, run_method, DatasetBundle, Method};
+use imcf_core::amortization::ApKind;
+use imcf_core::planner::PlannerConfig;
+use imcf_sim::building::DatasetKind;
+
+fn main() {
+    let reps = repetitions();
+    println!("=== Fig. 6: Performance Evaluation (EP reps = {reps}) ===\n");
+    for kind in DatasetKind::all() {
+        let bundle = DatasetBundle::build(kind, 0);
+        println!(
+            "--- {} (budget {:.0} kWh over 3 years, {} rules) ---",
+            kind.label(),
+            bundle.dataset.budget_kwh,
+            bundle.dataset.total_rules()
+        );
+        println!(
+            "{:<6} | {:>16} | {:>22} | {:>16}",
+            "method", "F_CE (%)", "F_E (kWh)", "F_T (s)"
+        );
+        for method in [Method::Nr, Method::Ifttt] {
+            let m = run_method(&bundle, method);
+            println!(
+                "{:<6} | {:>16.2} | {:>22.1} | {:>16.3}",
+                method.label(),
+                m.fce_percent,
+                m.fe_kwh,
+                m.ft_seconds
+            );
+        }
+        let ep = ep_summary(&bundle, PlannerConfig::default(), ApKind::Eaf, 0.0, reps);
+        println!(
+            "{:<6} | {:>16} | {:>22} | {:>16}",
+            "EP",
+            ep.fce.format(2),
+            ep.fe.format(1),
+            ep.ft.format(3)
+        );
+        let mr = run_method(&bundle, Method::Mr);
+        println!(
+            "{:<6} | {:>16.2} | {:>22.1} | {:>16.3}",
+            "MR", mr.fce_percent, mr.fe_kwh, mr.ft_seconds
+        );
+        println!(
+            "EP vs MR energy gap: {:.0} kWh; EP budget utilization: {:.1} %\n",
+            mr.fe_kwh - ep.fe.mean(),
+            100.0 * ep.fe.mean() / bundle.dataset.budget_kwh
+        );
+    }
+}

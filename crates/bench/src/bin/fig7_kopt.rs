@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 7** (k-opt Evaluation): F_CE and F_E of the Energy
+//! Planner as the number of rule modifications per iteration `k` varies
+//! from 1 to 4, on all three datasets.
+//!
+//! Expected shape (paper): F_CE decreases as k grows (bigger jumps explore
+//! the space more effectively) while F_E stays approximately level.
+
+use imcf_bench::harness::{ep_summary, repetitions, DatasetBundle};
+use imcf_core::amortization::ApKind;
+use imcf_core::planner::PlannerConfig;
+use imcf_sim::building::DatasetKind;
+
+fn main() {
+    let reps = repetitions();
+    println!("=== Fig. 7: k-opt Evaluation (EP reps = {reps}) ===\n");
+    for kind in DatasetKind::all() {
+        let bundle = DatasetBundle::build(kind, 0);
+        println!("--- {} ---", kind.label());
+        println!("{:<4} | {:>16} | {:>22}", "k", "F_CE (%)", "F_E (kWh)");
+        for k in 1..=4 {
+            let config = PlannerConfig {
+                k,
+                ..Default::default()
+            };
+            let s = ep_summary(&bundle, config, ApKind::Eaf, 0.0, reps);
+            println!(
+                "{:<4} | {:>16} | {:>22}",
+                k,
+                s.fce.format(2),
+                s.fe.format(1)
+            );
+        }
+        println!();
+    }
+}

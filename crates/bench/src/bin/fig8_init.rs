@@ -1,0 +1,43 @@
+//! Regenerates **Fig. 8** (Initialization Evaluation): F_CE and F_E of the
+//! Energy Planner under the three initialization strategies — all-1s
+//! (all rules activated), uniform random, all-0s (all deactivated) — on
+//! all three datasets.
+//!
+//! Expected shape (paper): moving all-1s → random → all-0s increases F_CE
+//! and decreases F_E: a deactivated start needs more iterations to climb
+//! toward the optimum, so bounded-τ searches end at lower-energy,
+//! higher-error plans.
+
+use imcf_bench::harness::{ep_summary, repetitions, DatasetBundle};
+use imcf_core::amortization::ApKind;
+use imcf_core::init::InitStrategy;
+use imcf_core::planner::PlannerConfig;
+use imcf_sim::building::DatasetKind;
+
+fn main() {
+    let reps = repetitions();
+    println!("=== Fig. 8: Initialization Evaluation (EP reps = {reps}) ===\n");
+    for kind in DatasetKind::all() {
+        let bundle = DatasetBundle::build(kind, 0);
+        println!("--- {} ---", kind.label());
+        println!("{:<8} | {:>16} | {:>22}", "init", "F_CE (%)", "F_E (kWh)");
+        for init in [
+            InitStrategy::AllOnes,
+            InitStrategy::Random,
+            InitStrategy::AllZeros,
+        ] {
+            let config = PlannerConfig {
+                init,
+                ..Default::default()
+            };
+            let s = ep_summary(&bundle, config, ApKind::Eaf, 0.0, reps);
+            println!(
+                "{:<8} | {:>16} | {:>22}",
+                init.label(),
+                s.fce.format(2),
+                s.fe.format(1)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Fig. 9** (Energy Conservation Study): F_CE and F_E of the
+//! Energy Planner as the configured savings percentage grows from 5 % to
+//! 40 %, on all three datasets. The study is inspired by the SAVES
+//! inter-dormitory competition (8 % target savings).
+//!
+//! Expected shape (paper): increasing savings tightens the amortized budget
+//! proportionally, trading a steady F_E decrease for a modest (1–3 point)
+//! F_CE increase.
+
+use imcf_bench::harness::{ep_summary, repetitions, DatasetBundle};
+use imcf_core::amortization::ApKind;
+use imcf_core::planner::PlannerConfig;
+use imcf_sim::building::DatasetKind;
+
+fn main() {
+    let reps = repetitions();
+    println!("=== Fig. 9: Energy Conservation Study (EP reps = {reps}) ===\n");
+    for kind in DatasetKind::all() {
+        let bundle = DatasetBundle::build(kind, 0);
+        println!(
+            "--- {} (base budget {:.0} kWh) ---",
+            kind.label(),
+            bundle.dataset.budget_kwh
+        );
+        println!(
+            "{:<10} | {:>16} | {:>22}",
+            "savings", "F_CE (%)", "F_E (kWh)"
+        );
+        for savings_pct in [0.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
+            let s = ep_summary(
+                &bundle,
+                PlannerConfig::default(),
+                ApKind::Eaf,
+                savings_pct / 100.0,
+                reps,
+            );
+            println!(
+                "{:<10} | {:>16} | {:>22}",
+                format!("{savings_pct:.0} %"),
+                s.fce.format(2),
+                s.fe.format(1)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,101 @@
+//! Regenerates **Table I** (the Energy Consumption Profile of the flat
+//! model) and prints the dataset inventory: Table II (the flat MRT) and
+//! Table III (the IFTTT configuration).
+//!
+//! Two ECP columns are shown: the paper's published Table I, and the ECP
+//! derived from our synthetic flat dataset by pricing the MR schedule
+//! through the calibrated device models (the profile the experiments
+//! actually amortize against). The shapes should agree: winter-heavy with a
+//! January peak and a spring/summer trough.
+
+use imcf_bench::harness::DatasetBundle;
+use imcf_core::calendar::HOURS_PER_MONTH;
+use imcf_core::ecp::Ecp;
+use imcf_rules::mrt::Mrt;
+use imcf_rules::parse::{format_ifttt, format_mrt};
+use imcf_sim::building::DatasetKind;
+
+const MONTHS: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+fn main() {
+    println!("=== Table I: Energy Consumption Profile (ECP) of flat model ===\n");
+    let paper = Ecp::flat_table1();
+    let bundle = DatasetBundle::build(DatasetKind::Flat, 0);
+    let derived = &bundle.ecp;
+
+    println!(
+        "{:<11} | {:>14} {:>13} | {:>14} {:>13}",
+        "Month", "paper kWh/mo", "paper kWh/h", "derived kWh/mo", "derived kWh/h"
+    );
+    println!(
+        "{}",
+        "-".len()
+            .max(1)
+            .checked_mul(76)
+            .map(|_| "-".repeat(76))
+            .unwrap()
+    );
+    for (i, name) in MONTHS.iter().enumerate() {
+        let month = i as u32 + 1;
+        println!(
+            "{:<11} | {:>14.2} {:>13.2} | {:>14.2} {:>13.2}",
+            name,
+            paper.month_kwh(month),
+            paper.hourly_kwh(month),
+            derived.month_kwh(month),
+            derived.hourly_kwh(month),
+        );
+    }
+    println!(
+        "{:<11} | {:>14.2} {:>13} | {:>14.2} {:>13}",
+        "Total",
+        paper.total_kwh(),
+        "-",
+        derived.total_kwh(),
+        "-"
+    );
+    println!(
+        "\n(hourly column = monthly / {} as in the paper's 31-day-month convention)",
+        HOURS_PER_MONTH
+    );
+
+    println!("\n=== Table II: Meta-Rule Table (MRT) for flat experiments ===\n");
+    print!("{}", format_mrt(&Mrt::flat_table2(11_000.0)));
+    println!("(house budget row: 25500 kWh, dorms budget row: 480000 kWh, all for three years)");
+
+    println!("\n=== Table III: IFTTT configurations for flat experiment ===\n");
+    print!("{}", format_ifttt(&bundle.dataset.ifttt));
+
+    println!("\n=== Dataset inventory (paper §III-A) ===\n");
+    for kind in DatasetKind::all() {
+        let b = if kind == DatasetKind::Flat {
+            bundle.dataset.clone()
+        } else {
+            DatasetBundle::build(kind, 0).dataset
+        };
+        let stats = imcf_traces::stats::hourly_stats(&b.trace);
+        println!(
+            "{:<6}: {:>3} zones, {:>6} hours, {:>4} rules, budget {:>7.0} kWh, mean T {:.1} °C, mean light {:.1}",
+            kind.label(),
+            stats.zones,
+            stats.horizon_hours,
+            b.total_rules(),
+            b.budget_kwh,
+            stats.mean_temperature_c,
+            stats.mean_light,
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared experiment harness.
+//!
+//! Builds datasets once, streams planning slots, runs a method and returns
+//! the paper's three metrics. All experiment binaries funnel through
+//! [`run_method`] so methods are compared on identical slot streams.
+
+use imcf_core::amortization::{AmortizationPlan, ApKind};
+use imcf_core::baselines::{run_ifttt, run_mr, run_nr};
+use imcf_core::metrics::{MeanStd, MetricsSummary, RunMetrics};
+use imcf_core::planner::{EnergyPlanner, PlanReport, PlannerConfig};
+use imcf_sim::building::{Dataset, DatasetKind};
+use imcf_sim::slots::SlotBuilder;
+
+/// A dataset plus its derived ECP, built once and reused across methods.
+pub struct DatasetBundle {
+    /// The materialized dataset.
+    pub dataset: Dataset,
+    /// The ECP derived from the dataset's MR schedule.
+    pub ecp: imcf_core::ecp::Ecp,
+}
+
+impl DatasetBundle {
+    /// Builds a dataset bundle (deterministic under `seed`).
+    pub fn build(kind: DatasetKind, seed: u64) -> Self {
+        let dataset = Dataset::build(kind, seed);
+        let ecp = dataset.derive_mr_ecp();
+        DatasetBundle { dataset, ecp }
+    }
+
+    /// The amortization plan used by EP runs: `kind` shaping over the
+    /// dataset budget, with an optional savings fraction.
+    pub fn plan(&self, ap: ApKind, savings: f64) -> AmortizationPlan {
+        let plan = AmortizationPlan::new(
+            ap,
+            self.ecp.clone(),
+            self.dataset.budget_kwh,
+            self.dataset.horizon_hours,
+            self.dataset.calendar(),
+        );
+        if savings > 0.0 {
+            plan.with_savings(savings)
+        } else {
+            plan
+        }
+    }
+}
+
+/// The compared methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// No-Rule baseline.
+    Nr,
+    /// Meta-Rule (greedy) baseline.
+    Mr,
+    /// The IFTTT trigger-action baseline.
+    Ifttt,
+    /// The Energy Planner with the given configuration, amortization
+    /// formula and savings fraction.
+    Ep {
+        /// Planner parameters (k, τ_max, init, seed).
+        config: PlannerConfig,
+        /// Savings fraction for Fig. 9.
+        savings: f64,
+    },
+}
+
+impl Method {
+    /// Display label matching the paper's legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Nr => "NR",
+            Method::Mr => "MR",
+            Method::Ifttt => "IFTTT",
+            Method::Ep { .. } => "EP",
+        }
+    }
+}
+
+fn metrics_of(report: &PlanReport) -> RunMetrics {
+    RunMetrics {
+        fce_percent: report.fce_percent(),
+        fe_kwh: report.fe_kwh(),
+        ft_seconds: report.ft_seconds(),
+    }
+}
+
+/// Runs the Energy Planner over a bundle and returns the full report
+/// (needed by experiments that inspect attribution or drop counts).
+pub fn ep_run(
+    bundle: &DatasetBundle,
+    config: PlannerConfig,
+    ap: ApKind,
+    savings: f64,
+) -> PlanReport {
+    let plan = bundle.plan(ap, savings);
+    let builder = SlotBuilder::new(&bundle.dataset, &plan);
+    let planner = EnergyPlanner::from_config(config);
+    planner.plan(builder.iter())
+}
+
+/// Runs one method over a bundle. The slot stream always carries the EAF
+/// budget shaping so every method sees identical slots; the baselines
+/// simply ignore the budget.
+pub fn run_method(bundle: &DatasetBundle, method: Method) -> RunMetrics {
+    match method {
+        Method::Nr => {
+            let plan = bundle.plan(ApKind::Eaf, 0.0);
+            let builder = SlotBuilder::new(&bundle.dataset, &plan);
+            metrics_of(&run_nr(builder.iter()))
+        }
+        Method::Mr => {
+            let plan = bundle.plan(ApKind::Eaf, 0.0);
+            let builder = SlotBuilder::new(&bundle.dataset, &plan);
+            metrics_of(&run_mr(builder.iter()))
+        }
+        Method::Ifttt => {
+            let plan = bundle.plan(ApKind::Eaf, 0.0);
+            let builder = SlotBuilder::new(&bundle.dataset, &plan);
+            metrics_of(&run_ifttt(builder.iter()))
+        }
+        Method::Ep { config, savings } => metrics_of(&ep_run(bundle, config, ApKind::Eaf, savings)),
+    }
+}
+
+/// Number of repetitions: `IMCF_REPS` env override, else the paper's 10.
+pub fn repetitions() -> u64 {
+    std::env::var("IMCF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(10)
+}
+
+/// Runs EP `reps` times with seeds `0..reps` and aggregates.
+pub fn ep_summary(
+    bundle: &DatasetBundle,
+    base: PlannerConfig,
+    ap: ApKind,
+    savings: f64,
+    reps: u64,
+) -> MetricsSummary {
+    let runs: Vec<RunMetrics> = (0..reps)
+        .map(|seed| {
+            let config = PlannerConfig { seed, ..base };
+            let report = ep_run(bundle, config, ap.clone(), savings);
+            metrics_of(&report)
+        })
+        .collect();
+    MetricsSummary::from_runs(&runs)
+}
+
+/// Formats a `mean ± std` cell.
+pub fn cell(stat: &MeanStd, precision: usize) -> String {
+    stat.format(precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcf_core::init::InitStrategy;
+
+    /// A cheap smoke check of the whole harness path on the flat dataset
+    /// with a trimmed iteration budget. The full orderings are asserted by
+    /// the integration tests in `/tests`.
+    #[test]
+    fn flat_method_ordering_smoke() {
+        let bundle = DatasetBundle::build(DatasetKind::Flat, 0);
+        let nr = run_method(&bundle, Method::Nr);
+        let mr = run_method(&bundle, Method::Mr);
+        let ifttt = run_method(&bundle, Method::Ifttt);
+        let ep = run_method(
+            &bundle,
+            Method::Ep {
+                config: PlannerConfig {
+                    k: 2,
+                    tau_max: 30,
+                    init: InitStrategy::AllOnes,
+                    seed: 0,
+                },
+                savings: 0.0,
+            },
+        );
+        // F_CE ordering: MR (0) < EP < IFTTT < NR.
+        assert_eq!(mr.fce_percent, 0.0);
+        assert!(
+            ep.fce_percent < ifttt.fce_percent,
+            "ep {} vs ifttt {}",
+            ep.fce_percent,
+            ifttt.fce_percent
+        );
+        assert!(
+            ifttt.fce_percent < nr.fce_percent,
+            "ifttt {} vs nr {}",
+            ifttt.fce_percent,
+            nr.fce_percent
+        );
+        // F_E ordering: NR (0) < EP ≤ budget < MR.
+        assert_eq!(nr.fe_kwh, 0.0);
+        assert!(
+            ep.fe_kwh <= bundle.dataset.budget_kwh * 1.001,
+            "ep energy {}",
+            ep.fe_kwh
+        );
+        assert!(mr.fe_kwh > ep.fe_kwh);
+    }
+
+    #[test]
+    fn repetition_override() {
+        // The default without the env var is 10; with it, the value.
+        std::env::remove_var("IMCF_REPS");
+        assert_eq!(repetitions(), 10);
+    }
+}

@@ -1,0 +1,22 @@
+//! # imcf-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§III), all built
+//! on the shared [`harness`] module:
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `table1_ecp` | Table I (ECP of the flat model) + dataset inventory |
+//! | `fig6_performance` | Fig. 6 (F_CE / F_E / F_T for NR, IFTTT, EP, MR) |
+//! | `fig7_kopt` | Fig. 7 (k-opt study) |
+//! | `fig8_init` | Fig. 8 (initialization study) |
+//! | `fig9_savings` | Fig. 9 (energy conservation study) |
+//! | `table4_prototype` | Tables IV & V (prototype week) |
+//! | `ablation_optimizers` | extension: hill climbing vs annealing vs oracle |
+//! | `ablation_amortization` | extension: LAF vs BLAF vs EAF budget shaping |
+//!
+//! Set `IMCF_REPS` to override the number of repetitions (default 10, as in
+//! the paper) — useful for quick smoke runs.
+
+pub mod harness;
+
+pub use harness::{ep_run, run_method, DatasetBundle, Method};

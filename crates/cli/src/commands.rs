@@ -1,0 +1,569 @@
+//! The CLI subcommands.
+
+use crate::args::ArgSpec;
+use imcf_core::amortization::{AmortizationPlan, ApKind};
+use imcf_core::calendar::{PaperCalendar, HOURS_PER_MONTH};
+use imcf_core::candidate::{CandidateRule, PlanningSlot};
+use imcf_core::ecp::Ecp;
+use imcf_core::init::InitStrategy;
+use imcf_core::planner::{EnergyPlanner, PlannerConfig};
+use imcf_rules::action::{Action, DeviceClass};
+use imcf_rules::conflict;
+use imcf_rules::env::EnvSnapshot;
+use imcf_rules::meta_rule::RuleClass;
+use imcf_rules::mrt::Mrt;
+use imcf_rules::parse::parse_mrt;
+use imcf_rules::workflow_parse::parse_workflow;
+use imcf_sim::building::{Dataset, DatasetKind};
+use imcf_sim::slots::SlotBuilder;
+use imcf_traces::generator::{ClimateModel, TraceGenerator};
+use imcf_traces::series::ZoneTrace;
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn load_mrt(path: &str) -> Result<Mrt, String> {
+    parse_mrt(&read_file(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn climate(name: &str) -> Result<ClimateModel, String> {
+    match name {
+        "mediterranean" => Ok(ClimateModel::mediterranean()),
+        "continental" => Ok(ClimateModel::continental()),
+        other => Err(format!(
+            "unknown climate `{other}` (mediterranean|continental)"
+        )),
+    }
+}
+
+fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
+    match name {
+        "flat" => Ok(DatasetKind::Flat),
+        "house" => Ok(DatasetKind::House),
+        "dorms" => Ok(DatasetKind::Dorms),
+        other => Err(format!("unknown dataset `{other}` (flat|house|dorms)")),
+    }
+}
+
+/// `imcf validate <mrt-file>` — parse and conflict-check a rule table.
+pub fn validate(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &[],
+        min_positional: 1,
+        max_positional: 1,
+    };
+    let parsed = spec.parse(argv)?;
+    let path = parsed.positional(0).expect("arity checked");
+    let mrt = load_mrt(path)?;
+    println!(
+        "{path}: {} rules ({} convenience, {} necessity, {} budget rows)",
+        mrt.len(),
+        mrt.droppable_rules().count(),
+        mrt.necessity_rules().count(),
+        mrt.budget_rules().count(),
+    );
+    // Worst-case pricing for the feasibility check: a flat split unit
+    // holding against a 15 °C gap.
+    let hvac = imcf_devices::energy::HvacModel::split_unit_flat();
+    let conflicts = conflict::analyze(&mrt, |rule| match rule.action {
+        Action::SetTemperature(v) => {
+            imcf_devices::energy::DeviceEnergyModel::hourly_kwh(&hvac, v, v - 15.0)
+        }
+        Action::SetLight(v) => v / 100.0 * 0.1,
+        Action::SetKwhLimit(_) => 0.0,
+    });
+    if conflicts.is_empty() {
+        println!("no conflicts detected");
+        return Ok(());
+    }
+    for c in &conflicts {
+        println!("[{:?}] {c}", c.severity());
+    }
+    if conflicts
+        .iter()
+        .any(|c| c.severity() == conflict::Severity::Error)
+    {
+        return Err("table has unsatisfiable constraints".to_string());
+    }
+    Ok(())
+}
+
+fn build_slots(
+    mrt: &Mrt,
+    zone: &ZoneTrace,
+    calendar: PaperCalendar,
+    horizon: u64,
+    budget_kwh: f64,
+    savings: f64,
+) -> Result<(AmortizationPlan, Vec<PlanningSlot>), String> {
+    let hvac = imcf_devices::energy::HvacModel::split_unit_flat();
+    let light = imcf_devices::energy::LightModel::led_array();
+    let price = |action: &Action, t: f64, l: f64| -> f64 {
+        use imcf_devices::energy::DeviceEnergyModel;
+        match action {
+            Action::SetTemperature(v) => hvac.hourly_kwh(*v, t),
+            Action::SetLight(v) => light.hourly_kwh(*v, l),
+            Action::SetKwhLimit(_) => 0.0,
+        }
+    };
+    // ECP from the MR schedule over this trace.
+    let trace = imcf_traces::series::Trace::new(calendar, vec![zone.clone()]);
+    let ecp = imcf_traces::ecp::derive_ecp(&trace, |z, h| {
+        let hod = calendar.hour_of_day(h);
+        mrt.active_at_hour(hod)
+            .iter()
+            .map(|r| price(&r.action, z.temperature.at(h), z.light.at(h)))
+            .sum()
+    });
+    let plan = AmortizationPlan::new(ApKind::Eaf, ecp, budget_kwh, horizon, calendar)
+        .with_savings(savings);
+    let mut slots = Vec::with_capacity(horizon as usize);
+    for h in 0..horizon {
+        let hod = calendar.hour_of_day(h);
+        let candidates = mrt
+            .active_at_hour(hod)
+            .into_iter()
+            .filter_map(|r| {
+                let (desired, ambient, class) = match r.action {
+                    Action::SetTemperature(v) => (v, zone.temperature.at(h), DeviceClass::Hvac),
+                    Action::SetLight(v) => (v, zone.light.at(h), DeviceClass::Light),
+                    Action::SetKwhLimit(_) => return None,
+                };
+                let mut c = CandidateRule::convenience(
+                    r.id,
+                    desired,
+                    ambient,
+                    price(&r.action, zone.temperature.at(h), zone.light.at(h)),
+                );
+                c.owner = r.owner.clone();
+                c.device_class = class;
+                c.necessity = r.class == RuleClass::Necessity;
+                Some(c)
+            })
+            .collect();
+        slots.push(PlanningSlot::new(h, candidates, plan.hourly_budget(h)));
+    }
+    Ok((plan, slots))
+}
+
+/// `imcf plan <mrt-file>` — plan a horizon under the table's budget row.
+pub fn plan(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &["days", "climate", "seed", "k", "tau", "savings"],
+        min_positional: 1,
+        max_positional: 1,
+    };
+    let parsed = spec.parse(argv)?;
+    let path = parsed.positional(0).expect("arity checked");
+    let mrt = load_mrt(path)?;
+    let (budget, budget_horizon) = mrt
+        .tightest_budget()
+        .ok_or("the table has no `Set kWh Limit` row to plan against")?;
+
+    let days = parsed.get_u64("days", (budget_horizon / 24).min(31))?;
+    let horizon = (days * 24).min(budget_horizon);
+    let seed = parsed.get_u64("seed", 0)?;
+    let k = parsed.get_u64("k", 2)? as usize;
+    let tau = parsed.get_u64("tau", 100)? as u32;
+    let savings = parsed.get_f64("savings", 0.0)? / 100.0;
+    if !(0.0..1.0).contains(&savings) {
+        return Err("--savings must be in [0, 100)".to_string());
+    }
+    let climate_model = climate(parsed.get("climate").unwrap_or("mediterranean"))?;
+
+    let calendar = PaperCalendar::january_start();
+    let generator = TraceGenerator {
+        climate: climate_model,
+        calendar,
+        horizon_hours: horizon,
+        seed,
+    };
+    let zone = generator.generate_zone("home");
+
+    // Budget share proportional to the planned horizon.
+    let budget_share = budget * horizon as f64 / budget_horizon as f64;
+    let (_plan, slots) = build_slots(&mrt, &zone, calendar, horizon, budget_share, savings)?;
+
+    let planner = EnergyPlanner::from_config(PlannerConfig {
+        k,
+        tau_max: tau,
+        init: InitStrategy::AllOnes,
+        seed,
+    });
+    let report = planner.plan(slots);
+    println!(
+        "planned {days} day(s) under a {budget_share:.1} kWh share of the {budget:.0} kWh budget"
+    );
+    println!("  F_CE : {:.2} %", report.fce_percent());
+    println!("  F_E  : {:.1} kWh", report.fe_kwh());
+    println!("  F_T  : {:.3} s", report.ft_seconds());
+    println!(
+        "  rules: {} instances, {} dropped",
+        report.instances, report.dropped_instances
+    );
+    let table = report.owners.table();
+    if table.len() > 1 || table.first().map(|(o, _)| !o.is_empty()).unwrap_or(false) {
+        println!("  per-owner convenience error:");
+        for (owner, fce) in table {
+            let name = if owner.is_empty() {
+                "(household)"
+            } else {
+                &owner
+            };
+            println!("    {name:<12} {fce:.3} %");
+        }
+    }
+    Ok(())
+}
+
+/// `imcf simulate --dataset <kind>` — run the paper's datasets.
+pub fn simulate(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &["dataset", "months", "seed"],
+        min_positional: 0,
+        max_positional: 0,
+    };
+    let parsed = spec.parse(argv)?;
+    let kind = dataset_kind(parsed.get("dataset").ok_or("--dataset is required")?)?;
+    let months = parsed.get_u64("months", 36)?.min(36);
+    let seed = parsed.get_u64("seed", 0)?;
+
+    let dataset = Dataset::build(kind, seed);
+    let ecp = dataset.derive_mr_ecp();
+    let plan = AmortizationPlan::new(
+        ApKind::Eaf,
+        ecp,
+        dataset.budget_kwh,
+        dataset.horizon_hours,
+        dataset.calendar(),
+    );
+    let builder = SlotBuilder::new(&dataset, &plan);
+    let horizon = months * HOURS_PER_MONTH;
+
+    println!(
+        "{} — {} zones, {} rules, budget {:.0} kWh, {} month(s)",
+        kind.label(),
+        dataset.trace.zone_count(),
+        dataset.total_rules(),
+        dataset.budget_kwh,
+        months
+    );
+    let nr = imcf_core::baselines::run_nr(builder.range(0..horizon));
+    let ifttt = imcf_core::baselines::run_ifttt(builder.range(0..horizon));
+    let ep = EnergyPlanner::from_config(PlannerConfig {
+        seed,
+        ..Default::default()
+    })
+    .plan(builder.range(0..horizon));
+    let mr = imcf_core::baselines::run_mr(builder.range(0..horizon));
+    println!(
+        "{:<6} {:>10} {:>14} {:>10}",
+        "method", "F_CE (%)", "F_E (kWh)", "F_T (s)"
+    );
+    for (name, r) in [("NR", &nr), ("IFTTT", &ifttt), ("EP", &ep), ("MR", &mr)] {
+        println!(
+            "{:<6} {:>10.2} {:>14.1} {:>10.3}",
+            name,
+            r.fce_percent(),
+            r.fe_kwh(),
+            r.ft_seconds()
+        );
+    }
+    Ok(())
+}
+
+/// `imcf ecp --dataset <kind>` — print the derived consumption profile.
+pub fn ecp(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &["dataset", "seed"],
+        min_positional: 0,
+        max_positional: 0,
+    };
+    let parsed = spec.parse(argv)?;
+    let kind = dataset_kind(parsed.get("dataset").ok_or("--dataset is required")?)?;
+    let seed = parsed.get_u64("seed", 0)?;
+    let dataset = Dataset::build(kind, seed);
+    let derived: Ecp = dataset.derive_mr_ecp();
+    println!("derived ECP for {} (seed {seed}):", kind.label());
+    println!("{:<6} {:>12} {:>12}", "month", "kWh/month", "kWh/hour");
+    for m in 1..=12u32 {
+        println!(
+            "{:<6} {:>12.2} {:>12.3}",
+            m,
+            derived.month_kwh(m),
+            derived.hourly_kwh(m)
+        );
+    }
+    println!("{:<6} {:>12.2}", "total", derived.total_kwh());
+    Ok(())
+}
+
+/// `imcf workflow <wf-file>` — parse and dry-run a workflow program.
+pub fn workflow(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &["temperature", "light", "hour", "month"],
+        min_positional: 1,
+        max_positional: 1,
+    };
+    let parsed = spec.parse(argv)?;
+    let path = parsed.positional(0).expect("arity checked");
+    let wf = parse_workflow(&read_file(path)?).map_err(|e| format!("{path}: {e}"))?;
+
+    let env = EnvSnapshot::neutral()
+        .with_month(parsed.get_u64("month", 1)? as u32)
+        .with_hour(parsed.get_u64("hour", 0)? as u32)
+        .with_temperature(parsed.get_f64("temperature", 15.0)?)
+        .with_light(parsed.get_f64("light", 0.0)?);
+    let outcome = wf.run(&env).map_err(|e| format!("workflow failed: {e}"))?;
+    println!(
+        "workflow `{}` against T={}°C, light={}, {:02}:00:",
+        wf.name, env.temperature, env.light_level, env.hour
+    );
+    if outcome.actions.is_empty() {
+        println!("  (no actuations)");
+    }
+    for a in &outcome.actions {
+        println!("  actuate: {a}");
+    }
+    println!("  waited {} simulated minutes", outcome.waited_minutes);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(content: &str, ext: &str) -> (tempfile::TempDir, String) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join(format!("input.{ext}"));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        (dir, path.to_string_lossy().into_owned())
+    }
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    const GOOD_MRT: &str = "\
+Night Heat | 01:00 - 07:00 | Set Temperature | 25 | owner=father
+Morning Lights | 04:00 - 09:00 | Set Light | 40 | owner=mother
+Budget | for 1 month | Set kWh Limit | 400
+";
+
+    #[test]
+    fn validate_accepts_clean_table() {
+        let (_dir, path) = write_temp(GOOD_MRT, "mrt");
+        validate(&argv(&[&path])).unwrap();
+    }
+
+    #[test]
+    fn validate_fails_on_infeasible_budget() {
+        let text = "\
+Freezer | 00:00 - 24:00 | Set Temperature | 4 | necessity
+Budget | for 1 month | Set kWh Limit | 1
+";
+        let (_dir, path) = write_temp(text, "mrt");
+        let err = validate(&argv(&[&path])).unwrap_err();
+        assert!(err.contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_file() {
+        let (_dir, path) = write_temp("not a rule table\n", "mrt");
+        assert!(validate(&argv(&[&path])).is_err());
+        assert!(validate(&argv(&["/nonexistent/file.mrt"])).is_err());
+    }
+
+    #[test]
+    fn plan_runs_a_week() {
+        let (_dir, path) = write_temp(GOOD_MRT, "mrt");
+        plan(&argv(&[&path, "--days", "7", "--seed", "3", "--tau", "40"])).unwrap();
+    }
+
+    #[test]
+    fn plan_requires_budget_row() {
+        let (_dir, path) = write_temp("A | 01:00 - 02:00 | Set Light | 10\n", "mrt");
+        let err = plan(&argv(&[&path])).unwrap_err();
+        assert!(err.contains("no `Set kWh Limit`"));
+    }
+
+    #[test]
+    fn plan_validates_savings_range() {
+        let (_dir, path) = write_temp(GOOD_MRT, "mrt");
+        let err = plan(&argv(&[&path, "--savings", "150"])).unwrap_err();
+        assert!(err.contains("[0, 100)"));
+    }
+
+    #[test]
+    fn simulate_needs_known_dataset() {
+        let err = simulate(&argv(&["--dataset", "castle"])).unwrap_err();
+        assert!(err.contains("unknown dataset"));
+        let err = simulate(&argv(&[])).unwrap_err();
+        assert!(err.contains("--dataset is required"));
+    }
+
+    #[test]
+    fn simulate_flat_one_month() {
+        simulate(&argv(&["--dataset", "flat", "--months", "1"])).unwrap();
+    }
+
+    #[test]
+    fn ecp_prints_profile() {
+        ecp(&argv(&["--dataset", "flat"])).unwrap();
+    }
+
+    #[test]
+    fn workflow_dry_runs() {
+        let wf =
+            "workflow \"w\"\n  if env.temperature < 18\n    actuate temperature 21\n  end\nend\n";
+        let (_dir, path) = write_temp(wf, "wf");
+        workflow(&argv(&[&path, "--temperature", "12"])).unwrap();
+        workflow(&argv(&[&path, "--temperature", "25"])).unwrap();
+    }
+
+    #[test]
+    fn workflow_reports_parse_errors() {
+        let (_dir, path) = write_temp("workflow \"w\"\n  bogus\nend\n", "wf");
+        let err = workflow(&argv(&[&path])).unwrap_err();
+        assert!(err.contains("line 2"));
+    }
+}
+
+/// `imcf schedule <loads-file>` — place deferrable loads into green hours.
+///
+/// Load file format (one load per line):
+/// ```text
+/// # name | kWh per hour | duration hours | release..deadline
+/// EV charge | 3.7 | 3 | 0..30
+/// dishwasher | 1.1 | 1 | 8..22
+/// ```
+pub fn schedule(argv: &[String]) -> Result<(), String> {
+    use imcf_core::deferrable::{schedule_loads, DeferrableLoad, ScheduleContext};
+
+    let spec = ArgSpec {
+        options: &["horizon", "headroom"],
+        min_positional: 1,
+        max_positional: 1,
+    };
+    let parsed = spec.parse(argv)?;
+    let path = parsed.positional(0).expect("arity checked");
+    let horizon = parsed.get_u64("horizon", 48)?;
+    let headroom = parsed.get_f64("headroom", 4.0)?;
+
+    let mut loads = Vec::new();
+    for (idx, raw) in read_file(path)?.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "{path}:{}: expected `name | kwh/h | hours | release..deadline`",
+                idx + 1
+            ));
+        }
+        let kwh: f64 = fields[1]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad kWh `{}`", idx + 1, fields[1]))?;
+        let hours: u64 = fields[2]
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad duration `{}`", idx + 1, fields[2]))?;
+        let (a, b) = fields[3]
+            .split_once("..")
+            .ok_or_else(|| format!("{path}:{}: bad window `{}`", idx + 1, fields[3]))?;
+        let release: u64 = a
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad release `{a}`", idx + 1))?;
+        let deadline: u64 = b
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad deadline `{b}`", idx + 1))?;
+        if hours == 0 || release + hours > deadline {
+            return Err(format!(
+                "{path}:{}: window {release}..{deadline} cannot fit {hours} h",
+                idx + 1
+            ));
+        }
+        loads.push(DeferrableLoad::new(
+            fields[0], kwh, hours, release, deadline,
+        ));
+    }
+    if loads.is_empty() {
+        return Err("no loads in file".to_string());
+    }
+
+    // Night-cheap CO₂ cost curve, uniform headroom.
+    let cost: Vec<f64> = (0..horizon)
+        .map(|h| match h % 24 {
+            0..=5 => 0.15,
+            18..=21 => 0.9,
+            _ => 0.45,
+        })
+        .collect();
+    let mut ctx = ScheduleContext {
+        headroom_kwh: vec![headroom; horizon as usize],
+        cost_per_kwh: cost,
+    };
+    let placements = schedule_loads(&mut ctx, &loads).map_err(|e| e.to_string())?;
+    println!(
+        "{:<24} {:>8} {:>8} {:>10}",
+        "load", "start", "hours", "cost"
+    );
+    for (load, p) in loads.iter().zip(&placements) {
+        println!(
+            "{:<24} {:>5}:00 {:>8} {:>10.2}",
+            p.name,
+            p.start % 24,
+            load.duration_hours,
+            p.cost
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(content: &str) -> (tempfile::TempDir, String) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("loads.txt");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        (dir, path.to_string_lossy().into_owned())
+    }
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn schedules_a_load_file() {
+        let (_d, path) =
+            write_temp("# loads\nEV | 3.0 | 3 | 0..30\ndishwasher | 1.1 | 1 | 8..22\n");
+        schedule(&argv(&[&path])).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let (_d, path) = write_temp("just nonsense\n");
+        assert!(schedule(&argv(&[&path])).unwrap_err().contains("expected"));
+        let (_d2, path2) = write_temp("EV | 3.0 | 9 | 0..5\n");
+        assert!(schedule(&argv(&[&path2]))
+            .unwrap_err()
+            .contains("cannot fit"));
+        let (_d3, path3) = write_temp("# only comments\n");
+        assert!(schedule(&argv(&[&path3])).unwrap_err().contains("no loads"));
+    }
+
+    #[test]
+    fn infeasible_headroom_reports() {
+        let (_d, path) = write_temp("EV | 9.0 | 2 | 0..10\n");
+        let err = schedule(&argv(&[&path, "--headroom", "1.0"])).unwrap_err();
+        assert!(err.contains("EV"));
+    }
+}

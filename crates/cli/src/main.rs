@@ -1,0 +1,78 @@
+//! `imcf` — the command-line interface to the IoT Meta-Control Firewall.
+//!
+//! ```text
+//! imcf validate <mrt-file>                      check a rule table for conflicts
+//! imcf plan <mrt-file> [options]                plan a horizon under the table's budget
+//! imcf simulate --dataset <flat|house|dorms>    run the paper's datasets end to end
+//! imcf ecp --dataset <flat|house|dorms>         print a derived consumption profile
+//! imcf workflow <wf-file> [env options]         dry-run a procedural workflow
+//! ```
+//!
+//! Argument handling is deliberately dependency-free: `--key value` pairs
+//! and positional file names, parsed by [`args::ArgSpec`].
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+imcf — the IoT Meta-Control Firewall
+
+USAGE:
+  imcf validate <mrt-file>
+  imcf plan <mrt-file> [--days N] [--climate mediterranean|continental]
+                       [--seed N] [--k N] [--tau N] [--savings PCT]
+  imcf simulate --dataset <flat|house|dorms> [--months N] [--seed N]
+  imcf ecp --dataset <flat|house|dorms> [--seed N]
+  imcf workflow <wf-file> [--temperature C] [--light L] [--hour H] [--month M]
+  imcf schedule <loads-file> [--horizon H] [--headroom KWH]
+
+Run `imcf <command> --help` for details.";
+
+fn main() -> ExitCode {
+    // Piping output into `head` closes stdout early; exit quietly (the
+    // shell convention is status 141) instead of panicking.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|m| m.contains("Broken pipe"))
+            .unwrap_or(false);
+        if broken_pipe {
+            std::process::exit(141);
+        }
+        default_hook(info);
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+    let result = match command.as_str() {
+        "validate" => commands::validate(rest),
+        "plan" => commands::plan(rest),
+        "simulate" => commands::simulate(rest),
+        "ecp" => commands::ecp(rest),
+        "workflow" => commands::workflow(rest),
+        "schedule" => commands::schedule(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

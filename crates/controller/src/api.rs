@@ -1,0 +1,290 @@
+//! The REST-style query/command surface of the Local Controller.
+//!
+//! The paper's GUI talks to openHAB through its REST API ("The OpenHAB
+//! Rules Table records are retrieved through the OpenHAB Rest API",
+//! §II-D). This module provides the equivalent in-process endpoint: a
+//! [`Router`] that accepts openHAB-shaped request lines
+//!
+//! ```text
+//! GET  /rest/items
+//! GET  /rest/items/<name>
+//! POST /rest/items/<name> <value>
+//! GET  /rest/things
+//! GET  /rest/firewall
+//! GET  /rest/meter
+//! ```
+//!
+//! and answers with JSON, so a GUI, a test harness, or a TCP shim can drive
+//! the controller without linking against its types.
+
+use crate::firewall::Chain;
+use imcf_devices::channel::ChannelUid;
+use imcf_devices::command::{Command, CommandOutcome, CommandPayload};
+use imcf_devices::item::{ItemKind, ItemState};
+use imcf_devices::registry::DeviceRegistry;
+use imcf_sim::meter::EnergyMeter;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// An API response: HTTP-ish status plus a JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 400, 404, 409).
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    fn ok<T: Serialize>(value: &T) -> Response {
+        Response {
+            status: 200,
+            body: serde_json::to_string(value).expect("serializable"),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            body: serde_json::to_string(&serde_json::json!({ "error": message }))
+                .expect("serializable"),
+        }
+    }
+}
+
+/// The request router over the controller's shared state.
+pub struct Router {
+    registry: DeviceRegistry,
+    firewall: Arc<Mutex<Chain>>,
+    meter: Arc<Mutex<EnergyMeter>>,
+}
+
+impl Router {
+    /// Creates a router over shared controller handles.
+    pub fn new(
+        registry: DeviceRegistry,
+        firewall: Arc<Mutex<Chain>>,
+        meter: Arc<Mutex<EnergyMeter>>,
+    ) -> Self {
+        Router {
+            registry,
+            firewall,
+            meter,
+        }
+    }
+
+    /// Handles one request line.
+    pub fn handle(&self, request: &str) -> Response {
+        let mut parts = request.splitn(3, ' ');
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        let body = parts.next().unwrap_or("").trim();
+        match (method, path) {
+            ("GET", "/rest/items") => self.get_items(),
+            ("GET", p) if p.starts_with("/rest/items/") => {
+                self.get_item(&p["/rest/items/".len()..])
+            }
+            ("POST", p) if p.starts_with("/rest/items/") => {
+                self.post_item(&p["/rest/items/".len()..], body)
+            }
+            ("GET", "/rest/things") => self.get_things(),
+            ("GET", "/rest/firewall") => self.get_firewall(),
+            ("GET", "/rest/meter") => self.get_meter(),
+            ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
+            _ => Response::error(400, "expected `GET <path>` or `POST <path> <value>`"),
+        }
+    }
+
+    fn get_items(&self) -> Response {
+        let names = self.registry.item_names();
+        let items: Vec<_> = names
+            .iter()
+            .filter_map(|n| self.registry.item(n))
+            .map(|i| {
+                serde_json::json!({
+                    "name": i.name,
+                    "kind": format!("{:?}", i.kind),
+                    "state": i.state.to_string(),
+                    "channel": i.channel.as_ref().map(|c| c.to_string()),
+                })
+            })
+            .collect();
+        Response::ok(&items)
+    }
+
+    fn get_item(&self, name: &str) -> Response {
+        match self.registry.item(name) {
+            Some(i) => Response::ok(&serde_json::json!({
+                "name": i.name,
+                "kind": format!("{:?}", i.kind),
+                "state": i.state.to_string(),
+            })),
+            None => Response::error(404, &format!("no item `{name}`")),
+        }
+    }
+
+    fn post_item(&self, name: &str, body: &str) -> Response {
+        let Some(item) = self.registry.item(name) else {
+            return Response::error(404, &format!("no item `{name}`"));
+        };
+        let Some(channel) = item.channel.clone() else {
+            return Response::error(409, &format!("item `{name}` has no channel link"));
+        };
+        let Ok(value) = body.parse::<f64>() else {
+            return Response::error(400, &format!("invalid value `{body}`"));
+        };
+        let payload = match item.kind {
+            ItemKind::Number => CommandPayload::SetTemperature {
+                celsius: value,
+                cooling: false,
+            },
+            ItemKind::Dimmer => CommandPayload::SetLevel(value),
+            ItemKind::Switch => CommandPayload::Power(value != 0.0),
+            ItemKind::Contact => return Response::error(409, "contact items are read-only"),
+        };
+        match self.registry.dispatch(&Command::binding(channel, payload)) {
+            Ok(CommandOutcome::Delivered(wire)) => {
+                Response::ok(&serde_json::json!({ "delivered": wire }))
+            }
+            Ok(CommandOutcome::Blocked) => {
+                Response::error(409, "blocked by the meta-control firewall")
+            }
+            Ok(CommandOutcome::Offline) => Response::error(409, "thing offline"),
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+
+    fn get_things(&self) -> Response {
+        let things: Vec<_> = self
+            .registry
+            .thing_uids()
+            .iter()
+            .filter_map(|uid| self.registry.thing(uid))
+            .map(|t| {
+                serde_json::json!({
+                    "uid": t.uid.to_string(),
+                    "label": t.label,
+                    "kind": format!("{:?}", t.kind),
+                    "host": t.host,
+                    "zone": t.zone,
+                    "online": t.online,
+                })
+            })
+            .collect();
+        Response::ok(&things)
+    }
+
+    fn get_firewall(&self) -> Response {
+        let chain = self.firewall.lock();
+        let (evaluated, dropped) = chain.counters();
+        Response::ok(&serde_json::json!({
+            "script": chain.render_script(),
+            "rules": chain.rules().len(),
+            "evaluated": evaluated,
+            "dropped": dropped,
+        }))
+    }
+
+    fn get_meter(&self) -> Response {
+        let meter = self.meter.lock();
+        Response::ok(&serde_json::json!({
+            "total_kwh": meter.total_kwh(),
+            "monthly_kwh": meter.monthly().to_vec(),
+        }))
+    }
+}
+
+/// Convenience: build an item state string the way openHAB prints it.
+pub fn render_state(state: &ItemState) -> String {
+    state.to_string()
+}
+
+/// Convenience: the channel a zone's HVAC item links to (mirrors the
+/// controller's provisioning convention).
+pub fn hvac_channel(zone: &str) -> ChannelUid {
+    ChannelUid::new(
+        imcf_devices::thing::ThingUid::new("imcf", "hvac", zone),
+        "settemp",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ControllerConfig, LocalController};
+    use imcf_core::calendar::PaperCalendar;
+
+    fn router_with_zone() -> (LocalController, Router) {
+        let mut c =
+            LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
+        c.provision_zone("den");
+        let router = Router::new(
+            c.registry(),
+            c.firewall(),
+            Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
+        );
+        (c, router)
+    }
+
+    #[test]
+    fn lists_items_and_things() {
+        let (_c, router) = router_with_zone();
+        let r = router.handle("GET /rest/items");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("den_SetPoint"));
+        assert!(r.body.contains("den_Light"));
+        let r = router.handle("GET /rest/things");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("imcf:hvac:den"));
+    }
+
+    #[test]
+    fn item_command_round_trip() {
+        let (_c, router) = router_with_zone();
+        let r = router.handle("POST /rest/items/den_SetPoint 21.5");
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        let r = router.handle("GET /rest/items/den_SetPoint");
+        assert!(r.body.contains("21.5"), "body: {}", r.body);
+    }
+
+    #[test]
+    fn firewall_blocks_surface_as_409() {
+        let (c, router) = router_with_zone();
+        c.firewall()
+            .lock()
+            .set_policy(crate::firewall::Verdict::Drop);
+        let r = router.handle("POST /rest/items/den_SetPoint 25");
+        assert_eq!(r.status, 409);
+        assert!(r.body.contains("firewall"));
+    }
+
+    #[test]
+    fn firewall_endpoint_reports_state() {
+        let (_c, router) = router_with_zone();
+        let r = router.handle("GET /rest/firewall");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("iptables -P OUTPUT"));
+    }
+
+    #[test]
+    fn meter_endpoint() {
+        let (_c, router) = router_with_zone();
+        let r = router.handle("GET /rest/meter");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("total_kwh"));
+    }
+
+    #[test]
+    fn error_paths() {
+        let (_c, router) = router_with_zone();
+        assert_eq!(router.handle("GET /rest/items/nope").status, 404);
+        assert_eq!(router.handle("POST /rest/items/nope 1").status, 404);
+        assert_eq!(
+            router.handle("POST /rest/items/den_SetPoint abc").status,
+            400
+        );
+        assert_eq!(router.handle("GET /rest/unknown").status, 404);
+        assert_eq!(router.handle("DELETE /rest/items").status, 400);
+    }
+}

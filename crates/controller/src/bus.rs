@@ -1,0 +1,146 @@
+//! The event bus connecting controller components.
+//!
+//! The paper's architecture has several actors (APP, CC, LC, the IMCF
+//! component) exchanging events. [`EventBus`] is a lightweight multi-
+//! subscriber broadcast built on crossbeam channels: every subscriber gets
+//! every event published after it subscribed.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use imcf_rules::meta_rule::RuleId;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Events flowing through the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A sensor reported a value.
+    SensorUpdate {
+        /// Zone of the sensor.
+        zone: String,
+        /// Item name.
+        item: String,
+        /// New value.
+        value: f64,
+    },
+    /// The planner produced a plan for a slot.
+    PlanComputed {
+        /// The slot's hour index.
+        hour_index: u64,
+        /// Rules adopted.
+        adopted: Vec<RuleId>,
+        /// Rules dropped.
+        dropped: Vec<RuleId>,
+        /// Planned energy, kWh.
+        energy_kwh: f64,
+    },
+    /// A command was delivered to a device.
+    CommandDelivered {
+        /// Rendered wire form.
+        wire: String,
+    },
+    /// The firewall dropped a command.
+    CommandBlocked {
+        /// Destination host.
+        host: String,
+    },
+    /// The controller finished an orchestration tick.
+    TickCompleted {
+        /// The hour ticked.
+        hour_index: u64,
+    },
+}
+
+/// A broadcast event bus.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    subscribers: Arc<Mutex<Vec<Sender<Event>>>>,
+}
+
+impl EventBus {
+    /// Creates a bus with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes; returns a receiver of all future events.
+    pub fn subscribe(&self) -> Receiver<Event> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Publishes an event to every live subscriber, pruning closed ones.
+    pub fn publish(&self, event: Event) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribers_receive_events() {
+        let bus = EventBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        bus.publish(Event::TickCompleted { hour_index: 7 });
+        assert_eq!(
+            rx1.try_recv().unwrap(),
+            Event::TickCompleted { hour_index: 7 }
+        );
+        assert_eq!(
+            rx2.try_recv().unwrap(),
+            Event::TickCompleted { hour_index: 7 }
+        );
+    }
+
+    #[test]
+    fn late_subscribers_miss_earlier_events() {
+        let bus = EventBus::new();
+        bus.publish(Event::TickCompleted { hour_index: 1 });
+        let rx = bus.subscribe();
+        assert!(rx.try_recv().is_err());
+        bus.publish(Event::TickCompleted { hour_index: 2 });
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            Event::TickCompleted { hour_index: 2 }
+        );
+    }
+
+    #[test]
+    fn dropped_receivers_are_pruned() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(rx);
+        bus.publish(Event::TickCompleted { hour_index: 0 });
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe();
+        let bus2 = bus.clone();
+        let handle = std::thread::spawn(move || {
+            bus2.publish(Event::CommandBlocked {
+                host: "192.168.0.5".into(),
+            });
+        });
+        handle.join().unwrap();
+        assert_eq!(
+            rx.recv().unwrap(),
+            Event::CommandBlocked {
+                host: "192.168.0.5".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The Cloud Controller (CC) relay — paper Fig. 3.
+//!
+//! When the user's APP is outside the smart space, "the network firewall
+//! and NAT will obviously not let this user interact with LC. As such, the
+//! user's APP connects to the Cloud Controller (CC), which is a server on
+//! the public Internet that communicates and controls LC remotely"
+//! (§II-A). [`CloudController`] implements that relay in-process: homes
+//! register their Local Controller's REST [`crate::api::Router`] under a
+//! home id and a bearer token; remote requests are authenticated, rate
+//! counted, and forwarded; the LC's response travels back verbatim.
+//!
+//! The CC never interprets payloads — it is a dumb, authenticated pipe,
+//! which is exactly the trust model the paper sketches (the *meta-control*
+//! intelligence stays local).
+
+use crate::api::{Response, Router};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-home relay statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelayStats {
+    /// Requests forwarded to the LC.
+    pub forwarded: u64,
+    /// Requests rejected before reaching the LC.
+    pub rejected: u64,
+}
+
+struct HomeLink {
+    token: String,
+    router: Arc<Router>,
+    stats: RelayStats,
+}
+
+/// The cloud relay.
+#[derive(Default)]
+pub struct CloudController {
+    homes: Mutex<BTreeMap<String, HomeLink>>,
+}
+
+/// Relay-level failures (never reach the LC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayError {
+    /// No home registered under this id.
+    UnknownHome(String),
+    /// The bearer token does not match.
+    Unauthorized,
+    /// A home id was registered twice.
+    DuplicateHome(String),
+}
+
+impl std::fmt::Display for RelayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelayError::UnknownHome(h) => write!(f, "unknown home `{h}`"),
+            RelayError::Unauthorized => write!(f, "unauthorized"),
+            RelayError::DuplicateHome(h) => write!(f, "home `{h}` already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RelayError {}
+
+impl CloudController {
+    /// Creates an empty relay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a home's LC router under a bearer token.
+    pub fn register_home(&self, home: &str, token: &str, router: Router) -> Result<(), RelayError> {
+        let mut homes = self.homes.lock();
+        if homes.contains_key(home) {
+            return Err(RelayError::DuplicateHome(home.to_string()));
+        }
+        homes.insert(
+            home.to_string(),
+            HomeLink {
+                token: token.to_string(),
+                router: Arc::new(router),
+                stats: RelayStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a home (the LC going offline).
+    pub fn unregister_home(&self, home: &str) -> bool {
+        self.homes.lock().remove(home).is_some()
+    }
+
+    /// Relays one authenticated request line to a home's LC.
+    pub fn relay(&self, home: &str, token: &str, request: &str) -> Result<Response, RelayError> {
+        let router = {
+            let mut homes = self.homes.lock();
+            let link = homes
+                .get_mut(home)
+                .ok_or_else(|| RelayError::UnknownHome(home.to_string()))?;
+            // Constant behaviour regardless of which check fails — do not
+            // leak whether a home id is valid through timing of the token
+            // comparison order.
+            if link.token != token {
+                link.stats.rejected += 1;
+                return Err(RelayError::Unauthorized);
+            }
+            link.stats.forwarded += 1;
+            Arc::clone(&link.router)
+        };
+        Ok(router.handle(request))
+    }
+
+    /// A home's relay statistics.
+    pub fn stats(&self, home: &str) -> Option<RelayStats> {
+        self.homes.lock().get(home).map(|l| l.stats)
+    }
+
+    /// The registered home ids.
+    pub fn homes(&self) -> Vec<String> {
+        self.homes.lock().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ControllerConfig, LocalController};
+    use imcf_core::calendar::PaperCalendar;
+    use imcf_sim::meter::EnergyMeter;
+
+    fn lc_router(zone: &str) -> (LocalController, Router) {
+        let mut lc =
+            LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
+        lc.provision_zone(zone);
+        let router = Router::new(
+            lc.registry(),
+            lc.firewall(),
+            Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
+        );
+        (lc, router)
+    }
+
+    #[test]
+    fn relays_authenticated_requests() {
+        let cc = CloudController::new();
+        let (_lc, router) = lc_router("den");
+        cc.register_home("home-1", "s3cret", router).unwrap();
+
+        let r = cc
+            .relay("home-1", "s3cret", "POST /rest/items/den_SetPoint 22")
+            .unwrap();
+        assert_eq!(r.status, 200);
+        let r = cc
+            .relay("home-1", "s3cret", "GET /rest/items/den_SetPoint")
+            .unwrap();
+        assert!(r.body.contains("22"));
+        assert_eq!(cc.stats("home-1").unwrap().forwarded, 2);
+    }
+
+    #[test]
+    fn wrong_token_is_rejected_and_counted() {
+        let cc = CloudController::new();
+        let (_lc, router) = lc_router("den");
+        cc.register_home("home-1", "s3cret", router).unwrap();
+        assert_eq!(
+            cc.relay("home-1", "wrong", "GET /rest/items"),
+            Err(RelayError::Unauthorized)
+        );
+        let stats = cc.stats("home-1").unwrap();
+        assert_eq!((stats.forwarded, stats.rejected), (0, 1));
+    }
+
+    #[test]
+    fn unknown_home_and_duplicates() {
+        let cc = CloudController::new();
+        assert_eq!(
+            cc.relay("ghost", "t", "GET /rest/items"),
+            Err(RelayError::UnknownHome("ghost".into()))
+        );
+        let (_lc1, r1) = lc_router("a");
+        let (_lc2, r2) = lc_router("b");
+        cc.register_home("home-1", "t1", r1).unwrap();
+        assert_eq!(
+            cc.register_home("home-1", "t2", r2),
+            Err(RelayError::DuplicateHome("home-1".into()))
+        );
+    }
+
+    #[test]
+    fn homes_are_isolated() {
+        let cc = CloudController::new();
+        let (_lc1, r1) = lc_router("kitchen");
+        let (_lc2, r2) = lc_router("garage");
+        cc.register_home("alpha", "ta", r1).unwrap();
+        cc.register_home("beta", "tb", r2).unwrap();
+        // Alpha's token does not open beta.
+        assert_eq!(
+            cc.relay("beta", "ta", "GET /rest/items"),
+            Err(RelayError::Unauthorized)
+        );
+        // Each home sees only its own items.
+        let a = cc.relay("alpha", "ta", "GET /rest/items").unwrap();
+        assert!(a.body.contains("kitchen_SetPoint") && !a.body.contains("garage"));
+        let b = cc.relay("beta", "tb", "GET /rest/items").unwrap();
+        assert!(b.body.contains("garage_SetPoint") && !b.body.contains("kitchen"));
+        assert_eq!(cc.homes(), vec!["alpha".to_string(), "beta".to_string()]);
+    }
+
+    #[test]
+    fn unregister_cuts_the_link() {
+        let cc = CloudController::new();
+        let (_lc, router) = lc_router("den");
+        cc.register_home("home-1", "t", router).unwrap();
+        assert!(cc.unregister_home("home-1"));
+        assert!(!cc.unregister_home("home-1"));
+        assert!(matches!(
+            cc.relay("home-1", "t", "GET /rest/items"),
+            Err(RelayError::UnknownHome(_))
+        ));
+    }
+
+    #[test]
+    fn firewall_verdicts_travel_back_through_the_relay() {
+        let cc = CloudController::new();
+        let (lc, router) = lc_router("den");
+        lc.firewall()
+            .lock()
+            .set_policy(crate::firewall::Verdict::Drop);
+        cc.register_home("home-1", "t", router).unwrap();
+        let r = cc
+            .relay("home-1", "t", "POST /rest/items/den_SetPoint 30")
+            .unwrap();
+        assert_eq!(r.status, 409);
+        assert!(r.body.contains("firewall"));
+    }
+}

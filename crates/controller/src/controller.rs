@@ -1,0 +1,405 @@
+//! The IMCF orchestration loop.
+//!
+//! [`LocalController`] is the paper's LC + IMCF component: it owns the
+//! device registry, the firewall chain, the event bus, the energy meter and
+//! the Energy Planner. Each tick (one planning slot) it:
+//!
+//! 1. runs the EP over the slot's candidates,
+//! 2. translates the plan into firewall state — ACCEPT rules for adopted
+//!    (zone, device-class) pairs, DROP rules for dropped ones — mirroring
+//!    the paper's `iptables` enforcement,
+//! 3. issues the adopted rules' actuation commands through the registry
+//!    (which consults the firewall on egress), and
+//! 4. meters the consumed energy and publishes events.
+
+use crate::bus::{Event, EventBus};
+use crate::firewall::{Chain, FirewallRule, Match, Verdict};
+use imcf_core::calendar::PaperCalendar;
+use imcf_core::candidate::PlanningSlot;
+use imcf_core::planner::{EnergyPlanner, PlannerConfig};
+use imcf_devices::channel::ChannelUid;
+use imcf_devices::command::{Command, CommandOutcome, CommandPayload};
+use imcf_devices::item::{Item, ItemKind};
+use imcf_devices::registry::DeviceRegistry;
+use imcf_devices::thing::{Thing, ThingKind, ThingUid};
+use imcf_rules::action::DeviceClass;
+use imcf_rules::meta_rule::RuleId;
+use imcf_sim::meter::EnergyMeter;
+use parking_lot::Mutex;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerConfig {
+    /// Energy Planner parameters.
+    pub planner: PlannerConfig,
+}
+
+/// The outcome of one orchestration tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TickSummary {
+    /// The slot's hour index.
+    pub hour_index: u64,
+    /// Rules adopted by the plan.
+    pub adopted: Vec<RuleId>,
+    /// Rules dropped by the plan.
+    pub dropped: Vec<RuleId>,
+    /// Energy consumed this tick, kWh.
+    pub energy_kwh: f64,
+    /// Commands delivered to devices.
+    pub delivered: u64,
+    /// Commands blocked by the firewall.
+    pub blocked: u64,
+}
+
+/// The Local Controller with the IMCF extension.
+pub struct LocalController {
+    registry: DeviceRegistry,
+    firewall: Arc<Mutex<Chain>>,
+    bus: EventBus,
+    planner: EnergyPlanner,
+    rng: ChaCha8Rng,
+    meter: EnergyMeter,
+    next_host: u8,
+    /// Unspent budget carried across ticks (the planner-side amortization
+    /// reserve; see `imcf_core::planner::EnergyPlanner`).
+    reserve_kwh: f64,
+}
+
+impl LocalController {
+    /// Creates a controller with an empty device inventory.
+    pub fn new(config: ControllerConfig, calendar: PaperCalendar) -> Self {
+        let registry = DeviceRegistry::new();
+        let firewall = Arc::new(Mutex::new(Chain::new(Verdict::Accept)));
+        // Wire the firewall into the registry's egress path.
+        let chain = Arc::clone(&firewall);
+        registry.set_egress_filter(move |thing, cmd| {
+            chain.lock().evaluate(thing, cmd) == Verdict::Accept
+        });
+        let planner = EnergyPlanner::from_config(config.planner);
+        let rng = planner.rng();
+        LocalController {
+            registry,
+            firewall,
+            bus: EventBus::new(),
+            planner,
+            rng,
+            meter: EnergyMeter::new(calendar),
+            next_host: 2,
+            reserve_kwh: 0.0,
+        }
+    }
+
+    /// The device registry (shared handle).
+    pub fn registry(&self) -> DeviceRegistry {
+        self.registry.clone()
+    }
+
+    /// The event bus (shared handle).
+    pub fn bus(&self) -> EventBus {
+        self.bus.clone()
+    }
+
+    /// The firewall chain (shared handle).
+    pub fn firewall(&self) -> Arc<Mutex<Chain>> {
+        Arc::clone(&self.firewall)
+    }
+
+    /// The cumulative energy meter.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Provisions a zone: registers one HVAC unit and one dimmable light
+    /// with their items, assigning sequential host addresses.
+    pub fn provision_zone(&mut self, zone: &str) {
+        let hvac_host = format!("192.168.0.{}", self.next_host);
+        let light_host = format!("192.168.0.{}", self.next_host + 1);
+        self.next_host = self.next_host.wrapping_add(2);
+
+        let hvac_uid = ThingUid::new("imcf", "hvac", zone);
+        let light_uid = ThingUid::new("imcf", "light", zone);
+        self.registry
+            .add_thing(Thing::new(
+                hvac_uid.clone(),
+                &format!("{zone} HVAC"),
+                ThingKind::HvacUnit,
+                &hvac_host,
+                zone,
+            ))
+            .expect("zone provisioned twice");
+        self.registry
+            .add_thing(Thing::new(
+                light_uid.clone(),
+                &format!("{zone} light"),
+                ThingKind::DimmableLight,
+                &light_host,
+                zone,
+            ))
+            .expect("zone provisioned twice");
+        self.registry
+            .add_item(
+                Item::new(&format!("{zone}_SetPoint"), ItemKind::Number)
+                    .linked_to(ChannelUid::new(hvac_uid, "settemp")),
+            )
+            .expect("item exists");
+        self.registry
+            .add_item(
+                Item::new(&format!("{zone}_Light"), ItemKind::Dimmer)
+                    .linked_to(ChannelUid::new(light_uid, "brightness")),
+            )
+            .expect("item exists");
+    }
+
+    fn command_for(
+        &self,
+        zone: &str,
+        class: DeviceClass,
+        desired: f64,
+        ambient: f64,
+    ) -> Option<Command> {
+        match class {
+            DeviceClass::Hvac => Some(Command::binding(
+                ChannelUid::new(ThingUid::new("imcf", "hvac", zone), "settemp"),
+                CommandPayload::SetTemperature {
+                    celsius: desired,
+                    cooling: desired < ambient,
+                },
+            )),
+            DeviceClass::Light => Some(Command::binding(
+                ChannelUid::new(ThingUid::new("imcf", "light", zone), "brightness"),
+                CommandPayload::SetLevel(desired),
+            )),
+            DeviceClass::Meter => None,
+        }
+    }
+
+    /// The current carry-over reserve, kWh.
+    pub fn reserve_kwh(&self) -> f64 {
+        self.reserve_kwh
+    }
+
+    /// Runs one orchestration tick over a planning slot.
+    pub fn tick(&mut self, slot: &PlanningSlot) -> TickSummary {
+        // 1. Plan, letting the slot draw on the carry-over reserve.
+        let mut slot = slot.clone();
+        slot.budget_kwh += self.reserve_kwh;
+        let slot = &slot;
+        let (bits, spent) = self.planner.plan_slot(slot, &mut self.rng);
+        self.reserve_kwh = (slot.budget_kwh - spent).max(0.0);
+
+        // 2. Translate the plan into firewall state. ACCEPT rules go first
+        //    (first match wins), then DROPs for dropped pairs.
+        let mut adopted_pairs = BTreeSet::new();
+        let mut dropped_pairs = BTreeSet::new();
+        let mut adopted = Vec::new();
+        let mut dropped = Vec::new();
+        for (candidate, keep) in slot.candidates.iter().zip(bits.iter()) {
+            let pair = (candidate.zone.clone(), candidate.device_class);
+            if keep {
+                adopted_pairs.insert(pair);
+                adopted.push(candidate.rule_id);
+            } else {
+                dropped_pairs.insert(pair);
+                dropped.push(candidate.rule_id);
+            }
+        }
+        {
+            let mut chain = self.firewall.lock();
+            chain.flush();
+            for (zone, class) in &adopted_pairs {
+                chain.append(FirewallRule {
+                    matcher: Match::ZoneClass(zone.clone(), *class),
+                    verdict: Verdict::Accept,
+                    comment: format!("imcf: adopted {class} rules in {zone}"),
+                });
+            }
+            for (zone, class) in &dropped_pairs {
+                if adopted_pairs.contains(&(zone.clone(), *class)) {
+                    continue;
+                }
+                chain.append(FirewallRule {
+                    matcher: Match::ZoneClass(zone.clone(), *class),
+                    verdict: Verdict::Drop,
+                    comment: format!("imcf: plan dropped {class} rules in {zone}"),
+                });
+            }
+        }
+
+        // 3. Actuate adopted rules; meter energy.
+        let mut energy = 0.0;
+        let mut delivered = 0;
+        let mut blocked = 0;
+        for (candidate, keep) in slot.candidates.iter().zip(bits.iter()) {
+            if !keep {
+                continue;
+            }
+            let class = candidate.device_class;
+            let Some(cmd) =
+                self.command_for(&candidate.zone, class, candidate.desired, candidate.ambient)
+            else {
+                continue;
+            };
+            match self.registry.dispatch(&cmd) {
+                Ok(CommandOutcome::Delivered(wire)) => {
+                    delivered += 1;
+                    energy += candidate.exec_kwh;
+                    self.meter
+                        .record(slot.hour_index, &candidate.zone, class, candidate.exec_kwh);
+                    self.bus.publish(Event::CommandDelivered { wire });
+                }
+                Ok(CommandOutcome::Blocked) => {
+                    blocked += 1;
+                    self.bus.publish(Event::CommandBlocked {
+                        host: candidate.zone.clone(),
+                    });
+                }
+                Ok(CommandOutcome::Offline) | Err(_) => {
+                    blocked += 1;
+                }
+            }
+        }
+
+        self.bus.publish(Event::PlanComputed {
+            hour_index: slot.hour_index,
+            adopted: adopted.clone(),
+            dropped: dropped.clone(),
+            energy_kwh: energy,
+        });
+        self.bus.publish(Event::TickCompleted {
+            hour_index: slot.hour_index,
+        });
+
+        TickSummary {
+            hour_index: slot.hour_index,
+            adopted,
+            dropped,
+            energy_kwh: energy,
+            delivered,
+            blocked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcf_core::candidate::CandidateRule;
+
+    fn controller_with_zone(zone: &str) -> LocalController {
+        let mut c =
+            LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
+        c.provision_zone(zone);
+        c
+    }
+
+    fn hvac_candidate(zone: &str, desired: f64, ambient: f64, kwh: f64) -> CandidateRule {
+        CandidateRule::convenience(RuleId(0), desired, ambient, kwh).in_zone(zone)
+    }
+
+    #[test]
+    fn adopted_rules_actuate_and_meter() {
+        let mut c = controller_with_zone("living");
+        let slot = PlanningSlot::new(0, vec![hvac_candidate("living", 22.0, 15.0, 0.6)], 1.0);
+        let summary = c.tick(&slot);
+        assert_eq!(summary.adopted.len(), 1);
+        assert_eq!(summary.delivered, 1);
+        assert_eq!(summary.blocked, 0);
+        assert!((summary.energy_kwh - 0.6).abs() < 1e-12);
+        assert!((c.meter().zone_kwh("living") - 0.6).abs() < 1e-12);
+        // The item reflects the actuation.
+        let item = c.registry().item("living_SetPoint").unwrap();
+        assert_eq!(item.state, imcf_devices::item::ItemState::Decimal(22.0));
+    }
+
+    #[test]
+    fn over_budget_rules_are_dropped_and_zone_blocked() {
+        let mut c = controller_with_zone("living");
+        // Budget 0: the plan must drop the rule and install a DROP rule.
+        let slot = PlanningSlot::new(3, vec![hvac_candidate("living", 22.0, 15.0, 0.6)], 0.0);
+        let summary = c.tick(&slot);
+        assert_eq!(summary.adopted.len(), 0);
+        assert_eq!(summary.dropped.len(), 1);
+        assert_eq!(summary.energy_kwh, 0.0);
+        // The firewall now carries a DROP for the zone.
+        let fw = c.firewall();
+        let script = fw.lock().render_script();
+        assert!(script.contains("--zone living"), "script: {script}");
+        assert!(script.contains("DROP"));
+        // A manual command to the zone is blocked (the iptables effect).
+        let cmd = Command::binding(
+            ChannelUid::new(ThingUid::new("imcf", "hvac", "living"), "settemp"),
+            CommandPayload::SetTemperature {
+                celsius: 30.0,
+                cooling: false,
+            },
+        );
+        assert_eq!(
+            c.registry().dispatch(&cmd).unwrap(),
+            CommandOutcome::Blocked
+        );
+    }
+
+    #[test]
+    fn mixed_plan_keeps_cheap_rules() {
+        let mut c = controller_with_zone("a");
+        c.provision_zone("b");
+        let slot = PlanningSlot::new(
+            0,
+            vec![
+                hvac_candidate("a", 25.0, 15.0, 0.9),
+                hvac_candidate("b", 22.0, 20.0, 0.2),
+            ],
+            0.5,
+        );
+        let summary = c.tick(&slot);
+        assert_eq!(summary.adopted.len() + summary.dropped.len(), 2);
+        assert!(summary.energy_kwh <= 0.5 + 1e-9);
+        // The cheap rule in zone b must survive (dropping it gains nothing).
+        assert!(summary.adopted.contains(&RuleId(0)) || summary.dropped.len() < 2);
+    }
+
+    #[test]
+    fn events_flow_on_tick() {
+        let mut c = controller_with_zone("z");
+        let rx = c.bus().subscribe();
+        let slot = PlanningSlot::new(0, vec![hvac_candidate("z", 22.0, 18.0, 0.2)], 1.0);
+        c.tick(&slot);
+        let events: Vec<Event> = rx.try_iter().collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::CommandDelivered { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::PlanComputed { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::TickCompleted { hour_index: 0 })));
+    }
+
+    #[test]
+    fn light_candidates_route_to_light_things() {
+        let mut c = controller_with_zone("z");
+        // Desired 60 light with dark ambient, tiny cost.
+        let candidate = CandidateRule::convenience(RuleId(1), 60.0, 0.0, 0.05)
+            .in_zone("z")
+            .for_class(DeviceClass::Light);
+        let slot = PlanningSlot::new(0, vec![candidate], 1.0);
+        let summary = c.tick(&slot);
+        assert_eq!(summary.delivered, 1);
+        let item = c.registry().item("z_Light").unwrap();
+        assert_eq!(item.state, imcf_devices::item::ItemState::Percent(60.0));
+    }
+
+    #[test]
+    fn unprovisioned_zone_commands_fail_gracefully() {
+        let mut c = controller_with_zone("z");
+        let slot = PlanningSlot::new(0, vec![hvac_candidate("ghost", 22.0, 15.0, 0.1)], 1.0);
+        let summary = c.tick(&slot);
+        assert_eq!(summary.delivered, 0);
+        assert_eq!(summary.blocked, 1);
+    }
+}

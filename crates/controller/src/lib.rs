@@ -1,0 +1,43 @@
+//! # imcf-controller — the Local Controller and meta-control firewall
+//!
+//! This crate assembles the substrates into the running system of the
+//! paper's Fig. 3: an openHAB-like Local Controller (LC) extended with the
+//! IMCF component.
+//!
+//! * [`firewall`] — an iptables-like rule chain filtering LC→TG traffic
+//!   (the paper configures real `iptables` DROP rules; ours filters the
+//!   in-process device network with the same append/insert/policy
+//!   semantics);
+//! * [`scheduler`] — the crontab substitute that triggers the EP
+//!   periodically;
+//! * [`api`] — the openHAB-style REST query/command surface;
+//! * [`bus`] — the event bus connecting APP/CC/LC components;
+//! * [`campaign`] — the long-lived deployment runner (cron-paced
+//!   re-planning with plan holding between invocations);
+//! * [`cloud`] — the Cloud Controller relay for out-of-home access
+//!   (Fig. 3's CC box);
+//! * [`config`] — the persistent resident/MRT configuration (the paper's
+//!   MariaDB layer);
+//! * [`controller`] — the IMCF orchestration loop: AP → EP → translate the
+//!   plan into admit/block decisions → actuate through the device registry;
+//! * [`polling`] — trigger-condition-aware adaptive sensor polling (after
+//!   RT-IFTTT, the paper's related work [29]);
+//! * [`prototype`] — the week-long three-resident prototype deployment
+//!   (paper §III-F, Tables IV and V).
+
+pub mod api;
+pub mod bus;
+pub mod campaign;
+pub mod cloud;
+pub mod config;
+pub mod controller;
+pub mod firewall;
+pub mod polling;
+pub mod prototype;
+pub mod scheduler;
+
+pub use bus::{Event, EventBus};
+pub use controller::{ControllerConfig, LocalController, TickSummary};
+pub use firewall::{Chain, FirewallRule, Verdict};
+pub use prototype::{PrototypeConfig, PrototypeOutcome};
+pub use scheduler::{CronSpec, Scheduler};

@@ -1,0 +1,237 @@
+//! Trigger-condition-aware sensor polling (after RT-IFTTT, the paper's
+//! related work [29]).
+//!
+//! A controller that polls every sensor at a fixed rate wastes energy and
+//! bandwidth; RT-IFTTT's observation is that the *trigger thresholds* bound
+//! how often a sensor can matter: a thermometer reading 24 °C with the
+//! nearest trigger at 30 °C and a physical slew bound of 3 °C/h cannot trip
+//! anything for two hours. [`next_interval`] computes that safe interval,
+//! [`thresholds_in`] harvests the thresholds from an IFTTT rule table's
+//! predicate trees, and [`PollScheduler`] tracks per-sensor due times and
+//! the polls saved versus fixed-rate polling.
+
+use imcf_rules::ifttt::IftttTable;
+use imcf_rules::predicate::Predicate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which analog sensor a polling decision concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PolledSensor {
+    /// Ambient temperature, °C.
+    Temperature,
+    /// Ambient light level, 0–100.
+    LightLevel,
+}
+
+/// Bounds on poll intervals, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PollingPolicy {
+    /// Fastest allowed polling, seconds.
+    pub min_interval_s: u64,
+    /// Slowest allowed polling, seconds (the idle rate).
+    pub max_interval_s: u64,
+}
+
+impl Default for PollingPolicy {
+    /// 30 s fastest, 30 min slowest — RT-IFTTT-era sensor rates.
+    fn default() -> Self {
+        PollingPolicy {
+            min_interval_s: 30,
+            max_interval_s: 1800,
+        }
+    }
+}
+
+/// Collects every numeric threshold the table's triggers compare `sensor`
+/// against, walking nested predicates.
+pub fn thresholds_in(table: &IftttTable, sensor: PolledSensor) -> Vec<f64> {
+    let mut out = Vec::new();
+    for rule in table.rules() {
+        collect(&rule.trigger, sensor, &mut out);
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+    out.dedup();
+    out
+}
+
+fn collect(p: &Predicate, sensor: PolledSensor, out: &mut Vec<f64>) {
+    match p {
+        Predicate::Temperature(_, v) if sensor == PolledSensor::Temperature => out.push(*v),
+        Predicate::LightLevel(_, v) if sensor == PolledSensor::LightLevel => out.push(*v),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            collect(a, sensor, out);
+            collect(b, sensor, out);
+        }
+        Predicate::Not(inner) => collect(inner, sensor, out),
+        _ => {}
+    }
+}
+
+/// The safe next poll interval: the time the value needs — at the worst-case
+/// slew rate — to reach the nearest threshold, clamped into the policy's
+/// bounds. With no thresholds (the sensor can never trip a trigger) the
+/// idle rate applies.
+pub fn next_interval(
+    policy: PollingPolicy,
+    value: f64,
+    thresholds: &[f64],
+    max_slew_per_s: f64,
+) -> u64 {
+    if thresholds.is_empty() || max_slew_per_s <= 0.0 {
+        return policy.max_interval_s;
+    }
+    let nearest = thresholds
+        .iter()
+        .map(|t| (t - value).abs())
+        .fold(f64::INFINITY, f64::min);
+    let safe_s = nearest / max_slew_per_s;
+    (safe_s.floor() as u64).clamp(policy.min_interval_s, policy.max_interval_s)
+}
+
+/// Tracks per-sensor due times and counts polls against the fixed-rate
+/// baseline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PollScheduler {
+    due_at: BTreeMap<PolledSensor, u64>,
+    polls: u64,
+    baseline_polls: u64,
+}
+
+impl PollScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `sensor` is due at `now_s`.
+    pub fn due(&self, sensor: PolledSensor, now_s: u64) -> bool {
+        self.due_at.get(&sensor).is_none_or(|t| now_s >= *t)
+    }
+
+    /// Records a poll at `now_s` and schedules the next one `interval_s`
+    /// later; `baseline_interval_s` is the fixed rate being compared
+    /// against.
+    pub fn record_poll(
+        &mut self,
+        sensor: PolledSensor,
+        now_s: u64,
+        interval_s: u64,
+        baseline_interval_s: u64,
+    ) {
+        self.due_at.insert(sensor, now_s + interval_s);
+        self.polls += 1;
+        self.baseline_polls += (interval_s / baseline_interval_s.max(1)).max(1);
+    }
+
+    /// `(adaptive polls, fixed-rate polls over the same span)`.
+    pub fn savings(&self) -> (u64, u64) {
+        (self.polls, self.baseline_polls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcf_rules::ifttt::IftttTable;
+
+    #[test]
+    fn table3_thresholds() {
+        let table = IftttTable::flat_table3();
+        assert_eq!(
+            thresholds_in(&table, PolledSensor::Temperature),
+            vec![10.0, 30.0]
+        );
+        assert_eq!(thresholds_in(&table, PolledSensor::LightLevel), vec![15.0]);
+    }
+
+    #[test]
+    fn nested_predicates_are_walked() {
+        use imcf_rules::action::Action;
+        use imcf_rules::ifttt::IftttRule;
+        use imcf_rules::predicate::{Cmp, Predicate as P};
+        let mut table = IftttTable::new();
+        table.push(IftttRule::new(
+            P::Temperature(Cmp::Lt, 5.0)
+                .and(P::LightLevel(Cmp::Gt, 60.0))
+                .or(P::Temperature(Cmp::Gt, 28.0).negate()),
+            Action::SetLight(10.0),
+        ));
+        assert_eq!(
+            thresholds_in(&table, PolledSensor::Temperature),
+            vec![5.0, 28.0]
+        );
+        assert_eq!(thresholds_in(&table, PolledSensor::LightLevel), vec![60.0]);
+    }
+
+    #[test]
+    fn interval_scales_with_distance() {
+        let policy = PollingPolicy::default();
+        // 24 °C, thresholds at 10 and 30, slew ≤ 3 °C/h (1/1200 °C/s):
+        // nearest gap 6 °C → 7200 s, clamped to the 1800 s idle rate.
+        let idle = next_interval(policy, 24.0, &[10.0, 30.0], 3.0 / 3600.0);
+        assert_eq!(idle, 1800);
+        // 29.5 °C: gap 0.5 °C → 600 s.
+        let near = next_interval(policy, 29.5, &[10.0, 30.0], 3.0 / 3600.0);
+        assert_eq!(near, 600);
+        // On the threshold: fastest rate.
+        let at = next_interval(policy, 30.0, &[10.0, 30.0], 3.0 / 3600.0);
+        assert_eq!(at, policy.min_interval_s);
+    }
+
+    #[test]
+    fn interval_monotone_in_distance() {
+        let policy = PollingPolicy::default();
+        let slew = 0.01;
+        let mut last = 0;
+        for d in [0.0, 1.0, 3.0, 8.0, 20.0] {
+            let i = next_interval(policy, 30.0 + d, &[30.0], slew);
+            assert!(i >= last, "interval shrank as distance grew");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn no_thresholds_means_idle_rate() {
+        let policy = PollingPolicy::default();
+        assert_eq!(next_interval(policy, 22.0, &[], 0.01), 1800);
+        assert_eq!(next_interval(policy, 22.0, &[25.0], 0.0), 1800);
+    }
+
+    #[test]
+    fn scheduler_tracks_due_times_and_savings() {
+        let mut s = PollScheduler::new();
+        assert!(s.due(PolledSensor::Temperature, 0));
+        s.record_poll(PolledSensor::Temperature, 0, 600, 30);
+        assert!(!s.due(PolledSensor::Temperature, 599));
+        assert!(s.due(PolledSensor::Temperature, 600));
+        s.record_poll(PolledSensor::Temperature, 600, 30, 30);
+        let (adaptive, baseline) = s.savings();
+        assert_eq!(adaptive, 2);
+        assert_eq!(baseline, 21); // 600/30 + 30/30
+    }
+
+    #[test]
+    fn end_to_end_savings_on_table3() {
+        // A mild day: temperature wanders 18–24 °C (far from 10/30), light
+        // crosses 15 at dawn/dusk. Adaptive polling should poll far less
+        // than a fixed 30 s rate.
+        let policy = PollingPolicy::default();
+        let table = IftttTable::flat_table3();
+        let temp_thresholds = thresholds_in(&table, PolledSensor::Temperature);
+        let mut scheduler = PollScheduler::new();
+        let slew = 3.0 / 3600.0;
+        let mut now = 0u64;
+        while now < 24 * 3600 {
+            let value = 21.0 + 3.0 * ((now as f64 / 43200.0) * std::f64::consts::PI).sin();
+            let interval = next_interval(policy, value, &temp_thresholds, slew);
+            scheduler.record_poll(PolledSensor::Temperature, now, interval, 30);
+            now += interval;
+        }
+        let (adaptive, baseline) = scheduler.savings();
+        assert!(
+            adaptive * 10 < baseline,
+            "adaptive {adaptive} vs baseline {baseline}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The cron substitute: periodic job scheduling over the simulation clock.
+//!
+//! The paper "invokes the cron job daemon that reliably executes the EP
+//! every few minutes". Our planner granularity is hourly, so [`CronSpec`]
+//! expresses hour-granular recurrences (every N hours, daily at an hour,
+//! monthly on a day/hour) and [`Scheduler`] reports which jobs are due at a
+//! clock tick.
+
+use imcf_core::calendar::PaperCalendar;
+use serde::{Deserialize, Serialize};
+
+/// An hour-granular recurrence specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CronSpec {
+    /// Fire every hour.
+    Hourly,
+    /// Fire every `n` hours (phase anchored at hour 0).
+    EveryHours(u64),
+    /// Fire daily at the given hour of day.
+    DailyAt(u32),
+    /// Fire on day `day` of every month at `hour`.
+    MonthlyAt {
+        /// 1-based day of month.
+        day: u32,
+        /// Hour of day.
+        hour: u32,
+    },
+}
+
+impl CronSpec {
+    /// Whether the spec fires at the given flat hour index.
+    pub fn due(&self, hour_index: u64, calendar: PaperCalendar) -> bool {
+        match self {
+            CronSpec::Hourly => true,
+            CronSpec::EveryHours(n) => *n > 0 && hour_index.is_multiple_of(*n),
+            CronSpec::DailyAt(h) => calendar.hour_of_day(hour_index) == *h,
+            CronSpec::MonthlyAt { day, hour } => {
+                let dt = calendar.decompose(hour_index);
+                dt.day == *day && dt.hour == *hour
+            }
+        }
+    }
+}
+
+/// A registered job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable job id.
+    pub id: u64,
+    /// Human-readable name (e.g. `imcf-ep`).
+    pub name: String,
+    /// When it fires.
+    pub spec: CronSpec,
+}
+
+/// A crontab of jobs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scheduler {
+    jobs: Vec<Job>,
+    next_id: u64,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a job and returns its id.
+    pub fn register(&mut self, name: &str, spec: CronSpec) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.push(Job {
+            id,
+            name: name.to_string(),
+            spec,
+        });
+        id
+    }
+
+    /// Removes a job by id; returns whether it existed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let before = self.jobs.len();
+        self.jobs.retain(|j| j.id != id);
+        self.jobs.len() != before
+    }
+
+    /// The registered jobs.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// The jobs due at the given hour.
+    pub fn due(&self, hour_index: u64, calendar: PaperCalendar) -> Vec<&Job> {
+        self.jobs
+            .iter()
+            .filter(|j| j.spec.due(hour_index, calendar))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcf_core::calendar::{HOURS_PER_DAY, HOURS_PER_MONTH};
+
+    #[test]
+    fn hourly_always_fires() {
+        let cal = PaperCalendar::january_start();
+        for h in 0..48 {
+            assert!(CronSpec::Hourly.due(h, cal));
+        }
+    }
+
+    #[test]
+    fn every_hours_phase() {
+        let cal = PaperCalendar::january_start();
+        let spec = CronSpec::EveryHours(6);
+        let fired: Vec<u64> = (0..25).filter(|h| spec.due(*h, cal)).collect();
+        assert_eq!(fired, vec![0, 6, 12, 18, 24]);
+        assert!(
+            !CronSpec::EveryHours(0).due(0, cal),
+            "zero period never fires"
+        );
+    }
+
+    #[test]
+    fn daily_at_hour() {
+        let cal = PaperCalendar::january_start();
+        let spec = CronSpec::DailyAt(3);
+        assert!(spec.due(3, cal));
+        assert!(!spec.due(4, cal));
+        assert!(spec.due(HOURS_PER_DAY + 3, cal));
+    }
+
+    #[test]
+    fn monthly_on_day() {
+        let cal = PaperCalendar::january_start();
+        let spec = CronSpec::MonthlyAt { day: 1, hour: 0 };
+        assert!(spec.due(0, cal));
+        assert!(!spec.due(1, cal));
+        assert!(spec.due(HOURS_PER_MONTH, cal));
+    }
+
+    #[test]
+    fn scheduler_registration_and_due() {
+        let cal = PaperCalendar::january_start();
+        let mut s = Scheduler::new();
+        let ep = s.register("imcf-ep", CronSpec::Hourly);
+        let snap = s.register("store-snapshot", CronSpec::DailyAt(4));
+        assert_eq!(s.jobs().len(), 2);
+        let due_at_4: Vec<&str> = s.due(4, cal).iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(due_at_4, vec!["imcf-ep", "store-snapshot"]);
+        let due_at_5 = s.due(5, cal);
+        assert_eq!(due_at_5.len(), 1);
+        assert!(s.remove(snap));
+        assert!(!s.remove(snap));
+        assert_eq!(s.jobs().len(), 1);
+        assert_eq!(s.jobs()[0].id, ep);
+    }
+}

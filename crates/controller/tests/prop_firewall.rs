@@ -1,0 +1,148 @@
+//! Property-based tests for the firewall chain: first-match-wins semantics
+//! model-checked against a reference implementation, and counter sanity.
+
+use imcf_controller::firewall::{Chain, FirewallRule, Match, Verdict};
+use imcf_devices::channel::ChannelUid;
+use imcf_devices::command::{Command, CommandPayload};
+use imcf_devices::thing::{Thing, ThingKind, ThingUid};
+use imcf_rules::action::DeviceClass;
+use proptest::prelude::*;
+
+fn arb_thing() -> impl Strategy<Value = Thing> {
+    (
+        0u8..4,
+        prop_oneof![
+            Just(ThingKind::HvacUnit),
+            Just(ThingKind::DimmableLight),
+            Just(ThingKind::ContactSensor)
+        ],
+        0u8..4,
+    )
+        .prop_map(|(host, kind, zone)| {
+            Thing::new(
+                ThingUid::new("t", "k", &format!("id{host}{zone}")),
+                "thing",
+                kind,
+                &format!("10.0.0.{host}"),
+                &format!("zone{zone}"),
+            )
+        })
+}
+
+fn arb_match() -> impl Strategy<Value = Match> {
+    prop_oneof![
+        Just(Match::Any),
+        (0u8..4).prop_map(|h| Match::Host(format!("10.0.0.{h}"))),
+        Just(Match::HostPrefix("10.0.0.".into())),
+        prop_oneof![Just(DeviceClass::Hvac), Just(DeviceClass::Light)].prop_map(Match::Class),
+        (0u8..4).prop_map(|z| Match::Zone(format!("zone{z}"))),
+        (
+            0u8..4,
+            prop_oneof![Just(DeviceClass::Hvac), Just(DeviceClass::Light)]
+        )
+            .prop_map(|(z, c)| Match::ZoneClass(format!("zone{z}"), c)),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = FirewallRule> {
+    (arb_match(), any::<bool>()).prop_map(|(matcher, drop)| FirewallRule {
+        matcher,
+        verdict: if drop { Verdict::Drop } else { Verdict::Accept },
+        comment: String::new(),
+    })
+}
+
+/// Reference first-match-wins evaluation.
+fn reference_verdict(rules: &[FirewallRule], policy: Verdict, thing: &Thing) -> Verdict {
+    for rule in rules {
+        let matched = match &rule.matcher {
+            Match::Any => true,
+            Match::Host(h) => thing.host == *h,
+            Match::HostPrefix(p) => thing.host.starts_with(p),
+            Match::Class(c) => match thing.kind {
+                ThingKind::HvacUnit => *c == DeviceClass::Hvac,
+                ThingKind::DimmableLight => *c == DeviceClass::Light,
+                _ => false,
+            },
+            Match::Zone(z) => thing.zone == *z,
+            Match::ZoneClass(z, c) => {
+                thing.zone == *z
+                    && match thing.kind {
+                        ThingKind::HvacUnit => *c == DeviceClass::Hvac,
+                        ThingKind::DimmableLight => *c == DeviceClass::Light,
+                        _ => false,
+                    }
+            }
+        };
+        if matched {
+            return rule.verdict;
+        }
+    }
+    policy
+}
+
+fn cmd_for(thing: &Thing) -> Command {
+    Command::binding(
+        ChannelUid::new(thing.uid.clone(), "ch"),
+        CommandPayload::Power(true),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Chain evaluation equals the reference for any rule set, policy and
+    /// traffic.
+    #[test]
+    fn chain_matches_reference(
+        rules in proptest::collection::vec(arb_rule(), 0..12),
+        drop_policy in any::<bool>(),
+        things in proptest::collection::vec(arb_thing(), 1..8),
+    ) {
+        let policy = if drop_policy { Verdict::Drop } else { Verdict::Accept };
+        let mut chain = Chain::new(policy);
+        for r in &rules {
+            chain.append(r.clone());
+        }
+        let mut expected_dropped = 0u64;
+        for thing in &things {
+            let expected = reference_verdict(&rules, policy, thing);
+            let got = chain.evaluate(thing, &cmd_for(thing));
+            prop_assert_eq!(got, expected);
+            if expected == Verdict::Drop {
+                expected_dropped += 1;
+            }
+        }
+        prop_assert_eq!(chain.counters(), (things.len() as u64, expected_dropped));
+    }
+
+    /// Inserting an Any/Drop rule at the head forces Drop for all traffic;
+    /// deleting it restores the previous behaviour.
+    #[test]
+    fn head_insert_and_delete(
+        rules in proptest::collection::vec(arb_rule(), 0..8),
+        thing in arb_thing(),
+    ) {
+        let mut chain = Chain::new(Verdict::Accept);
+        for r in &rules {
+            chain.append(r.clone());
+        }
+        let before = chain.evaluate(&thing, &cmd_for(&thing));
+        chain.insert(0, FirewallRule { matcher: Match::Any, verdict: Verdict::Drop, comment: String::new() });
+        prop_assert_eq!(chain.evaluate(&thing, &cmd_for(&thing)), Verdict::Drop);
+        chain.delete(0).unwrap();
+        prop_assert_eq!(chain.evaluate(&thing, &cmd_for(&thing)), before);
+    }
+
+    /// The rendered iptables script has one line per rule plus the policy.
+    #[test]
+    fn script_line_count(rules in proptest::collection::vec(arb_rule(), 0..10)) {
+        let mut chain = Chain::new(Verdict::Accept);
+        for r in &rules {
+            chain.append(r.clone());
+        }
+        let script = chain.render_script();
+        prop_assert_eq!(script.lines().count(), rules.len() + 1);
+        prop_assert!(script.lines().next().unwrap().starts_with("iptables -P OUTPUT"));
+    }
+}

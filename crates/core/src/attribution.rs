@@ -1,0 +1,119 @@
+//! Per-resident convenience attribution (paper Table V).
+//!
+//! The prototype evaluation reports the convenience error *per resident* —
+//! each family member entered their own meta-rules and the paper shows all
+//! three ended up with F_CE below 1 %. [`OwnerStats`] accumulates the same
+//! breakdown: every rule instance's convenience error is credited to the
+//! rule's owner.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulated per-owner convenience statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OwnerStats {
+    per_owner: BTreeMap<String, OwnerEntry>,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct OwnerEntry {
+    ce_sum: f64,
+    instances: u64,
+}
+
+impl OwnerStats {
+    /// Records one rule instance's convenience-error fraction for `owner`.
+    pub fn record(&mut self, owner: &str, ce_fraction: f64) {
+        let entry = self.per_owner.entry(owner.to_string()).or_default();
+        entry.ce_sum += ce_fraction;
+        entry.instances += 1;
+    }
+
+    /// The owners seen, sorted.
+    pub fn owners(&self) -> Vec<String> {
+        self.per_owner.keys().cloned().collect()
+    }
+
+    /// The mean convenience error of `owner` as a percentage, if any
+    /// instances were recorded.
+    pub fn fce_percent(&self, owner: &str) -> Option<f64> {
+        let e = self.per_owner.get(owner)?;
+        if e.instances == 0 {
+            return None;
+        }
+        Some(100.0 * e.ce_sum / e.instances as f64)
+    }
+
+    /// Instances recorded for `owner`.
+    pub fn instances(&self, owner: &str) -> u64 {
+        self.per_owner.get(owner).map_or(0, |e| e.instances)
+    }
+
+    /// `(owner, fce_percent)` rows sorted by owner — the Table V layout.
+    pub fn table(&self) -> Vec<(String, f64)> {
+        self.per_owner
+            .iter()
+            .filter(|(_, e)| e.instances > 0)
+            .map(|(o, e)| (o.clone(), 100.0 * e.ce_sum / e.instances as f64))
+            .collect()
+    }
+
+    /// Merges another stats object into this one (used when combining
+    /// repetition runs).
+    pub fn merge(&mut self, other: &OwnerStats) {
+        for (owner, entry) in &other.per_owner {
+            let e = self.per_owner.entry(owner.clone()).or_default();
+            e.ce_sum += entry.ce_sum;
+            e.instances += entry.instances;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages() {
+        let mut s = OwnerStats::default();
+        s.record("father", 0.02);
+        s.record("father", 0.0);
+        s.record("mother", 0.01);
+        assert_eq!(s.instances("father"), 2);
+        assert!((s.fce_percent("father").unwrap() - 1.0).abs() < 1e-12);
+        assert!((s.fce_percent("mother").unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(s.fce_percent("nobody"), None);
+    }
+
+    #[test]
+    fn table_rows_sorted_by_owner() {
+        let mut s = OwnerStats::default();
+        s.record("mother", 0.1);
+        s.record("daughter", 0.2);
+        s.record("father", 0.3);
+        let rows = s.table();
+        let names: Vec<&str> = rows.iter().map(|(o, _)| o.as_str()).collect();
+        assert_eq!(names, vec!["daughter", "father", "mother"]);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = OwnerStats::default();
+        a.record("father", 0.5);
+        let mut b = OwnerStats::default();
+        b.record("father", 0.0);
+        b.record("mother", 0.25);
+        a.merge(&b);
+        assert_eq!(a.instances("father"), 2);
+        assert!((a.fce_percent("father").unwrap() - 25.0).abs() < 1e-12);
+        assert_eq!(a.instances("mother"), 1);
+    }
+
+    #[test]
+    fn owners_list() {
+        let mut s = OwnerStats::default();
+        s.record("", 0.0);
+        s.record("x", 0.0);
+        assert_eq!(s.owners(), vec![String::new(), "x".to_string()]);
+    }
+}

@@ -1,0 +1,93 @@
+//! CO₂-equivalent accounting (paper §V future work).
+//!
+//! The paper motivates IMCF with ICT's CO₂ footprint and lists "CO₂
+//! reduction methods" as future work. This module provides the accounting
+//! primitive: converting kWh to kg CO₂e under a grid emission factor, and
+//! comparing two plans' footprints.
+
+use serde::{Deserialize, Serialize};
+
+/// A grid emission factor in kg CO₂e per kWh.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmissionFactor(pub f64);
+
+impl EmissionFactor {
+    /// EU-27 average electricity mix, ~2020 (≈0.25 kg CO₂e/kWh).
+    pub fn eu_average() -> Self {
+        EmissionFactor(0.25)
+    }
+
+    /// A coal-heavy grid (≈0.8 kg CO₂e/kWh).
+    pub fn coal_heavy() -> Self {
+        EmissionFactor(0.8)
+    }
+
+    /// A fully renewable / net-metered photovoltaic budget (0).
+    pub fn renewable() -> Self {
+        EmissionFactor(0.0)
+    }
+
+    /// Converts an energy amount to emissions.
+    pub fn emissions_kg(&self, kwh: f64) -> f64 {
+        self.0 * kwh
+    }
+}
+
+/// The emission comparison between a baseline plan and an optimized plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Co2Savings {
+    /// Baseline emissions, kg CO₂e.
+    pub baseline_kg: f64,
+    /// Optimized emissions, kg CO₂e.
+    pub optimized_kg: f64,
+}
+
+impl Co2Savings {
+    /// Computes savings of an optimized plan relative to a baseline under a
+    /// factor.
+    pub fn compare(factor: EmissionFactor, baseline_kwh: f64, optimized_kwh: f64) -> Self {
+        Co2Savings {
+            baseline_kg: factor.emissions_kg(baseline_kwh),
+            optimized_kg: factor.emissions_kg(optimized_kwh),
+        }
+    }
+
+    /// Absolute kg CO₂e saved (negative when the optimized plan emits more).
+    pub fn saved_kg(&self) -> f64 {
+        self.baseline_kg - self.optimized_kg
+    }
+
+    /// Relative savings fraction (0 when the baseline is zero).
+    pub fn saved_fraction(&self) -> f64 {
+        if self.baseline_kg == 0.0 {
+            0.0
+        } else {
+            self.saved_kg() / self.baseline_kg
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion() {
+        assert!((EmissionFactor::eu_average().emissions_kg(1000.0) - 250.0).abs() < 1e-12);
+        assert_eq!(EmissionFactor::renewable().emissions_kg(1000.0), 0.0);
+    }
+
+    #[test]
+    fn savings_comparison() {
+        // The paper's flat result: MR ≈ 14500 kWh vs EP ≈ 9500 kWh.
+        let s = Co2Savings::compare(EmissionFactor::eu_average(), 14500.0, 9500.0);
+        assert!((s.saved_kg() - 1250.0).abs() < 1e-9);
+        assert!((s.saved_fraction() - 5000.0 / 14500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_handled() {
+        let s = Co2Savings::compare(EmissionFactor::coal_heavy(), 0.0, 0.0);
+        assert_eq!(s.saved_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Deferrable workload scheduling (paper §V future work).
+//!
+//! The paper closes by asking for "power workload identification methods
+//! for power-hungry devices (e.g., white devices, electric vehicles,
+//! heating) and how to reschedule those workloads in an environmentally
+//! friendly manner". This module implements the rescheduling half: a
+//! [`DeferrableLoad`] is a block of energy that must run for a contiguous
+//! number of hours somewhere inside a release/deadline window (an EV charge
+//! overnight, a washing-machine cycle before the evening), and
+//! [`schedule_loads`] places every load into the hours that minimize a
+//! caller-supplied cost — budget headroom pressure, CO₂ intensity, or any
+//! blend.
+//!
+//! Placement is exact per load (it scans every feasible start hour) and
+//! greedy across loads in deadline order (earliest-deadline-first), which
+//! is optimal for non-overlapping windows and a good heuristic otherwise;
+//! headroom is debited as loads are placed so later loads see the residual
+//! capacity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A shiftable block of energy demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeferrableLoad {
+    /// Human-readable name ("EV charge", "dishwasher").
+    pub name: String,
+    /// Energy drawn per hour while running, kWh.
+    pub kwh_per_hour: f64,
+    /// Contiguous runtime, hours.
+    pub duration_hours: u64,
+    /// Earliest hour index the load may start.
+    pub release: u64,
+    /// Latest hour index the load must have *finished* by (exclusive).
+    pub deadline: u64,
+}
+
+impl DeferrableLoad {
+    /// Creates a load.
+    ///
+    /// # Panics
+    /// Panics when the window cannot contain the duration or the duration
+    /// is zero.
+    pub fn new(
+        name: &str,
+        kwh_per_hour: f64,
+        duration_hours: u64,
+        release: u64,
+        deadline: u64,
+    ) -> Self {
+        assert!(duration_hours > 0, "duration must be positive");
+        assert!(
+            release + duration_hours <= deadline,
+            "window [{release}, {deadline}) cannot fit {duration_hours} hours"
+        );
+        DeferrableLoad {
+            name: name.to_string(),
+            kwh_per_hour,
+            duration_hours,
+            release,
+            deadline,
+        }
+    }
+
+    /// Total energy of the load, kWh.
+    pub fn total_kwh(&self) -> f64 {
+        self.kwh_per_hour * self.duration_hours as f64
+    }
+
+    /// Latest feasible start hour.
+    pub fn latest_start(&self) -> u64 {
+        self.deadline - self.duration_hours
+    }
+}
+
+/// A placed load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The load's name.
+    pub name: String,
+    /// Chosen start hour.
+    pub start: u64,
+    /// The cost of the placement under the objective used.
+    pub cost: f64,
+}
+
+/// Failure to place a load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementError {
+    /// The load that could not be placed.
+    pub load: String,
+    /// Why.
+    pub reason: String,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot place `{}`: {}", self.load, self.reason)
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// The scheduling context: per-hour headroom (how many kWh the hour can
+/// still absorb under the amortized budget) and per-hour marginal cost
+/// (e.g. grid CO₂ intensity, price, or just 1.0 for "spread evenly").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleContext {
+    /// Budget headroom per hour, kWh. Placements never exceed it.
+    pub headroom_kwh: Vec<f64>,
+    /// Marginal cost per kWh per hour (same length as `headroom_kwh`).
+    pub cost_per_kwh: Vec<f64>,
+}
+
+impl ScheduleContext {
+    /// A context with uniform cost.
+    pub fn with_uniform_cost(headroom_kwh: Vec<f64>) -> Self {
+        let n = headroom_kwh.len();
+        ScheduleContext {
+            headroom_kwh,
+            cost_per_kwh: vec![1.0; n],
+        }
+    }
+
+    /// Horizon length in hours.
+    pub fn horizon(&self) -> u64 {
+        self.headroom_kwh.len().min(self.cost_per_kwh.len()) as u64
+    }
+}
+
+/// Schedules loads earliest-deadline-first, placing each at its
+/// cost-minimal feasible start. Headroom is debited as placements commit.
+///
+/// Returns the placements in input order, or the first load that cannot be
+/// placed.
+pub fn schedule_loads(
+    context: &mut ScheduleContext,
+    loads: &[DeferrableLoad],
+) -> Result<Vec<Placement>, PlacementError> {
+    let horizon = context.horizon();
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by_key(|i| loads[*i].deadline);
+
+    let mut placements: Vec<Option<Placement>> = vec![None; loads.len()];
+    for idx in order {
+        let load = &loads[idx];
+        if load.deadline > horizon {
+            return Err(PlacementError {
+                load: load.name.clone(),
+                reason: format!("deadline {} beyond horizon {horizon}", load.deadline),
+            });
+        }
+        let mut best: Option<(u64, f64)> = None;
+        for start in load.release..=load.latest_start() {
+            let hours = start..start + load.duration_hours;
+            let fits = hours
+                .clone()
+                .all(|h| context.headroom_kwh[h as usize] + 1e-12 >= load.kwh_per_hour);
+            if !fits {
+                continue;
+            }
+            let cost: f64 = hours
+                .map(|h| context.cost_per_kwh[h as usize] * load.kwh_per_hour)
+                .sum();
+            let better = match best {
+                None => true,
+                Some((_, c)) => cost < c,
+            };
+            if better {
+                best = Some((start, cost));
+            }
+        }
+        let Some((start, cost)) = best else {
+            return Err(PlacementError {
+                load: load.name.clone(),
+                reason: "no feasible start hour with enough headroom".to_string(),
+            });
+        };
+        for h in start..start + load.duration_hours {
+            context.headroom_kwh[h as usize] -= load.kwh_per_hour;
+        }
+        placements[idx] = Some(Placement {
+            name: load.name.clone(),
+            start,
+            cost,
+        });
+    }
+    Ok(placements
+        .into_iter()
+        .map(|p| p.expect("every load placed"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_accessors() {
+        let ev = DeferrableLoad::new("EV charge", 3.0, 4, 20, 30);
+        assert_eq!(ev.total_kwh(), 12.0);
+        assert_eq!(ev.latest_start(), 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn impossible_window_panics() {
+        DeferrableLoad::new("too long", 1.0, 10, 0, 5);
+    }
+
+    #[test]
+    fn places_in_cheapest_hours() {
+        // Cost is low overnight (hours 0–5), high during the day.
+        let mut ctx = ScheduleContext {
+            headroom_kwh: vec![5.0; 24],
+            cost_per_kwh: (0..24).map(|h| if h < 6 { 0.1 } else { 1.0 }).collect(),
+        };
+        let ev = DeferrableLoad::new("EV", 3.0, 4, 0, 24);
+        let placements = schedule_loads(&mut ctx, &[ev]).unwrap();
+        assert!(placements[0].start <= 2, "start = {}", placements[0].start);
+        assert!((placements[0].cost - 4.0 * 3.0 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_release_and_deadline() {
+        let mut ctx = ScheduleContext::with_uniform_cost(vec![5.0; 48]);
+        let wash = DeferrableLoad::new("washer", 1.2, 2, 10, 18);
+        let placements = schedule_loads(&mut ctx, &[wash]).unwrap();
+        assert!(placements[0].start >= 10);
+        assert!(placements[0].start + 2 <= 18);
+    }
+
+    #[test]
+    fn headroom_is_debited_across_loads() {
+        // One hour with big headroom: both loads want it, only one fits.
+        let mut ctx = ScheduleContext {
+            headroom_kwh: vec![3.0, 3.0, 0.0, 0.0],
+            cost_per_kwh: vec![0.1, 1.0, 1.0, 1.0],
+        };
+        let a = DeferrableLoad::new("a", 3.0, 1, 0, 4);
+        let b = DeferrableLoad::new("b", 3.0, 1, 0, 4);
+        let placements = schedule_loads(&mut ctx, &[a, b]).unwrap();
+        let starts: Vec<u64> = placements.iter().map(|p| p.start).collect();
+        assert!(
+            starts.contains(&0) && starts.contains(&1),
+            "starts = {starts:?}"
+        );
+        assert!(ctx.headroom_kwh[0] < 1e-9 && ctx.headroom_kwh[1] < 1e-9);
+    }
+
+    #[test]
+    fn earliest_deadline_first_rescues_tight_loads() {
+        // The tight load's only slot is hour 0; the loose load could use
+        // any hour. EDF places the tight load first even though it comes
+        // second in the input.
+        let mut ctx = ScheduleContext::with_uniform_cost(vec![2.0, 2.0, 2.0, 2.0]);
+        let loose = DeferrableLoad::new("loose", 2.0, 1, 0, 4);
+        let tight = DeferrableLoad::new("tight", 2.0, 1, 0, 1);
+        let placements = schedule_loads(&mut ctx, &[loose, tight]).unwrap();
+        assert_eq!(placements[1].start, 0, "tight load must win hour 0");
+        assert_ne!(placements[0].start, 0);
+    }
+
+    #[test]
+    fn infeasible_load_reports_cleanly() {
+        let mut ctx = ScheduleContext::with_uniform_cost(vec![0.5; 24]);
+        let ev = DeferrableLoad::new("EV", 3.0, 4, 0, 24);
+        let err = schedule_loads(&mut ctx, &[ev]).unwrap_err();
+        assert_eq!(err.load, "EV");
+        assert!(err.reason.contains("headroom"));
+    }
+
+    #[test]
+    fn deadline_beyond_horizon_rejected() {
+        let mut ctx = ScheduleContext::with_uniform_cost(vec![5.0; 10]);
+        let l = DeferrableLoad::new("late", 1.0, 2, 0, 20);
+        let err = schedule_loads(&mut ctx, &[l]).unwrap_err();
+        assert!(err.reason.contains("beyond horizon"));
+    }
+
+    #[test]
+    fn contiguity_is_enforced() {
+        // Headroom has a hole in the middle of the only cheap stretch; the
+        // load must move to a fully-contiguous block.
+        let mut ctx = ScheduleContext {
+            headroom_kwh: vec![2.0, 0.0, 2.0, 2.0, 2.0],
+            cost_per_kwh: vec![0.1, 0.1, 1.0, 1.0, 1.0],
+        };
+        let l = DeferrableLoad::new("block", 2.0, 2, 0, 5);
+        let placements = schedule_loads(&mut ctx, &[l]).unwrap();
+        assert!(placements[0].start >= 2);
+    }
+
+    #[test]
+    fn empty_load_list() {
+        let mut ctx = ScheduleContext::with_uniform_cost(vec![1.0; 4]);
+        assert!(schedule_loads(&mut ctx, &[]).unwrap().is_empty());
+    }
+}

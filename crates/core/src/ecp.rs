@@ -1,0 +1,172 @@
+//! Energy Consumption Profiles (paper Table I).
+//!
+//! An ECP is the per-month historical consumption vector the Amortization
+//! Plan derives budgets from. [`Ecp::flat_table1`] ships the paper's Table I
+//! verbatim; `imcf-traces` can derive an ECP from raw sensor traces.
+
+use crate::calendar::HOURS_PER_MONTH;
+use serde::{Deserialize, Serialize};
+
+/// A monthly energy consumption profile in kWh, January-first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecp {
+    monthly_kwh: Vec<f64>,
+}
+
+impl Ecp {
+    /// Creates a profile from per-month consumptions (January first).
+    ///
+    /// # Panics
+    /// Panics when the vector is empty or contains a negative or non-finite
+    /// entry.
+    pub fn new(monthly_kwh: Vec<f64>) -> Self {
+        assert!(!monthly_kwh.is_empty(), "ECP must have at least one entry");
+        assert!(
+            monthly_kwh.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "ECP entries must be finite and non-negative"
+        );
+        Ecp { monthly_kwh }
+    }
+
+    /// The paper's Table I: the flat model used throughout the evaluation.
+    pub fn flat_table1() -> Ecp {
+        Ecp::new(vec![
+            775.50, // January
+            528.75, // February
+            246.75, // March
+            141.00, // April
+            176.25, // May
+            211.50, // June
+            246.75, // July
+            317.25, // August
+            211.50, // September
+            176.25, // October
+            211.50, // November
+            423.00, // December
+        ])
+    }
+
+    /// Number of entries, |ECP|.
+    pub fn len(&self) -> usize {
+        self.monthly_kwh.len()
+    }
+
+    /// True when the profile has no entries (never constructible through
+    /// [`Ecp::new`]; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.monthly_kwh.is_empty()
+    }
+
+    /// Consumption of the 1-based month (wraps for multi-year horizons).
+    pub fn month_kwh(&self, month: u32) -> f64 {
+        let idx = ((month as usize).saturating_sub(1)) % self.monthly_kwh.len();
+        self.monthly_kwh[idx]
+    }
+
+    /// Total energy TE across the profile.
+    pub fn total_kwh(&self) -> f64 {
+        self.monthly_kwh.iter().sum()
+    }
+
+    /// The per-month weights `w_i = ECP_i / TE` (they sum to 1).
+    ///
+    /// Note: the paper's Eq. (5) prints the weight as `TE / ECP_i`, but its
+    /// own worked example computes `w_1 = 0.211 = 775.5 / 3666`, i.e.
+    /// `ECP_i / TE`; we follow the worked example (and the constraint
+    /// `Σ w_i = 1`, which only the latter satisfies).
+    pub fn weights(&self) -> Vec<f64> {
+        let total = self.total_kwh();
+        if total == 0.0 {
+            // A flat profile with zero history: uniform weights.
+            return vec![1.0 / self.len() as f64; self.len()];
+        }
+        self.monthly_kwh.iter().map(|v| v / total).collect()
+    }
+
+    /// The per-hour column of Table I: `ECP_i / (31 × 24)`.
+    pub fn hourly_kwh(&self, month: u32) -> f64 {
+        self.month_kwh(month) / HOURS_PER_MONTH as f64
+    }
+
+    /// All monthly entries, January first.
+    pub fn months(&self) -> &[f64] {
+        &self.monthly_kwh
+    }
+
+    /// Scales every entry by `factor` (used to derive house/dorms profiles
+    /// from the flat profile).
+    pub fn scaled(&self, factor: f64) -> Ecp {
+        Ecp::new(self.monthly_kwh.iter().map(|v| v * factor).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_3666() {
+        let ecp = Ecp::flat_table1();
+        assert!((ecp.total_kwh() - 3666.0).abs() < 1e-9);
+        assert_eq!(ecp.len(), 12);
+    }
+
+    #[test]
+    fn table1_hourly_column_matches_paper() {
+        // Paper Table I per-hour column, to 2 decimals.
+        let ecp = Ecp::flat_table1();
+        let expected = [
+            1.04, 0.71, 0.33, 0.19, 0.24, 0.28, 0.33, 0.43, 0.28, 0.24, 0.28, 0.57,
+        ];
+        for (month, want) in (1..=12).zip(expected) {
+            let got = ecp.hourly_kwh(month);
+            assert!(
+                (got - want).abs() < 0.005,
+                "month {month}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_match_paper_example() {
+        let ecp = Ecp::flat_table1();
+        let w = ecp.weights();
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Paper §II-B: w_1 = 0.211, w_2 = 0.144, w_12 = 0.115.
+        assert!((w[0] - 0.211).abs() < 0.001, "w1 = {}", w[0]);
+        assert!((w[1] - 0.144).abs() < 0.001, "w2 = {}", w[1]);
+        assert!((w[11] - 0.115).abs() < 0.001, "w12 = {}", w[11]);
+    }
+
+    #[test]
+    fn month_lookup_wraps_across_years() {
+        let ecp = Ecp::flat_table1();
+        assert_eq!(ecp.month_kwh(1), ecp.month_kwh(13));
+        assert_eq!(ecp.month_kwh(12), ecp.month_kwh(24));
+    }
+
+    #[test]
+    fn scaled_profile() {
+        let ecp = Ecp::flat_table1().scaled(4.0);
+        assert!((ecp.total_kwh() - 4.0 * 3666.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_profile_gets_uniform_weights() {
+        let ecp = Ecp::new(vec![0.0; 4]);
+        assert_eq!(ecp.weights(), vec![0.25; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_profile_panics() {
+        Ecp::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_entry_panics() {
+        Ecp::new(vec![1.0, -2.0]);
+    }
+}

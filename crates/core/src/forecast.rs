@@ -1,0 +1,190 @@
+//! Demand forecasting for budget shaping.
+//!
+//! The Amortization Plan's EAF shapes budgets by *monthly* history, which
+//! leaves intra-day structure (cold nights vs mild afternoons) to the
+//! carry-over reserve. This module sharpens that: a seasonal-naive
+//! forecaster learns the per-hour-of-period demand profile from a training
+//! window and produces [`HourlyProfile`] weights a plan can allocate
+//! against directly — hourly-granular amortization, the natural "lookahead"
+//! upgrade of the paper's Eq. (5).
+//!
+//! The forecaster is deliberately primitive (seasonal means, no learning
+//! history beyond the profile — in the spirit of the paper's "no training
+//! data" constraint): demand at hour `h` is estimated as the mean demand at
+//! the same hour-of-period across the training window.
+
+use crate::amortization::{AmortizationPlan, ApKind};
+use crate::calendar::PaperCalendar;
+use crate::ecp::Ecp;
+use serde::{Deserialize, Serialize};
+
+/// Normalized per-hour budget weights over a horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlyProfile {
+    weights: Vec<f64>,
+}
+
+impl HourlyProfile {
+    /// Builds a profile directly from per-hour demand estimates (weights
+    /// are the normalized demands; a zero-demand horizon gets uniform
+    /// weights).
+    ///
+    /// # Panics
+    /// Panics when `needs` is empty or contains a negative/non-finite
+    /// entry.
+    pub fn from_needs(needs: &[f64]) -> HourlyProfile {
+        assert!(!needs.is_empty(), "profile needs at least one hour");
+        assert!(
+            needs.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "demands must be finite and non-negative"
+        );
+        let total: f64 = needs.iter().sum();
+        let weights = if total == 0.0 {
+            vec![1.0 / needs.len() as f64; needs.len()]
+        } else {
+            needs.iter().map(|v| v / total).collect()
+        };
+        HourlyProfile { weights }
+    }
+
+    /// Seasonal-naive fit: average the training demands per hour-of-period
+    /// (e.g. `period = 24` for a diurnal profile, `744` for a monthly one),
+    /// then tile the averaged period across `horizon` hours and normalize.
+    ///
+    /// # Panics
+    /// Panics when `period` or `horizon` is zero, or training is shorter
+    /// than one period.
+    pub fn seasonal_naive(training: &[f64], period: usize, horizon: usize) -> HourlyProfile {
+        assert!(
+            period > 0 && horizon > 0,
+            "period and horizon must be positive"
+        );
+        assert!(training.len() >= period, "training shorter than one period");
+        let mut sums = vec![0.0f64; period];
+        let mut counts = vec![0u32; period];
+        for (i, v) in training.iter().enumerate() {
+            sums[i % period] += v;
+            counts[i % period] += 1;
+        }
+        let means: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, c)| if *c > 0 { s / *c as f64 } else { 0.0 })
+            .collect();
+        let needs: Vec<f64> = (0..horizon).map(|h| means[h % period]).collect();
+        Self::from_needs(&needs)
+    }
+
+    /// Horizon length, hours.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when empty (unreachable through the constructors).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The weight of an hour (wraps past the horizon).
+    pub fn weight(&self, hour: u64) -> f64 {
+        self.weights[hour as usize % self.weights.len()]
+    }
+
+    /// Allocates a total budget across the profile: the hour's allowance.
+    pub fn hourly_budget(&self, total_budget: f64, hour: u64) -> f64 {
+        self.weight(hour) * total_budget
+    }
+
+    /// Wraps the profile into an [`AmortizationPlan`] so forecast-shaped
+    /// budgets plug into every slot-builder path.
+    pub fn into_plan(
+        self,
+        ecp: Ecp,
+        budget_kwh: f64,
+        horizon_hours: u64,
+        calendar: PaperCalendar,
+    ) -> AmortizationPlan {
+        AmortizationPlan::new(
+            ApKind::Forecast {
+                hourly_weights: self.weights,
+            },
+            ecp,
+            budget_kwh,
+            horizon_hours,
+            calendar,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::HOURS_PER_YEAR;
+
+    #[test]
+    fn weights_normalize() {
+        let p = HourlyProfile::from_needs(&[1.0, 3.0, 0.0, 4.0]);
+        let total: f64 = (0..4).map(|h| p.weight(h)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((p.weight(1) - 0.375).abs() < 1e-12);
+        assert_eq!(p.weight(2), 0.0);
+    }
+
+    #[test]
+    fn zero_demand_gets_uniform() {
+        let p = HourlyProfile::from_needs(&[0.0; 5]);
+        for h in 0..5 {
+            assert!((p.weight(h) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn seasonal_naive_learns_diurnal_shape() {
+        // Two training days: expensive nights (hours 0–5), cheap days.
+        let mut training = Vec::new();
+        for _ in 0..2 {
+            for h in 0..24 {
+                training.push(if h < 6 { 1.0 } else { 0.2 });
+            }
+        }
+        let p = HourlyProfile::seasonal_naive(&training, 24, 48);
+        assert!(p.weight(2) > p.weight(12) * 4.0);
+        // Tiling repeats the pattern.
+        assert_eq!(p.weight(2), p.weight(26));
+        let total: f64 = (0..48).map(|h| p.weight(h)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_allocation_tracks_weights() {
+        let p = HourlyProfile::from_needs(&[1.0, 1.0, 2.0]);
+        assert!((p.hourly_budget(100.0, 2) - 50.0).abs() < 1e-12);
+        let total: f64 = (0..3).map(|h| p.hourly_budget(100.0, h)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plugs_into_amortization_plan() {
+        let p = HourlyProfile::from_needs(&vec![1.0; HOURS_PER_YEAR as usize]);
+        let plan = p.into_plan(
+            Ecp::flat_table1(),
+            8928.0,
+            HOURS_PER_YEAR,
+            PaperCalendar::january_start(),
+        );
+        assert!((plan.hourly_budget(0) - 1.0).abs() < 1e-9);
+        assert!((plan.total_allocated() - 8928.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hour")]
+    fn empty_profile_panics() {
+        HourlyProfile::from_needs(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "training shorter")]
+    fn short_training_panics() {
+        HourlyProfile::seasonal_naive(&[1.0; 10], 24, 48);
+    }
+}

@@ -1,0 +1,87 @@
+//! Initialization strategies for the Energy Planner (paper §II-B and the
+//! Fig. 8 study).
+//!
+//! The initial solution sets the hill climber's starting point:
+//!
+//! * **all-1s** — every rule adopted: best convenience, probably infeasible;
+//!   the search walks *down* in energy. The paper finds this yields the
+//!   lowest convenience error.
+//! * **all-0s** — every rule dropped: always feasible; the search walks *up*
+//!   in convenience and, with bounded iterations, tends to end at lower
+//!   energy and higher error.
+//! * **random** — uniform random bits, in between.
+
+use crate::solution::Solution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the initial solution is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum InitStrategy {
+    /// Deterministic all-activated start (the paper's default).
+    #[default]
+    AllOnes,
+    /// Deterministic all-deactivated start.
+    AllZeros,
+    /// Uniform random start.
+    Random,
+}
+
+impl InitStrategy {
+    /// Generates the initial solution for a slot with `n` candidates.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Solution {
+        match self {
+            InitStrategy::AllOnes => Solution::all_ones(n),
+            InitStrategy::AllZeros => Solution::all_zeros(n),
+            InitStrategy::Random => {
+                Solution::from_bits((0..n).map(|_| rng.gen_bool(0.5)).collect())
+            }
+        }
+    }
+
+    /// Human-readable name used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InitStrategy::AllOnes => "all-1s",
+            InitStrategy::AllZeros => "all-0s",
+            InitStrategy::Random => "random",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn deterministic_strategies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(InitStrategy::AllOnes.generate(4, &mut rng).count_ones(), 4);
+        assert_eq!(InitStrategy::AllZeros.generate(4, &mut rng).count_ones(), 0);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = InitStrategy::Random.generate(64, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = InitStrategy::Random.generate(64, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = InitStrategy::Random.generate(64, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let s = InitStrategy::Random.generate(1000, &mut ChaCha8Rng::seed_from_u64(1));
+        let ones = s.count_ones();
+        assert!((350..=650).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(InitStrategy::AllOnes.label(), "all-1s");
+        assert_eq!(InitStrategy::AllZeros.label(), "all-0s");
+        assert_eq!(InitStrategy::Random.label(), "random");
+    }
+}

@@ -1,0 +1,157 @@
+//! Experiment metric aggregation.
+//!
+//! Every experiment in the paper repeats ten times and reports the mean and
+//! standard deviation with error bars. [`MeanStd`] implements the running
+//! (Welford) aggregation; [`RunMetrics`] is the triple the paper reports
+//! for every method and dataset.
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean and standard deviation (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The mean (0 for an empty aggregate).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The sample standard deviation (0 with fewer than two observations).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Formats as `mean ± std` with the given precision.
+    pub fn format(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean(), self.std(), p = precision)
+    }
+}
+
+impl FromIterator<f64> for MeanStd {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> MeanStd {
+        let mut s = MeanStd::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// The three metrics the paper reports per run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Convenience Error, percent.
+    pub fce_percent: f64,
+    /// Energy Consumption, kWh.
+    pub fe_kwh: f64,
+    /// CPU time, seconds.
+    pub ft_seconds: f64,
+}
+
+/// Aggregated metrics over repetitions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Convenience-error aggregate.
+    pub fce: MeanStd,
+    /// Energy aggregate.
+    pub fe: MeanStd,
+    /// CPU-time aggregate.
+    pub ft: MeanStd,
+}
+
+impl MetricsSummary {
+    /// Aggregates a set of repetition runs.
+    pub fn from_runs<'a, I: IntoIterator<Item = &'a RunMetrics>>(runs: I) -> MetricsSummary {
+        let mut s = MetricsSummary::default();
+        for r in runs {
+            s.fce.push(r.fce_percent);
+            s.fe.push(r.fe_kwh);
+            s.ft.push(r.ft_seconds);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_set() {
+        let s = MeanStd::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stdev of this classic set is ~2.138.
+        assert!((s.std() - 2.13808993).abs() < 1e-6);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn degenerate_aggregates() {
+        let empty = MeanStd::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std(), 0.0);
+        let one = MeanStd::from_iter([42.0]);
+        assert_eq!(one.mean(), 42.0);
+        assert_eq!(one.std(), 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_std() {
+        let s = MeanStd::from_iter(std::iter::repeat_n(3.3, 10));
+        assert!((s.mean() - 3.3).abs() < 1e-12);
+        assert!(s.std() < 1e-12);
+    }
+
+    #[test]
+    fn formatting() {
+        let s = MeanStd::from_iter([1.0, 2.0, 3.0]);
+        assert_eq!(s.format(2), "2.00 ± 1.00");
+    }
+
+    #[test]
+    fn summary_from_runs() {
+        let runs = vec![
+            RunMetrics {
+                fce_percent: 2.0,
+                fe_kwh: 9000.0,
+                ft_seconds: 1.0,
+            },
+            RunMetrics {
+                fce_percent: 4.0,
+                fe_kwh: 10000.0,
+                ft_seconds: 3.0,
+            },
+        ];
+        let s = MetricsSummary::from_runs(&runs);
+        assert!((s.fce.mean() - 3.0).abs() < 1e-12);
+        assert!((s.fe.mean() - 9500.0).abs() < 1e-12);
+        assert!((s.ft.mean() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,249 @@
+//! The convenience-error and energy objectives (paper Eqs. 1–2).
+//!
+//! For a rule with desired output Ω and actual output O, the paper defines
+//! the convenience error `ce = |Ω| − |O|` — a *signed deficiency*, not an
+//! absolute difference: an actual output that meets or exceeds the desired
+//! value costs no convenience (a room brighter than the requested light
+//! level, or an ambient temperature already past the setpoint, is not
+//! discomfort). Reported results express F_CE as a *percentage of
+//! convenience lost* relative to executing all rules; we therefore clamp
+//! the deficiency at zero, normalize by the desired magnitude and cap at 1
+//! (dropping a rule can cost at most "all" of that rule's convenience):
+//!
+//! ```text
+//! ce_frac(Ω, O) = clamp((|Ω| − |O|) / max(|Ω|, ε), 0, 1)
+//! ```
+//!
+//! With this normalization the two analytical extremes of the paper's
+//! Lemmas hold: MR (everything executed, O = Ω) has F_CE = 0, and a zero
+//! budget forces NR behaviour where each rule's error is its full ambient
+//! deficiency.
+//!
+//! F_E is the plain sum of `e_j` over executed rules, in kWh (Eq. 2).
+
+use crate::candidate::PlanningSlot;
+use crate::solution::Solution;
+use serde::{Deserialize, Serialize};
+
+/// Guard against division by ~zero desired values.
+const EPSILON: f64 = 1e-9;
+
+/// Normalized convenience-error fraction in `[0, 1]` for one rule: the
+/// clamped deficiency `(|Ω| − |O|) / |Ω|` of the paper's Eq. (1).
+pub fn convenience_error_fraction(desired: f64, actual: f64) -> f64 {
+    let denom = desired.abs().max(EPSILON);
+    ((desired.abs() - actual.abs()) / denom).clamp(0.0, 1.0)
+}
+
+/// The evaluation of one solution against one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotObjective {
+    /// Sum of normalized convenience-error fractions over the slot's
+    /// candidates (divide by the candidate count for the mean).
+    pub ce_sum: f64,
+    /// Total energy of the executed rules, kWh.
+    pub energy_kwh: f64,
+    /// Number of candidates evaluated.
+    pub n: usize,
+}
+
+impl SlotObjective {
+    /// Mean convenience error over the slot's candidates, in `[0, 1]`.
+    /// Empty slots cost nothing.
+    pub fn ce_mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.ce_sum / self.n as f64
+        }
+    }
+
+    /// Whether the slot stays within its budget.
+    pub fn feasible(&self, budget_kwh: f64) -> bool {
+        self.energy_kwh <= budget_kwh + 1e-12
+    }
+}
+
+/// Evaluates a solution against a slot (paper lines 9/12 of Algorithm 1).
+///
+/// For each candidate `i`: if `s_i = 1` the rule executes (O = Ω, zero
+/// error, `e_j` consumed); if `s_i = 0` the rule is ignored (O = ambient,
+/// full ambient error, zero energy).
+///
+/// # Panics
+/// Panics when the solution length differs from the candidate count.
+pub fn evaluate(slot: &PlanningSlot, solution: &Solution) -> SlotObjective {
+    assert_eq!(
+        solution.len(),
+        slot.candidates.len(),
+        "solution/candidate arity mismatch"
+    );
+    let mut ce_sum = 0.0;
+    let mut energy = 0.0;
+    for (candidate, adopted) in slot.candidates.iter().zip(solution.iter()) {
+        if adopted {
+            energy += candidate.exec_kwh;
+        } else {
+            ce_sum += convenience_error_fraction(candidate.desired, candidate.ambient);
+        }
+    }
+    SlotObjective {
+        ce_sum,
+        energy_kwh: energy,
+        n: slot.candidates.len(),
+    }
+}
+
+/// Incrementally evaluates a k-opt neighbour: given the objective of
+/// `base` and the indices flipped to reach the neighbour, returns the
+/// neighbour's objective in O(k) instead of O(N).
+///
+/// `base` must be the solution the flips are relative to. Floating-point
+/// accumulation across many increments can drift by a few ulps relative to
+/// a fresh [`evaluate`]; the hill climber's acceptance comparisons are
+/// tolerant of that, and debug builds assert agreement.
+pub fn evaluate_with_flips(
+    slot: &PlanningSlot,
+    base: &Solution,
+    base_obj: SlotObjective,
+    flipped: &[usize],
+) -> SlotObjective {
+    let mut obj = base_obj;
+    for &i in flipped {
+        let candidate = &slot.candidates[i];
+        let ce = convenience_error_fraction(candidate.desired, candidate.ambient);
+        if base.get(i) {
+            // Was adopted, now dropped.
+            obj.energy_kwh -= candidate.exec_kwh;
+            obj.ce_sum += ce;
+        } else {
+            // Was dropped, now adopted.
+            obj.energy_kwh += candidate.exec_kwh;
+            obj.ce_sum -= ce;
+        }
+    }
+    // Clamp tiny negative drift from repeated increments.
+    obj.ce_sum = obj.ce_sum.max(0.0);
+    obj.energy_kwh = obj.energy_kwh.max(0.0);
+    obj
+}
+
+/// Evaluates the IFTTT baseline against a slot: each candidate's actual
+/// output is whatever the IFTTT table set for its device class (or the
+/// ambient value when no trigger fired), and the consumed energy is the
+/// IFTTT actuation's.
+pub fn evaluate_ifttt(slot: &PlanningSlot) -> SlotObjective {
+    let mut ce_sum = 0.0;
+    let mut energy = 0.0;
+    for candidate in &slot.candidates {
+        match candidate.ifttt_value {
+            Some(v) => {
+                ce_sum += convenience_error_fraction(candidate.desired, v);
+                energy += candidate.ifttt_kwh;
+            }
+            None => {
+                ce_sum += convenience_error_fraction(candidate.desired, candidate.ambient);
+            }
+        }
+    }
+    SlotObjective {
+        ce_sum,
+        energy_kwh: energy,
+        n: slot.candidates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::CandidateRule;
+    use imcf_rules::meta_rule::RuleId;
+
+    fn slot() -> PlanningSlot {
+        PlanningSlot::new(
+            0,
+            vec![
+                // Night heat: want 25, ambient 15, costs 0.6 kWh.
+                CandidateRule::convenience(RuleId(0), 25.0, 15.0, 0.6),
+                // Morning lights: want 40, ambient 0 (dark), costs 0.04 kWh.
+                CandidateRule::convenience(RuleId(1), 40.0, 0.0, 0.04),
+            ],
+            0.7,
+        )
+    }
+
+    #[test]
+    fn ce_fraction_basics() {
+        assert_eq!(convenience_error_fraction(25.0, 25.0), 0.0);
+        assert!((convenience_error_fraction(25.0, 15.0) - 0.4).abs() < 1e-12);
+        // Capped at 1: ambient 0 vs desired 40 is exactly full loss.
+        assert_eq!(convenience_error_fraction(40.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn ce_fraction_is_one_sided() {
+        // An actual output exceeding the desired value is not discomfort
+        // (paper Eq. 1: ce = |Ω| − |O|, a deficiency).
+        assert_eq!(convenience_error_fraction(30.0, 60.0), 0.0);
+        assert_eq!(convenience_error_fraction(22.0, 28.0), 0.0);
+    }
+
+    #[test]
+    fn ce_fraction_handles_zero_desired() {
+        // "Set Light 0" desired: any ambient already satisfies it.
+        assert_eq!(convenience_error_fraction(0.0, 50.0), 0.0);
+        assert_eq!(convenience_error_fraction(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn all_ones_is_mr_extreme() {
+        let s = slot();
+        let obj = evaluate(&s, &Solution::all_ones(2));
+        assert_eq!(obj.ce_sum, 0.0);
+        assert!((obj.energy_kwh - 0.64).abs() < 1e-12);
+        assert!(obj.feasible(0.7));
+        assert!(!obj.feasible(0.5));
+    }
+
+    #[test]
+    fn all_zeros_is_nr_extreme() {
+        let s = slot();
+        let obj = evaluate(&s, &Solution::all_zeros(2));
+        assert_eq!(obj.energy_kwh, 0.0);
+        assert!((obj.ce_sum - 1.4).abs() < 1e-12); // 0.4 + 1.0
+        assert!((obj.ce_mean() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_solution() {
+        let s = slot();
+        let obj = evaluate(&s, &Solution::from_bits(vec![true, false]));
+        assert!((obj.energy_kwh - 0.6).abs() < 1e-12);
+        assert!((obj.ce_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ifttt_evaluation_uses_counterpart_values() {
+        let mut s = slot();
+        // IFTTT sets HVAC to 20 (vs desired 25): error 0.2, energy 0.5.
+        s.candidates[0] = s.candidates[0].clone().with_ifttt(20.0, 0.5);
+        // No IFTTT rule fires for lights: ambient error (1.0), zero energy.
+        let obj = evaluate_ifttt(&s);
+        assert!((obj.ce_sum - 1.2).abs() < 1e-12);
+        assert!((obj.energy_kwh - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slot_evaluates_to_zero() {
+        let s = PlanningSlot::new(0, vec![], 1.0);
+        let obj = evaluate(&s, &Solution::all_zeros(0));
+        assert_eq!(obj.ce_mean(), 0.0);
+        assert_eq!(obj.energy_kwh, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        evaluate(&slot(), &Solution::all_ones(3));
+    }
+}

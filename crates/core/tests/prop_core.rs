@@ -1,0 +1,173 @@
+//! Property-based tests for the core algorithms: solution algebra, the
+//! optimizer lattice (oracle ≤ heuristics ≤ extremes), amortization
+//! arithmetic, and metric aggregation.
+
+use imcf_core::amortization::{AmortizationPlan, ApKind};
+use imcf_core::calendar::{PaperCalendar, HOURS_PER_YEAR};
+use imcf_core::candidate::{CandidateRule, PlanningSlot};
+use imcf_core::ecp::Ecp;
+use imcf_core::metrics::MeanStd;
+use imcf_core::objective::evaluate;
+use imcf_core::optimizer::{ExhaustiveOracle, HillClimbing, Optimizer, SimulatedAnnealing};
+use imcf_core::solution::Solution;
+use imcf_rules::meta_rule::RuleId;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_small_slot() -> impl Strategy<Value = PlanningSlot> {
+    (
+        proptest::collection::vec((5.0f64..40.0, 0.0f64..45.0, 0.0f64..1.5), 1..8),
+        0.0f64..4.0,
+    )
+        .prop_map(|(rows, budget)| {
+            let candidates = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (desired, ambient, kwh))| {
+                    CandidateRule::convenience(RuleId(i as u32), desired, ambient, kwh)
+                })
+                .collect();
+            PlanningSlot::new(0, candidates, budget)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flip twice is identity; hamming distance counts flips.
+    #[test]
+    fn solution_flip_algebra(bits in proptest::collection::vec(any::<bool>(), 1..32), idx in 0usize..32) {
+        let mut s = Solution::from_bits(bits.clone());
+        let i = idx % bits.len();
+        let original = s.clone();
+        s.flip(i);
+        prop_assert_eq!(s.hamming(&original), 1);
+        s.flip(i);
+        prop_assert_eq!(s, original);
+    }
+
+    /// The oracle is optimal: no heuristic beats it on convenience error,
+    /// and all results are feasible when a feasible solution exists.
+    #[test]
+    fn oracle_dominates_heuristics(slot in arb_small_slot(), seed in 0u64..8) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let init = Solution::all_ones(slot.len());
+        let (_, oracle) = ExhaustiveOracle.optimize(&slot, init.clone(), &mut rng);
+        let (_, hc) = HillClimbing::new(2, 80).optimize(&slot, init.clone(), &mut rng);
+        let (_, sa) = SimulatedAnnealing::new(2, 80, 0.5, 0.95).optimize(&slot, init, &mut rng);
+        // All-zeros is always feasible here (no necessity rules), so every
+        // optimizer must return a feasible plan…
+        prop_assert!(oracle.feasible(slot.budget_kwh));
+        prop_assert!(hc.feasible(slot.budget_kwh));
+        prop_assert!(sa.feasible(slot.budget_kwh));
+        // …and none beats the oracle.
+        prop_assert!(hc.ce_sum >= oracle.ce_sum - 1e-9);
+        prop_assert!(sa.ce_sum >= oracle.ce_sum - 1e-9);
+    }
+
+    /// Evaluation decomposes: ce_sum(s) + ce_sum(complement adopted) is the
+    /// all-zeros error; energies add the same way.
+    #[test]
+    fn evaluation_decomposition(slot in arb_small_slot(), mask in proptest::collection::vec(any::<bool>(), 8)) {
+        let n = slot.len();
+        let bits: Vec<bool> = mask.into_iter().take(n).chain(std::iter::repeat(false)).take(n).collect();
+        let s = Solution::from_bits(bits.clone());
+        let complement = Solution::from_bits(bits.iter().map(|b| !b).collect());
+        let full_error = evaluate(&slot, &Solution::all_zeros(n)).ce_sum;
+        let full_energy = evaluate(&slot, &Solution::all_ones(n)).energy_kwh;
+        let a = evaluate(&slot, &s);
+        let b = evaluate(&slot, &complement);
+        prop_assert!((a.ce_sum + b.ce_sum - full_error).abs() < 1e-9);
+        prop_assert!((a.energy_kwh + b.energy_kwh - full_energy).abs() < 1e-9);
+    }
+
+    /// BLAF (paper Eq. 4) sits symmetrically around the linear base: the
+    /// balloon months get base·(1−π), the rest base·(1+π).
+    #[test]
+    fn blaf_symmetry(pi in 0.0f64..0.9, budget in 100.0f64..10000.0) {
+        let plan = AmortizationPlan::new(
+            ApKind::blaf_april_to_october(pi),
+            Ecp::flat_table1(),
+            budget,
+            HOURS_PER_YEAR,
+            PaperCalendar::january_start(),
+        );
+        let base = budget / 12.0 / 744.0;
+        let april = plan.hourly_budget(3 * 744);
+        let january = plan.hourly_budget(0);
+        prop_assert!((april - base * (1.0 - pi)).abs() < 1e-9);
+        prop_assert!((january - base * (1.0 + pi)).abs() < 1e-9);
+    }
+
+    /// The conserving balloon variant always allocates exactly the budget.
+    #[test]
+    fn blaf_conserving_conserves(pi in 0.0f64..0.9, budget in 100.0f64..10000.0) {
+        let plan = AmortizationPlan::new(
+            ApKind::BlafConserving { pi, balloon_months: (4..=10).collect() },
+            Ecp::flat_table1(),
+            budget,
+            HOURS_PER_YEAR,
+            PaperCalendar::january_start(),
+        );
+        prop_assert!((plan.total_allocated() - budget).abs() < budget * 1e-9 + 1e-6);
+    }
+
+    /// Welford aggregation matches the naive two-pass computation.
+    #[test]
+    fn meanstd_matches_naive(xs in proptest::collection::vec(-1e4f64..1e4, 2..40)) {
+        let agg = MeanStd::from_iter(xs.iter().copied());
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((agg.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((agg.std() - var.sqrt()).abs() < 1e-6 * var.sqrt().max(1.0));
+    }
+
+    /// Calendar decomposition inverts: every component is in range and the
+    /// flat index is recoverable.
+    #[test]
+    fn calendar_roundtrip(hour in 0u64..(10 * HOURS_PER_YEAR), start_month in 1u32..=12) {
+        let cal = PaperCalendar::starting_in(start_month);
+        let dt = cal.decompose(hour);
+        prop_assert!((1..=12).contains(&dt.month));
+        prop_assert!((1..=31).contains(&dt.day));
+        prop_assert!(dt.hour < 24);
+        // Recover the flat index from the components.
+        let month_offset = (start_month as u64 - 1) * 744;
+        let flat = dt.year * HOURS_PER_YEAR + (dt.month as u64 - 1) * 744 + (dt.day as u64 - 1) * 24 + dt.hour as u64;
+        prop_assert_eq!(flat - month_offset, hour);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental evaluation agrees with full evaluation for any base
+    /// solution and flip set.
+    #[test]
+    fn delta_evaluation_matches_full(
+        slot in arb_small_slot(),
+        base_mask in proptest::collection::vec(any::<bool>(), 8),
+        flip_mask in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        use imcf_core::objective::evaluate_with_flips;
+        let n = slot.len();
+        let base = Solution::from_bits(base_mask.into_iter().take(n).chain(std::iter::repeat(false)).take(n).collect());
+        let flipped: Vec<usize> = flip_mask
+            .into_iter()
+            .take(n)
+            .enumerate()
+            .filter(|(_, f)| *f)
+            .map(|(i, _)| i)
+            .collect();
+        let mut neighbour = base.clone();
+        for &i in &flipped {
+            neighbour.flip(i);
+        }
+        let base_obj = evaluate(&slot, &base);
+        let delta = evaluate_with_flips(&slot, &base, base_obj, &flipped);
+        let full = evaluate(&slot, &neighbour);
+        prop_assert!((delta.energy_kwh - full.energy_kwh).abs() < 1e-9);
+        prop_assert!((delta.ce_sum - full.ce_sum).abs() < 1e-9);
+    }
+}

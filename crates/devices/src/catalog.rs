@@ -1,0 +1,157 @@
+//! Extended device catalog: the power-hungry appliances of the paper's
+//! future work ("white devices, electric vehicles, heating").
+//!
+//! These devices are *deferrable loads*: they draw a fixed power while
+//! running a job of known energy, and the interesting question is *when*
+//! to run them (see `imcf_core::deferrable`). The catalog provides their
+//! electrical models and job descriptions so schedulers and examples share
+//! one source of truth.
+
+use serde::{Deserialize, Serialize};
+
+/// An EV charging circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvCharger {
+    /// Charger power, kW (kWh per hour while charging).
+    pub power_kw: f64,
+    /// Charging efficiency (battery kWh gained per grid kWh).
+    pub efficiency: f64,
+}
+
+impl EvCharger {
+    /// A 3.7 kW single-phase home wallbox.
+    pub fn wallbox_3_7kw() -> Self {
+        EvCharger {
+            power_kw: 3.7,
+            efficiency: 0.9,
+        }
+    }
+
+    /// An 11 kW three-phase wallbox.
+    pub fn wallbox_11kw() -> Self {
+        EvCharger {
+            power_kw: 11.0,
+            efficiency: 0.92,
+        }
+    }
+
+    /// Grid energy to put `battery_kwh` into the battery.
+    pub fn grid_kwh_for(&self, battery_kwh: f64) -> f64 {
+        battery_kwh / self.efficiency
+    }
+
+    /// Whole hours to deliver `battery_kwh` (rounded up).
+    pub fn hours_for(&self, battery_kwh: f64) -> u64 {
+        (self.grid_kwh_for(battery_kwh) / self.power_kw).ceil() as u64
+    }
+}
+
+/// A resistive water heater with a storage tank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaterHeater {
+    /// Element power, kW.
+    pub power_kw: f64,
+    /// Tank volume, litres.
+    pub tank_litres: f64,
+}
+
+impl WaterHeater {
+    /// A typical 2 kW / 120 l household boiler.
+    pub fn boiler_120l() -> Self {
+        WaterHeater {
+            power_kw: 2.0,
+            tank_litres: 120.0,
+        }
+    }
+
+    /// Energy to raise the full tank by `delta_c` degrees
+    /// (4.186 kJ/kg·K ≈ 0.001163 kWh/l·K).
+    pub fn kwh_to_heat(&self, delta_c: f64) -> f64 {
+        self.tank_litres * 0.001163 * delta_c.max(0.0)
+    }
+
+    /// Whole hours to deliver that heat (rounded up).
+    pub fn hours_to_heat(&self, delta_c: f64) -> u64 {
+        (self.kwh_to_heat(delta_c) / self.power_kw).ceil() as u64
+    }
+}
+
+/// A white-goods appliance cycle (dishwasher, washing machine, dryer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplianceCycle {
+    /// Appliance name.
+    pub name: String,
+    /// Mean power while running, kW.
+    pub power_kw: f64,
+    /// Cycle length, hours.
+    pub duration_hours: u64,
+}
+
+impl ApplianceCycle {
+    /// A modern dishwasher eco cycle.
+    pub fn dishwasher_eco() -> Self {
+        ApplianceCycle {
+            name: "dishwasher (eco)".into(),
+            power_kw: 0.55,
+            duration_hours: 2,
+        }
+    }
+
+    /// A 40 °C washing-machine cycle.
+    pub fn washing_machine_40c() -> Self {
+        ApplianceCycle {
+            name: "washing machine (40°C)".into(),
+            power_kw: 0.7,
+            duration_hours: 2,
+        }
+    }
+
+    /// A heat-pump dryer cycle.
+    pub fn dryer_heat_pump() -> Self {
+        ApplianceCycle {
+            name: "dryer (heat pump)".into(),
+            power_kw: 0.9,
+            duration_hours: 2,
+        }
+    }
+
+    /// Total cycle energy, kWh.
+    pub fn total_kwh(&self) -> f64 {
+        self.power_kw * self.duration_hours as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ev_charging_arithmetic() {
+        let wb = EvCharger::wallbox_3_7kw();
+        // 10 kWh into the battery at 90 % efficiency ≈ 11.1 kWh from grid.
+        assert!((wb.grid_kwh_for(10.0) - 11.111).abs() < 0.01);
+        assert_eq!(wb.hours_for(10.0), 4); // 11.1 / 3.7 = 3.003 → 4 h
+        let fast = EvCharger::wallbox_11kw();
+        assert_eq!(fast.hours_for(10.0), 1);
+    }
+
+    #[test]
+    fn water_heater_physics() {
+        let b = WaterHeater::boiler_120l();
+        // 120 l by 40 °C ≈ 5.58 kWh.
+        let kwh = b.kwh_to_heat(40.0);
+        assert!((kwh - 5.58).abs() < 0.02, "kwh = {kwh}");
+        assert_eq!(b.hours_to_heat(40.0), 3);
+        // Cooling demand is not negative energy.
+        assert_eq!(b.kwh_to_heat(-10.0), 0.0);
+    }
+
+    #[test]
+    fn appliance_cycles() {
+        let dw = ApplianceCycle::dishwasher_eco();
+        assert!((dw.total_kwh() - 1.1).abs() < 1e-9);
+        let wm = ApplianceCycle::washing_machine_40c();
+        let dr = ApplianceCycle::dryer_heat_pump();
+        assert!(dr.total_kwh() > wm.total_kwh());
+    }
+}

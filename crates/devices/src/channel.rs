@@ -1,0 +1,63 @@
+//! Channels: typed capabilities of a thing that items link to.
+//!
+//! openHAB channel UIDs extend thing UIDs with a capability segment, e.g.
+//! `daikin:ac_unit:living_room_ac:settemp` (the paper's `daikin.items`
+//! snippet links a `Number:Temperature` item to precisely this channel).
+
+use crate::thing::ThingUid;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A channel UID: a [`ThingUid`] plus a capability segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChannelUid {
+    /// The thing the channel belongs to.
+    pub thing: ThingUid,
+    /// Capability segment, e.g. `power`, `settemp`, `brightness`.
+    pub channel: String,
+}
+
+impl ChannelUid {
+    /// Creates a channel UID.
+    pub fn new(thing: ThingUid, channel: &str) -> Self {
+        ChannelUid {
+            thing,
+            channel: channel.to_string(),
+        }
+    }
+
+    /// Parses a `binding:type:id:channel` string.
+    pub fn parse(s: &str) -> Option<ChannelUid> {
+        let (thing_part, channel) = s.rsplit_once(':')?;
+        if channel.is_empty() {
+            return None;
+        }
+        Some(ChannelUid::new(ThingUid::parse(thing_part)?, channel))
+    }
+}
+
+impl fmt::Display for ChannelUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.thing, self.channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_channel() {
+        let c = ChannelUid::parse("daikin:ac_unit:living_room_ac:settemp").unwrap();
+        assert_eq!(c.thing.to_string(), "daikin:ac_unit:living_room_ac");
+        assert_eq!(c.channel, "settemp");
+        assert_eq!(c.to_string(), "daikin:ac_unit:living_room_ac:settemp");
+    }
+
+    #[test]
+    fn rejects_short_uids() {
+        assert!(ChannelUid::parse("a:b:c").is_none());
+        assert!(ChannelUid::parse("a:b:c:").is_none());
+        assert!(ChannelUid::parse("").is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! Actuation commands and their wire renderings.
+//!
+//! The paper's IMCF reaches devices two ways (§II-A): through openHAB
+//! bindings (*binding-mode*, the default) or by issuing raw vendor control
+//! URLs (*extended mode*, e.g. Daikin's
+//! `http://192.168.0.5/aircon/set_control_info?pow=1&mode=3&stemp=25&shum=0`).
+//! A [`Command`] captures the intent; [`Command::render`] produces the exact
+//! wire form for either mode so the firewall and tests can inspect traffic.
+
+use crate::channel::ChannelUid;
+use crate::thing::Thing;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a command travels from the controller to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ActuationMode {
+    /// Via an openHAB binding channel (default).
+    #[default]
+    Binding,
+    /// Via a raw vendor HTTP control URL.
+    Extended,
+}
+
+/// The payload of an actuation command.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CommandPayload {
+    /// Power the device on or off.
+    Power(bool),
+    /// Set a thermostat setpoint (°C). `cooling` selects the HVAC mode.
+    SetTemperature {
+        /// Target temperature in °C.
+        celsius: f64,
+        /// True for cooling mode, false for heating.
+        cooling: bool,
+    },
+    /// Set a light level (0–100).
+    SetLevel(f64),
+}
+
+/// An actuation command addressed to a thing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Destination channel.
+    pub channel: ChannelUid,
+    /// What to do.
+    pub payload: CommandPayload,
+    /// Transport mode.
+    pub mode: ActuationMode,
+}
+
+impl Command {
+    /// Creates a binding-mode command.
+    pub fn binding(channel: ChannelUid, payload: CommandPayload) -> Self {
+        Command {
+            channel,
+            payload,
+            mode: ActuationMode::Binding,
+        }
+    }
+
+    /// Creates an extended-mode command.
+    pub fn extended(channel: ChannelUid, payload: CommandPayload) -> Self {
+        Command {
+            channel,
+            payload,
+            mode: ActuationMode::Extended,
+        }
+    }
+
+    /// Renders the command's wire form against the destination thing.
+    ///
+    /// Binding mode renders the openHAB-style `item <- value` channel write;
+    /// extended mode renders a vendor HTTP URL in the Daikin dialect used by
+    /// the paper.
+    pub fn render(&self, thing: &Thing) -> String {
+        match self.mode {
+            ActuationMode::Binding => match self.payload {
+                CommandPayload::Power(on) => {
+                    format!("{} <- {}", self.channel, if on { "ON" } else { "OFF" })
+                }
+                CommandPayload::SetTemperature { celsius, .. } => {
+                    format!("{} <- {celsius}", self.channel)
+                }
+                CommandPayload::SetLevel(level) => format!("{} <- {level}", self.channel),
+            },
+            ActuationMode::Extended => match self.payload {
+                CommandPayload::Power(on) => format!(
+                    "http://{}/aircon/set_control_info?pow={}",
+                    thing.host,
+                    if on { 1 } else { 0 }
+                ),
+                CommandPayload::SetTemperature { celsius, cooling } => format!(
+                    "http://{}/aircon/set_control_info?pow=1&mode={}&stemp={}&shum=0",
+                    thing.host,
+                    if cooling { 3 } else { 4 },
+                    celsius
+                ),
+                CommandPayload::SetLevel(level) => {
+                    format!("http://{}/light/set_level?brightness={level}", thing.host)
+                }
+            },
+        }
+    }
+}
+
+/// The result of dispatching a command through the registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CommandOutcome {
+    /// Delivered to the device; carries the rendered wire form.
+    Delivered(String),
+    /// Dropped by the meta-control firewall.
+    Blocked,
+    /// The destination thing is offline.
+    Offline,
+}
+
+impl fmt::Display for CommandOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandOutcome::Delivered(wire) => write!(f, "delivered: {wire}"),
+            CommandOutcome::Blocked => write!(f, "blocked by firewall"),
+            CommandOutcome::Offline => write!(f, "thing offline"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thing::ThingUid;
+
+    fn daikin_channel(channel: &str) -> ChannelUid {
+        ChannelUid::new(
+            ThingUid::new("daikin", "ac_unit", "living_room_ac"),
+            channel,
+        )
+    }
+
+    #[test]
+    fn extended_mode_renders_paper_url() {
+        // The paper's example: cool mode, 25 degrees, against 192.168.0.5.
+        let cmd = Command::extended(
+            daikin_channel("settemp"),
+            CommandPayload::SetTemperature {
+                celsius: 25.0,
+                cooling: true,
+            },
+        );
+        assert_eq!(
+            cmd.render(&Thing::daikin_example()),
+            "http://192.168.0.5/aircon/set_control_info?pow=1&mode=3&stemp=25&shum=0"
+        );
+    }
+
+    #[test]
+    fn extended_heating_mode_uses_mode_4() {
+        let cmd = Command::extended(
+            daikin_channel("settemp"),
+            CommandPayload::SetTemperature {
+                celsius: 22.0,
+                cooling: false,
+            },
+        );
+        assert!(cmd.render(&Thing::daikin_example()).contains("mode=4"));
+    }
+
+    #[test]
+    fn binding_mode_renders_channel_write() {
+        let cmd = Command::binding(daikin_channel("power"), CommandPayload::Power(true));
+        assert_eq!(
+            cmd.render(&Thing::daikin_example()),
+            "daikin:ac_unit:living_room_ac:power <- ON"
+        );
+    }
+
+    #[test]
+    fn binding_setpoint_write() {
+        let cmd = Command::binding(
+            daikin_channel("settemp"),
+            CommandPayload::SetTemperature {
+                celsius: 21.0,
+                cooling: false,
+            },
+        );
+        assert_eq!(
+            cmd.render(&Thing::daikin_example()),
+            "daikin:ac_unit:living_room_ac:settemp <- 21"
+        );
+    }
+
+    #[test]
+    fn power_off_url() {
+        let cmd = Command::extended(daikin_channel("power"), CommandPayload::Power(false));
+        assert_eq!(
+            cmd.render(&Thing::daikin_example()),
+            "http://192.168.0.5/aircon/set_control_info?pow=0"
+        );
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(CommandOutcome::Blocked.to_string(), "blocked by firewall");
+        assert_eq!(CommandOutcome::Offline.to_string(), "thing offline");
+    }
+}

@@ -1,0 +1,183 @@
+//! Parametric device energy models.
+//!
+//! The planner's energy objective (paper Eq. 2) needs `e_j`: the hourly
+//! energy a device consumes when executing a meta-rule's action. We model
+//! the two actuated device families of the evaluation:
+//!
+//! * **HVAC split units** — consumption grows with the gap between the
+//!   setpoint and the ambient temperature (a linearized heat-pump model with
+//!   a standby floor and a rated ceiling). Holding 25 °C against a 10 °C
+//!   ambient costs far more than holding it against 22 °C, which is exactly
+//!   the lever the Energy Planner exploits (drop rules whose gap — and hence
+//!   cost — is large relative to their convenience value).
+//! * **Dimmable lights** — consumption is proportional to the level.
+//!
+//! Constants are calibrated so a flat running the paper's Table II greedily
+//! (the MR baseline) lands near the paper's ≈14.5 MWh over three years; see
+//! DESIGN.md §5.
+
+use serde::{Deserialize, Serialize};
+
+/// Hourly energy cost of actuating a device toward a target value under a
+/// given ambient value.
+pub trait DeviceEnergyModel {
+    /// Energy in kWh for holding `target` for one hour while the ambient
+    /// (unactuated) value is `ambient`.
+    fn hourly_kwh(&self, target: f64, ambient: f64) -> f64;
+}
+
+/// A linearized heat-pump model for a split unit.
+///
+/// Real split units holding a setpoint cycle the compressor: a substantial
+/// part of the hourly draw is duty-cycle overhead (fan, electronics,
+/// compressor starts) that is only weakly gap-dependent, plus a marginal
+/// term that grows with the setpoint-ambient gap. This split matters for
+/// reproducing the paper's headline trade-off: the Energy Planner saves the
+/// duty overhead of low-deficiency rule-hours at near-zero convenience
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HvacModel {
+    /// Duty-cycle base draw while the unit holds any setpoint, kWh per hour.
+    pub base_kwh: f64,
+    /// Marginal kWh per hour per °C of setpoint-ambient gap.
+    pub kwh_per_degree: f64,
+    /// Rated ceiling, kWh per hour (compressor at full duty).
+    pub rated_kwh: f64,
+}
+
+impl HvacModel {
+    /// A 2.5 kW split unit serving a ≈50 m² flat (the paper's flat dataset).
+    pub fn split_unit_flat() -> Self {
+        HvacModel {
+            base_kwh: 0.35,
+            kwh_per_degree: 0.04,
+            rated_kwh: 2.5,
+        }
+    }
+
+    /// Scales all terms by `factor` (used to model units serving
+    /// larger/smaller zones in the house/dorms datasets).
+    pub fn scaled(&self, factor: f64) -> Self {
+        HvacModel {
+            base_kwh: self.base_kwh * factor,
+            kwh_per_degree: self.kwh_per_degree * factor,
+            rated_kwh: self.rated_kwh * factor,
+        }
+    }
+}
+
+impl DeviceEnergyModel for HvacModel {
+    fn hourly_kwh(&self, target: f64, ambient: f64) -> f64 {
+        let gap = (target - ambient).abs();
+        (self.base_kwh + self.kwh_per_degree * gap).min(self.rated_kwh)
+    }
+}
+
+/// A dimmable light fixture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LightModel {
+    /// Consumption at level 100, kWh per hour.
+    pub max_kwh: f64,
+}
+
+impl LightModel {
+    /// A 100 W LED array, the flat's lighting.
+    pub fn led_array() -> Self {
+        LightModel { max_kwh: 0.1 }
+    }
+}
+
+impl DeviceEnergyModel for LightModel {
+    /// Lights do not react to ambient light in our model: executing a
+    /// "Set Light 40" rule costs 40 % of max power regardless of daylight —
+    /// the *convenience* of skipping it depends on the ambient, the *cost*
+    /// of executing it does not.
+    fn hourly_kwh(&self, target: f64, _ambient: f64) -> f64 {
+        self.max_kwh * (target.clamp(0.0, 100.0) / 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hvac_cost_grows_with_gap() {
+        let m = HvacModel::split_unit_flat();
+        let cold = m.hourly_kwh(25.0, 5.0); // 20° gap
+        let mild = m.hourly_kwh(25.0, 20.0); // 5° gap
+        assert!(cold > mild);
+        assert!((cold - (0.35 + 0.04 * 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hvac_cost_symmetric_heat_cool() {
+        let m = HvacModel::split_unit_flat();
+        assert_eq!(m.hourly_kwh(22.0, 30.0), m.hourly_kwh(22.0, 14.0));
+    }
+
+    #[test]
+    fn hvac_cost_capped_at_rated() {
+        let m = HvacModel::split_unit_flat();
+        assert_eq!(m.hourly_kwh(25.0, -100.0), m.rated_kwh);
+    }
+
+    #[test]
+    fn hvac_zero_gap_costs_duty_base() {
+        let m = HvacModel::split_unit_flat();
+        assert_eq!(m.hourly_kwh(22.0, 22.0), m.base_kwh);
+    }
+
+    #[test]
+    fn scaled_unit() {
+        let m = HvacModel::split_unit_flat().scaled(0.5);
+        assert_eq!(m.kwh_per_degree, 0.04 * 0.5);
+        assert_eq!(m.rated_kwh, 1.25);
+        assert_eq!(m.base_kwh, 0.35 * 0.5);
+    }
+
+    #[test]
+    fn light_cost_proportional_to_level() {
+        let l = LightModel::led_array();
+        assert_eq!(l.hourly_kwh(0.0, 50.0), 0.0);
+        assert!((l.hourly_kwh(40.0, 0.0) - 0.04).abs() < 1e-12);
+        assert_eq!(l.hourly_kwh(100.0, 0.0), 0.1);
+    }
+
+    #[test]
+    fn light_cost_clamps_level() {
+        let l = LightModel::led_array();
+        assert_eq!(l.hourly_kwh(250.0, 0.0), 0.1);
+        assert_eq!(l.hourly_kwh(-5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn light_ignores_ambient() {
+        let l = LightModel::led_array();
+        assert_eq!(l.hourly_kwh(40.0, 0.0), l.hourly_kwh(40.0, 90.0));
+    }
+
+    /// Sanity-check the flat calibration target of DESIGN.md §5: running
+    /// Table II greedily for 3 paper-years should land in the 12–17 MWh
+    /// band (the paper's MR flat consumption is ≈14.5 MWh).
+    #[test]
+    fn flat_mr_three_year_ballpark() {
+        let hvac = HvacModel::split_unit_flat();
+        let light = LightModel::led_array();
+        // Table II daily pattern: HVAC 21 h/day at seasonal mean gaps
+        // (winter ≈13 °C for 3 months, shoulder ≈6 °C for 6, summer ≈1.5 °C
+        // for 3); lights 5 h@40 + 7 h@30 + 6 h@40.
+        let hvac_yearly: f64 = [(13.0, 3.0), (6.0, 6.0), (1.5, 3.0)]
+            .iter()
+            .map(|(gap, months)| 21.0 * hvac.hourly_kwh(22.0 + gap, 22.0) * months * 31.0)
+            .sum();
+        let light_daily = 5.0 * light.hourly_kwh(40.0, 0.0)
+            + 7.0 * light.hourly_kwh(30.0, 0.0)
+            + 6.0 * light.hourly_kwh(40.0, 0.0);
+        let three_years = 3.0 * (hvac_yearly + light_daily * 372.0);
+        assert!(
+            (12_000.0..=17_000.0).contains(&three_years),
+            "3-year MR estimate {three_years:.0} kWh out of calibration band"
+        );
+    }
+}

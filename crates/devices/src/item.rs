@@ -1,0 +1,201 @@
+//! Items: typed state variables linked to channels.
+//!
+//! The paper's example declares
+//! `Switch DaikinACUnit_Power` and `Number:Temperature DaikinACUnit_SetPoint`
+//! linked to the Daikin thing's `power` and `settemp` channels. We mirror
+//! that model: an [`Item`] has a name, a kind, a current [`ItemState`] and an
+//! optional channel link.
+
+use crate::channel::ChannelUid;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The openHAB item kinds used by IMCF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ItemKind {
+    /// On/off switch.
+    Switch,
+    /// Numeric quantity (temperature, energy, …).
+    Number,
+    /// 0–100 percentage (light level).
+    Dimmer,
+    /// Open/closed contact.
+    Contact,
+}
+
+/// The current state of an item.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ItemState {
+    /// State not yet initialized (openHAB's `NULL`).
+    Undefined,
+    /// Switch state.
+    OnOff(bool),
+    /// Numeric value.
+    Decimal(f64),
+    /// Percent value clamped to 0–100.
+    Percent(f64),
+    /// Contact state (true = open).
+    OpenClosed(bool),
+}
+
+impl ItemState {
+    /// Numeric view of a state, if it has one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ItemState::Decimal(v) | ItemState::Percent(v) => Some(*v),
+            ItemState::OnOff(b) | ItemState::OpenClosed(b) => Some(if *b { 1.0 } else { 0.0 }),
+            ItemState::Undefined => None,
+        }
+    }
+}
+
+impl fmt::Display for ItemState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItemState::Undefined => write!(f, "NULL"),
+            ItemState::OnOff(true) => write!(f, "ON"),
+            ItemState::OnOff(false) => write!(f, "OFF"),
+            ItemState::Decimal(v) => write!(f, "{v}"),
+            ItemState::Percent(v) => write!(f, "{v} %"),
+            ItemState::OpenClosed(true) => write!(f, "OPEN"),
+            ItemState::OpenClosed(false) => write!(f, "CLOSED"),
+        }
+    }
+}
+
+/// A typed state variable, optionally linked to a thing channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    /// Unique item name, e.g. `DaikinACUnit_SetPoint`.
+    pub name: String,
+    /// The item kind.
+    pub kind: ItemKind,
+    /// Current state.
+    pub state: ItemState,
+    /// Channel this item is linked to, if any.
+    pub channel: Option<ChannelUid>,
+}
+
+/// Errors applying a state to an item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemError {
+    /// The state's type does not match the item kind.
+    KindMismatch {
+        /// The item's kind.
+        kind: ItemKind,
+        /// Description of the offered state.
+        offered: &'static str,
+    },
+}
+
+impl fmt::Display for ItemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItemError::KindMismatch { kind, offered } => {
+                write!(f, "cannot apply {offered} state to {kind:?} item")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ItemError {}
+
+impl Item {
+    /// Creates an item in the `Undefined` state.
+    pub fn new(name: &str, kind: ItemKind) -> Self {
+        Item {
+            name: name.to_string(),
+            kind,
+            state: ItemState::Undefined,
+            channel: None,
+        }
+    }
+
+    /// Links the item to a channel (builder style).
+    pub fn linked_to(mut self, channel: ChannelUid) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
+    /// Applies a new state, enforcing kind compatibility and clamping
+    /// percents into 0–100.
+    pub fn apply(&mut self, state: ItemState) -> Result<(), ItemError> {
+        let compatible = matches!(
+            (self.kind, &state),
+            (ItemKind::Switch, ItemState::OnOff(_))
+                | (ItemKind::Number, ItemState::Decimal(_))
+                | (ItemKind::Dimmer, ItemState::Percent(_))
+                | (ItemKind::Contact, ItemState::OpenClosed(_))
+        );
+        if !compatible {
+            let offered = match state {
+                ItemState::Undefined => "NULL",
+                ItemState::OnOff(_) => "OnOff",
+                ItemState::Decimal(_) => "Decimal",
+                ItemState::Percent(_) => "Percent",
+                ItemState::OpenClosed(_) => "OpenClosed",
+            };
+            return Err(ItemError::KindMismatch {
+                kind: self.kind,
+                offered,
+            });
+        }
+        self.state = match state {
+            ItemState::Percent(v) => ItemState::Percent(v.clamp(0.0, 100.0)),
+            other => other,
+        };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thing::ThingUid;
+
+    #[test]
+    fn paper_items_construct() {
+        let thing = ThingUid::new("daikin", "ac_unit", "living_room_ac");
+        let power = Item::new("DaikinACUnit_Power", ItemKind::Switch)
+            .linked_to(ChannelUid::new(thing.clone(), "power"));
+        let setpoint = Item::new("DaikinACUnit_SetPoint", ItemKind::Number)
+            .linked_to(ChannelUid::new(thing, "settemp"));
+        assert_eq!(power.state, ItemState::Undefined);
+        assert_eq!(setpoint.channel.as_ref().unwrap().channel, "settemp");
+    }
+
+    #[test]
+    fn apply_enforces_kinds() {
+        let mut sw = Item::new("sw", ItemKind::Switch);
+        assert!(sw.apply(ItemState::OnOff(true)).is_ok());
+        assert_eq!(sw.state, ItemState::OnOff(true));
+        assert!(sw.apply(ItemState::Decimal(5.0)).is_err());
+        // State unchanged after a rejected apply.
+        assert_eq!(sw.state, ItemState::OnOff(true));
+    }
+
+    #[test]
+    fn percent_clamps() {
+        let mut d = Item::new("d", ItemKind::Dimmer);
+        d.apply(ItemState::Percent(150.0)).unwrap();
+        assert_eq!(d.state, ItemState::Percent(100.0));
+        d.apply(ItemState::Percent(-3.0)).unwrap();
+        assert_eq!(d.state, ItemState::Percent(0.0));
+    }
+
+    #[test]
+    fn state_numeric_views() {
+        assert_eq!(ItemState::Decimal(21.5).as_f64(), Some(21.5));
+        assert_eq!(ItemState::OnOff(true).as_f64(), Some(1.0));
+        assert_eq!(ItemState::OpenClosed(false).as_f64(), Some(0.0));
+        assert_eq!(ItemState::Undefined.as_f64(), None);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(ItemState::OnOff(true).to_string(), "ON");
+        assert_eq!(ItemState::Percent(40.0).to_string(), "40 %");
+        assert_eq!(ItemState::OpenClosed(true).to_string(), "OPEN");
+        assert_eq!(ItemState::Undefined.to_string(), "NULL");
+    }
+}

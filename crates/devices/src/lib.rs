@@ -1,0 +1,35 @@
+//! # imcf-devices — the openHAB-like device substrate
+//!
+//! The paper's Local Controller (LC) is built on openHAB: *Things* are
+//! physical devices reachable on the local network, *Items* are typed state
+//! variables, and *Channels* link items to thing capabilities. Commands flow
+//! from the controller to things either through vendor *bindings*
+//! ("binding-mode") or through raw HTTP control URLs ("extended mode", e.g.
+//! the Daikin `set_control_info` querystring in §II-A).
+//!
+//! This crate rebuilds that substrate in-process:
+//!
+//! * [`thing::Thing`], [`item::Item`], [`channel::ChannelUid`] — the openHAB
+//!   data model;
+//! * [`registry::DeviceRegistry`] — the LC's inventory with command dispatch;
+//! * [`energy`] — parametric device energy models (HVAC split units,
+//!   dimmable lights) used by the planner's `e_j` cost (paper Eq. 2);
+//! * [`catalog`] — the deferrable-load appliances of the paper's future
+//!   work (EV chargers, water heaters, white goods);
+//! * [`command`] — actuation commands and their wire renderings for both
+//!   binding-mode and extended-mode paths.
+
+pub mod catalog;
+pub mod channel;
+pub mod command;
+pub mod energy;
+pub mod item;
+pub mod registry;
+pub mod thing;
+
+pub use channel::ChannelUid;
+pub use command::{ActuationMode, Command, CommandOutcome};
+pub use energy::{DeviceEnergyModel, HvacModel, LightModel};
+pub use item::{Item, ItemKind, ItemState};
+pub use registry::{DeviceRegistry, RegistryError};
+pub use thing::{Thing, ThingKind, ThingUid};

@@ -1,0 +1,343 @@
+//! The device registry: the Local Controller's inventory.
+//!
+//! A [`DeviceRegistry`] tracks things and items, maintains channel links and
+//! dispatches [`Command`]s. Dispatch consults an optional *egress filter* —
+//! the hook the meta-control firewall installs to DROP traffic to designated
+//! devices, mirroring the paper's
+//! `iptables -A OUTPUT -s 192.168.0.5 -j DROP` configuration.
+
+use crate::channel::ChannelUid;
+use crate::command::{Command, CommandOutcome, CommandPayload};
+use crate::item::{Item, ItemState};
+use crate::thing::{Thing, ThingUid};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A thing with this UID is already registered.
+    DuplicateThing(ThingUid),
+    /// An item with this name is already registered.
+    DuplicateItem(String),
+    /// No thing with this UID exists.
+    UnknownThing(ThingUid),
+    /// No item with this name exists.
+    UnknownItem(String),
+    /// The command's channel points at a thing that is not registered.
+    UnknownChannelThing(ChannelUid),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateThing(uid) => write!(f, "thing `{uid}` already registered"),
+            RegistryError::DuplicateItem(name) => write!(f, "item `{name}` already registered"),
+            RegistryError::UnknownThing(uid) => write!(f, "unknown thing `{uid}`"),
+            RegistryError::UnknownItem(name) => write!(f, "unknown item `{name}`"),
+            RegistryError::UnknownChannelThing(c) => {
+                write!(f, "channel `{c}` points at an unregistered thing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Egress filter verdict for a command about to leave the controller.
+pub type EgressFilter = dyn Fn(&Thing, &Command) -> bool + Send + Sync;
+
+/// The Local Controller's device inventory.
+///
+/// Interior mutability (`parking_lot::RwLock`) lets the controller share one
+/// registry between the scheduler thread, the firewall and user-facing
+/// query paths, mirroring openHAB's shared item registry.
+#[derive(Clone, Default)]
+pub struct DeviceRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    things: BTreeMap<ThingUid, Thing>,
+    items: BTreeMap<String, Item>,
+    egress: Option<Arc<EgressFilter>>,
+    delivered: u64,
+    blocked: u64,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a thing.
+    pub fn add_thing(&self, thing: Thing) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        if inner.things.contains_key(&thing.uid) {
+            return Err(RegistryError::DuplicateThing(thing.uid));
+        }
+        inner.things.insert(thing.uid.clone(), thing);
+        Ok(())
+    }
+
+    /// Registers an item.
+    pub fn add_item(&self, item: Item) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        if inner.items.contains_key(&item.name) {
+            return Err(RegistryError::DuplicateItem(item.name));
+        }
+        inner.items.insert(item.name.clone(), item);
+        Ok(())
+    }
+
+    /// Looks up a thing by UID.
+    pub fn thing(&self, uid: &ThingUid) -> Option<Thing> {
+        self.inner.read().things.get(uid).cloned()
+    }
+
+    /// Looks up an item by name.
+    pub fn item(&self, name: &str) -> Option<Item> {
+        self.inner.read().items.get(name).cloned()
+    }
+
+    /// All thing UIDs, sorted.
+    pub fn thing_uids(&self) -> Vec<ThingUid> {
+        self.inner.read().things.keys().cloned().collect()
+    }
+
+    /// All item names, sorted.
+    pub fn item_names(&self) -> Vec<String> {
+        self.inner.read().items.keys().cloned().collect()
+    }
+
+    /// Number of registered things.
+    pub fn thing_count(&self) -> usize {
+        self.inner.read().things.len()
+    }
+
+    /// Marks a thing online/offline.
+    pub fn set_online(&self, uid: &ThingUid, online: bool) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        let thing = inner
+            .things
+            .get_mut(uid)
+            .ok_or_else(|| RegistryError::UnknownThing(uid.clone()))?;
+        thing.online = online;
+        Ok(())
+    }
+
+    /// Updates an item's state (e.g. from a sensor reading).
+    pub fn update_item(&self, name: &str, state: ItemState) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        let item = inner
+            .items
+            .get_mut(name)
+            .ok_or_else(|| RegistryError::UnknownItem(name.to_string()))?;
+        item.apply(state)
+            .map_err(|_| RegistryError::UnknownItem(name.to_string()))?;
+        Ok(())
+    }
+
+    /// Installs the firewall's egress filter. Commands for which the filter
+    /// returns `false` are dropped with [`CommandOutcome::Blocked`].
+    pub fn set_egress_filter<F>(&self, filter: F)
+    where
+        F: Fn(&Thing, &Command) -> bool + Send + Sync + 'static,
+    {
+        self.inner.write().egress = Some(Arc::new(filter));
+    }
+
+    /// Removes the egress filter.
+    pub fn clear_egress_filter(&self) {
+        self.inner.write().egress = None;
+    }
+
+    /// Dispatches a command: resolves the destination thing, consults the
+    /// egress filter, renders the wire form and reflects the new state into
+    /// linked items.
+    pub fn dispatch(&self, cmd: &Command) -> Result<CommandOutcome, RegistryError> {
+        let filter = {
+            let inner = self.inner.read();
+            let thing = inner
+                .things
+                .get(&cmd.channel.thing)
+                .ok_or_else(|| RegistryError::UnknownChannelThing(cmd.channel.clone()))?;
+            if !thing.online {
+                return Ok(CommandOutcome::Offline);
+            }
+            inner.egress.clone().map(|f| (f, thing.clone()))
+        };
+        if let Some((f, thing)) = filter {
+            if !f(&thing, cmd) {
+                self.inner.write().blocked += 1;
+                return Ok(CommandOutcome::Blocked);
+            }
+        }
+        let mut inner = self.inner.write();
+        let thing = inner
+            .things
+            .get(&cmd.channel.thing)
+            .cloned()
+            .ok_or_else(|| RegistryError::UnknownChannelThing(cmd.channel.clone()))?;
+        let wire = cmd.render(&thing);
+        // Reflect the command into every item linked to the channel, like
+        // openHAB's autoupdate.
+        let new_state = match cmd.payload {
+            CommandPayload::Power(on) => ItemState::OnOff(on),
+            CommandPayload::SetTemperature { celsius, .. } => ItemState::Decimal(celsius),
+            CommandPayload::SetLevel(level) => ItemState::Percent(level),
+        };
+        for item in inner.items.values_mut() {
+            if item.channel.as_ref() == Some(&cmd.channel) {
+                let _ = item.apply(new_state);
+            }
+        }
+        inner.delivered += 1;
+        Ok(CommandOutcome::Delivered(wire))
+    }
+
+    /// `(delivered, blocked)` dispatch counters.
+    pub fn counters(&self) -> (u64, u64) {
+        let inner = self.inner.read();
+        (inner.delivered, inner.blocked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemKind;
+    use crate::thing::ThingKind;
+
+    fn setup() -> (DeviceRegistry, ChannelUid) {
+        let reg = DeviceRegistry::new();
+        reg.add_thing(Thing::daikin_example()).unwrap();
+        let ch = ChannelUid::new(
+            ThingUid::new("daikin", "ac_unit", "living_room_ac"),
+            "settemp",
+        );
+        reg.add_item(Item::new("DaikinACUnit_SetPoint", ItemKind::Number).linked_to(ch.clone()))
+            .unwrap();
+        (reg, ch)
+    }
+
+    #[test]
+    fn dispatch_updates_linked_item() {
+        let (reg, ch) = setup();
+        let cmd = Command::binding(
+            ch,
+            CommandPayload::SetTemperature {
+                celsius: 25.0,
+                cooling: false,
+            },
+        );
+        let out = reg.dispatch(&cmd).unwrap();
+        assert!(matches!(out, CommandOutcome::Delivered(_)));
+        assert_eq!(
+            reg.item("DaikinACUnit_SetPoint").unwrap().state,
+            ItemState::Decimal(25.0)
+        );
+        assert_eq!(reg.counters(), (1, 0));
+    }
+
+    #[test]
+    fn egress_filter_blocks_like_iptables() {
+        let (reg, ch) = setup();
+        // DROP all traffic to 192.168.0.5, like the paper's iptables rule.
+        reg.set_egress_filter(|thing, _| thing.host != "192.168.0.5");
+        let cmd = Command::binding(ch, CommandPayload::Power(true));
+        assert_eq!(reg.dispatch(&cmd).unwrap(), CommandOutcome::Blocked);
+        assert_eq!(reg.counters(), (0, 1));
+        // Item state untouched.
+        assert_eq!(
+            reg.item("DaikinACUnit_SetPoint").unwrap().state,
+            ItemState::Undefined
+        );
+        reg.clear_egress_filter();
+        assert!(matches!(
+            reg.dispatch(&cmd).unwrap(),
+            CommandOutcome::Delivered(_)
+        ));
+    }
+
+    #[test]
+    fn offline_things_bounce_commands() {
+        let (reg, ch) = setup();
+        reg.set_online(&ch.thing, false).unwrap();
+        let cmd = Command::binding(ch, CommandPayload::Power(true));
+        assert_eq!(reg.dispatch(&cmd).unwrap(), CommandOutcome::Offline);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let (reg, _) = setup();
+        assert_eq!(
+            reg.add_thing(Thing::daikin_example()),
+            Err(RegistryError::DuplicateThing(ThingUid::new(
+                "daikin",
+                "ac_unit",
+                "living_room_ac"
+            )))
+        );
+        assert!(matches!(
+            reg.add_item(Item::new("DaikinACUnit_SetPoint", ItemKind::Number)),
+            Err(RegistryError::DuplicateItem(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_channel_is_an_error() {
+        let reg = DeviceRegistry::new();
+        let ch = ChannelUid::parse("hue:bulb:kitchen:brightness").unwrap();
+        let cmd = Command::binding(ch, CommandPayload::SetLevel(40.0));
+        assert!(matches!(
+            reg.dispatch(&cmd),
+            Err(RegistryError::UnknownChannelThing(_))
+        ));
+    }
+
+    #[test]
+    fn sensor_updates_flow_through_items() {
+        let reg = DeviceRegistry::new();
+        reg.add_thing(Thing::new(
+            ThingUid::new("sim", "sensor", "temp1"),
+            "Temp sensor",
+            ThingKind::TemperatureSensor,
+            "192.168.0.20",
+            "bedroom",
+        ))
+        .unwrap();
+        reg.add_item(Item::new("Bedroom_Temp", ItemKind::Number))
+            .unwrap();
+        reg.update_item("Bedroom_Temp", ItemState::Decimal(19.5))
+            .unwrap();
+        assert_eq!(
+            reg.item("Bedroom_Temp").unwrap().state,
+            ItemState::Decimal(19.5)
+        );
+        assert!(reg.update_item("Nope", ItemState::Decimal(1.0)).is_err());
+    }
+
+    #[test]
+    fn registry_is_cheaply_cloneable_and_shared() {
+        let (reg, ch) = setup();
+        let reg2 = reg.clone();
+        let cmd = Command::binding(
+            ch,
+            CommandPayload::SetTemperature {
+                celsius: 20.0,
+                cooling: false,
+            },
+        );
+        reg2.dispatch(&cmd).unwrap();
+        // The clone shares state with the original.
+        assert_eq!(reg.counters(), (1, 0));
+        assert_eq!(reg.thing_count(), 1);
+        assert_eq!(reg.item_names(), vec!["DaikinACUnit_SetPoint".to_string()]);
+        assert_eq!(reg.thing_uids().len(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Things: the physical devices on the smart space's local network.
+//!
+//! openHAB identifies a thing by a hierarchical UID such as
+//! `daikin:ac_unit:living_room_ac`. A thing additionally carries the host
+//! address the controller (or the firewall) uses to reach it — the paper's
+//! extended mode sends HTTP requests to `192.168.0.5`, and its firewall mode
+//! DROPs traffic to that address with `iptables`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hierarchical thing UID: `binding:type:id` (openHAB convention).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ThingUid {
+    /// Binding namespace, e.g. `daikin`.
+    pub binding: String,
+    /// Thing type within the binding, e.g. `ac_unit`.
+    pub type_id: String,
+    /// Instance id, e.g. `living_room_ac`.
+    pub id: String,
+}
+
+impl ThingUid {
+    /// Creates a UID from its three segments.
+    pub fn new(binding: &str, type_id: &str, id: &str) -> Self {
+        ThingUid {
+            binding: binding.to_string(),
+            type_id: type_id.to_string(),
+            id: id.to_string(),
+        }
+    }
+
+    /// Parses a `binding:type:id` string.
+    pub fn parse(s: &str) -> Option<ThingUid> {
+        let mut parts = s.split(':');
+        let binding = parts.next()?;
+        let type_id = parts.next()?;
+        let id = parts.next()?;
+        if parts.next().is_some() || binding.is_empty() || type_id.is_empty() || id.is_empty() {
+            return None;
+        }
+        Some(ThingUid::new(binding, type_id, id))
+    }
+}
+
+impl fmt::Display for ThingUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.binding, self.type_id, self.id)
+    }
+}
+
+/// What kind of physical device a thing is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThingKind {
+    /// Heating/cooling split unit with a thermostat.
+    HvacUnit,
+    /// Dimmable light fixture.
+    DimmableLight,
+    /// Door/window contact sensor.
+    ContactSensor,
+    /// Temperature sensor.
+    TemperatureSensor,
+    /// Illuminance sensor.
+    LightSensor,
+    /// Energy sub-meter.
+    SubMeter,
+}
+
+impl ThingKind {
+    /// Whether the thing can be actuated (vs. sensors which only report).
+    pub fn is_actuator(&self) -> bool {
+        matches!(self, ThingKind::HvacUnit | ThingKind::DimmableLight)
+    }
+}
+
+/// A device on the local network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Thing {
+    /// Unique identifier.
+    pub uid: ThingUid,
+    /// Human-readable label.
+    pub label: String,
+    /// Device kind.
+    pub kind: ThingKind,
+    /// Host address on the local network (e.g. `192.168.0.5`).
+    pub host: String,
+    /// The zone/room the device serves (used by the building model).
+    pub zone: String,
+    /// Whether the device is currently reachable.
+    pub online: bool,
+}
+
+impl Thing {
+    /// Creates an online thing.
+    pub fn new(uid: ThingUid, label: &str, kind: ThingKind, host: &str, zone: &str) -> Self {
+        Thing {
+            uid,
+            label: label.to_string(),
+            kind,
+            host: host.to_string(),
+            zone: zone.to_string(),
+            online: true,
+        }
+    }
+
+    /// The paper's running example: a Daikin split unit at 192.168.0.5.
+    pub fn daikin_example() -> Thing {
+        Thing::new(
+            ThingUid::new("daikin", "ac_unit", "living_room_ac"),
+            "Living-room A/C",
+            ThingKind::HvacUnit,
+            "192.168.0.5",
+            "living_room",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uid_parses_and_displays() {
+        let uid = ThingUid::parse("daikin:ac_unit:living_room_ac").unwrap();
+        assert_eq!(uid, ThingUid::new("daikin", "ac_unit", "living_room_ac"));
+        assert_eq!(uid.to_string(), "daikin:ac_unit:living_room_ac");
+    }
+
+    #[test]
+    fn malformed_uids_rejected() {
+        assert!(ThingUid::parse("only:two").is_none());
+        assert!(ThingUid::parse("a:b:c:d").is_none());
+        assert!(ThingUid::parse("::empty").is_none());
+        assert!(ThingUid::parse("").is_none());
+    }
+
+    #[test]
+    fn actuator_classification() {
+        assert!(ThingKind::HvacUnit.is_actuator());
+        assert!(ThingKind::DimmableLight.is_actuator());
+        assert!(!ThingKind::ContactSensor.is_actuator());
+        assert!(!ThingKind::TemperatureSensor.is_actuator());
+        assert!(!ThingKind::SubMeter.is_actuator());
+    }
+
+    #[test]
+    fn daikin_example_matches_paper() {
+        let t = Thing::daikin_example();
+        assert_eq!(t.host, "192.168.0.5");
+        assert_eq!(t.uid.to_string(), "daikin:ac_unit:living_room_ac");
+        assert!(t.online);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the device substrate: energy-model monotonicity
+//! and bounds, UID parsing round trips, and registry behaviour under
+//! arbitrary command sequences.
+
+use imcf_devices::channel::ChannelUid;
+use imcf_devices::command::{ActuationMode, Command, CommandOutcome, CommandPayload};
+use imcf_devices::energy::{DeviceEnergyModel, HvacModel, LightModel};
+use imcf_devices::item::{Item, ItemKind, ItemState};
+use imcf_devices::registry::DeviceRegistry;
+use imcf_devices::thing::{Thing, ThingKind, ThingUid};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// HVAC cost is bounded by [0, rated], includes the duty base whenever
+    /// on, and is monotone in the setpoint-ambient gap.
+    #[test]
+    fn hvac_model_bounds_and_monotonicity(
+        target in -10.0f64..40.0,
+        ambient in -10.0f64..40.0,
+        scale in 0.1f64..2.0,
+    ) {
+        let m = HvacModel::split_unit_flat().scaled(scale);
+        let kwh = m.hourly_kwh(target, ambient);
+        prop_assert!(kwh >= 0.0);
+        prop_assert!(kwh <= m.rated_kwh + 1e-12);
+        prop_assert!(kwh + 1e-12 >= m.base_kwh.min(m.rated_kwh));
+        // Widening the gap never reduces cost.
+        let wider = m.hourly_kwh(target, ambient + (target - ambient).signum() * -5.0);
+        prop_assert!(wider + 1e-9 >= kwh);
+    }
+
+    /// Light cost is linear in level within 0–100 and clamps outside.
+    #[test]
+    fn light_model_linearity(level in -50.0f64..150.0) {
+        let m = LightModel::led_array();
+        let kwh = m.hourly_kwh(level, 0.0);
+        let clamped = level.clamp(0.0, 100.0);
+        prop_assert!((kwh - m.max_kwh * clamped / 100.0).abs() < 1e-12);
+    }
+
+    /// Thing and channel UIDs round-trip through their string form.
+    #[test]
+    fn uid_string_roundtrip(a in "[a-z]{1,8}", b in "[a-z]{1,8}", c in "[a-z]{1,8}", ch in "[a-z]{1,8}") {
+        let uid = ThingUid::new(&a, &b, &c);
+        prop_assert_eq!(ThingUid::parse(&uid.to_string()).unwrap(), uid.clone());
+        let channel = ChannelUid::new(uid, &ch);
+        prop_assert_eq!(ChannelUid::parse(&channel.to_string()).unwrap(), channel);
+    }
+
+    /// The registry's counters always equal delivered + blocked outcomes,
+    /// and item state reflects the last delivered command.
+    #[test]
+    fn registry_counters_and_state(
+        commands in proptest::collection::vec((0.0f64..40.0, any::<bool>()), 1..20),
+    ) {
+        let registry = DeviceRegistry::new();
+        let uid = ThingUid::new("imcf", "hvac", "z");
+        registry
+            .add_thing(Thing::new(uid.clone(), "z", ThingKind::HvacUnit, "10.0.0.1", "z"))
+            .unwrap();
+        let channel = ChannelUid::new(uid, "settemp");
+        registry
+            .add_item(Item::new("z_SetPoint", ItemKind::Number).linked_to(channel.clone()))
+            .unwrap();
+        // Block odd-valued commands.
+        registry.set_egress_filter(|_, cmd| match cmd.payload {
+            CommandPayload::SetTemperature { celsius, .. } => (celsius as i64) % 2 == 0,
+            _ => true,
+        });
+        let mut delivered = 0u64;
+        let mut blocked = 0u64;
+        let mut last_delivered: Option<f64> = None;
+        for (value, extended) in commands {
+            let cmd = Command {
+                channel: channel.clone(),
+                payload: CommandPayload::SetTemperature { celsius: value, cooling: false },
+                mode: if extended { ActuationMode::Extended } else { ActuationMode::Binding },
+            };
+            match registry.dispatch(&cmd).unwrap() {
+                CommandOutcome::Delivered(_) => {
+                    delivered += 1;
+                    last_delivered = Some(value);
+                }
+                CommandOutcome::Blocked => blocked += 1,
+                CommandOutcome::Offline => prop_assert!(false, "thing is online"),
+            }
+        }
+        prop_assert_eq!(registry.counters(), (delivered, blocked));
+        if let Some(v) = last_delivered {
+            prop_assert_eq!(registry.item("z_SetPoint").unwrap().state, ItemState::Decimal(v));
+        }
+    }
+
+    /// Command rendering never panics and extended mode always embeds the
+    /// host address.
+    #[test]
+    fn extended_render_embeds_host(value in 0.0f64..40.0, host_octet in 1u8..250) {
+        let host = format!("192.168.0.{host_octet}");
+        let thing = Thing::new(ThingUid::new("d", "ac", "x"), "x", ThingKind::HvacUnit, &host, "z");
+        let cmd = Command::extended(
+            ChannelUid::new(thing.uid.clone(), "settemp"),
+            CommandPayload::SetTemperature { celsius: value, cooling: true },
+        );
+        let wire = cmd.render(&thing);
+        prop_assert!(wire.contains(&host));
+        prop_assert!(wire.contains("mode=3"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Rule-conflict detection (paper §I-B).
+//!
+//! The paper motivates the meta-control firewall with rules that "compete or
+//! throw a clash with each other, become infeasible, or depend on the output
+//! of other rules". This module implements static conflict analysis over an
+//! [`Mrt`]:
+//!
+//! * **Setpoint clash** — two actuation rules on the same device class whose
+//!   daily windows overlap while demanding different values.
+//! * **Budget clash** — a budget row so tight that even the necessity rules
+//!   alone cannot fit under it (estimated via a caller-provided worst-case
+//!   hourly cost per rule).
+//! * **Duplicate rule** — identical window/action pairs, usually a
+//!   configuration mistake.
+
+use crate::action::DeviceClass;
+use crate::meta_rule::RuleId;
+use crate::mrt::Mrt;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A detected conflict between rules of an MRT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Conflict {
+    /// Two rules demand different values of the same device class in
+    /// overlapping windows.
+    SetpointClash {
+        first: RuleId,
+        second: RuleId,
+        class: DeviceClass,
+        first_value: f64,
+        second_value: f64,
+    },
+    /// Two rules are exact duplicates (same window, same action).
+    Duplicate { first: RuleId, second: RuleId },
+    /// The necessity rules alone exceed a budget row's hourly allowance.
+    BudgetInfeasible {
+        budget_rule: RuleId,
+        hourly_allowance: f64,
+        necessity_hourly_cost: f64,
+    },
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Conflict::SetpointClash { first, second, class, first_value, second_value } => write!(
+                f,
+                "setpoint clash on {class}: {first} wants {first_value}, {second} wants {second_value} in overlapping windows"
+            ),
+            Conflict::Duplicate { first, second } => {
+                write!(f, "duplicate rules: {first} and {second}")
+            }
+            Conflict::BudgetInfeasible { budget_rule, hourly_allowance, necessity_hourly_cost } => write!(
+                f,
+                "budget {budget_rule} allows {hourly_allowance:.3} kWh/h but necessity rules already cost {necessity_hourly_cost:.3} kWh/h"
+            ),
+        }
+    }
+}
+
+/// Severity classification for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// The MRT is still executable; the engine will arbitrate.
+    Warning,
+    /// The MRT cannot satisfy its own constraints.
+    Error,
+}
+
+impl Conflict {
+    /// How severe the conflict is.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Conflict::SetpointClash { .. } | Conflict::Duplicate { .. } => Severity::Warning,
+            Conflict::BudgetInfeasible { .. } => Severity::Error,
+        }
+    }
+}
+
+/// Detects setpoint clashes and duplicates within an MRT.
+///
+/// Two actuation rules clash when they target the same device class, their
+/// windows overlap, and their target values differ. Identical rules are
+/// reported as duplicates instead.
+pub fn detect_clashes(mrt: &Mrt) -> Vec<Conflict> {
+    let rules: Vec<_> = mrt.actuation_rules().collect();
+    let mut out = Vec::new();
+    for (i, a) in rules.iter().enumerate() {
+        for b in rules.iter().skip(i + 1) {
+            if a.action.device_class() != b.action.device_class() {
+                continue;
+            }
+            if !a.window.overlaps(&b.window) {
+                continue;
+            }
+            let va = a.action.desired_value();
+            let vb = b.action.desired_value();
+            if a.window == b.window && va == vb {
+                out.push(Conflict::Duplicate {
+                    first: a.id,
+                    second: b.id,
+                });
+            } else if va != vb {
+                out.push(Conflict::SetpointClash {
+                    first: a.id,
+                    second: b.id,
+                    class: a.action.device_class(),
+                    first_value: va,
+                    second_value: vb,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks every budget row against the worst-case hourly cost of the
+/// necessity rules; `worst_case_hourly_kwh` estimates the cost of holding one
+/// rule's setpoint for an hour (supplied by the energy model upstream).
+pub fn detect_budget_infeasibility<F>(mrt: &Mrt, worst_case_hourly_kwh: F) -> Vec<Conflict>
+where
+    F: Fn(&crate::meta_rule::MetaRule) -> f64,
+{
+    let necessity_hourly: f64 = mrt
+        .necessity_rules()
+        .map(|r| worst_case_hourly_kwh(r) * r.window.duration_hours_ceil() as f64 / 24.0)
+        .sum();
+    let mut out = Vec::new();
+    for b in mrt.budget_rules() {
+        let Some(h) = b.horizon_hours else { continue };
+        if h == 0 {
+            continue;
+        }
+        let hourly_allowance = b.action.desired_value() / h as f64;
+        if necessity_hourly > hourly_allowance {
+            out.push(Conflict::BudgetInfeasible {
+                budget_rule: b.id,
+                hourly_allowance,
+                necessity_hourly_cost: necessity_hourly,
+            });
+        }
+    }
+    out
+}
+
+/// Runs every analysis and returns all conflicts found.
+pub fn analyze<F>(mrt: &Mrt, worst_case_hourly_kwh: F) -> Vec<Conflict>
+where
+    F: Fn(&crate::meta_rule::MetaRule) -> f64,
+{
+    let mut out = detect_clashes(mrt);
+    out.extend(detect_budget_infeasibility(mrt, worst_case_hourly_kwh));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::meta_rule::MetaRule;
+    use crate::window::TimeWindow;
+
+    #[test]
+    fn paper_table2_is_clash_free() {
+        // Table II windows on the same device class never overlap.
+        let mrt = Mrt::flat_table2(11000.0);
+        assert!(detect_clashes(&mrt).is_empty());
+    }
+
+    #[test]
+    fn overlapping_different_setpoints_clash() {
+        let mut mrt = Mrt::new();
+        let a = mrt.push(MetaRule::convenience(
+            0,
+            "A",
+            TimeWindow::hours(1, 7),
+            Action::SetTemperature(25.0),
+        ));
+        let b = mrt.push(MetaRule::convenience(
+            0,
+            "B",
+            TimeWindow::hours(6, 9),
+            Action::SetTemperature(20.0),
+        ));
+        let conflicts = detect_clashes(&mrt);
+        assert_eq!(conflicts.len(), 1);
+        match &conflicts[0] {
+            Conflict::SetpointClash {
+                first,
+                second,
+                class,
+                first_value,
+                second_value,
+            } => {
+                assert_eq!((*first, *second), (a, b));
+                assert_eq!(*class, DeviceClass::Hvac);
+                assert_eq!((*first_value, *second_value), (25.0, 20.0));
+            }
+            other => panic!("unexpected conflict {other:?}"),
+        }
+        assert_eq!(conflicts[0].severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn different_device_classes_never_clash() {
+        let mut mrt = Mrt::new();
+        mrt.push(MetaRule::convenience(
+            0,
+            "A",
+            TimeWindow::hours(1, 7),
+            Action::SetTemperature(25.0),
+        ));
+        mrt.push(MetaRule::convenience(
+            0,
+            "B",
+            TimeWindow::hours(1, 7),
+            Action::SetLight(40.0),
+        ));
+        assert!(detect_clashes(&mrt).is_empty());
+    }
+
+    #[test]
+    fn exact_duplicates_detected() {
+        let mut mrt = Mrt::new();
+        mrt.push(MetaRule::convenience(
+            0,
+            "A",
+            TimeWindow::hours(1, 7),
+            Action::SetTemperature(25.0),
+        ));
+        mrt.push(MetaRule::convenience(
+            0,
+            "A again",
+            TimeWindow::hours(1, 7),
+            Action::SetTemperature(25.0),
+        ));
+        let conflicts = detect_clashes(&mrt);
+        assert_eq!(conflicts.len(), 1);
+        assert!(matches!(conflicts[0], Conflict::Duplicate { .. }));
+    }
+
+    #[test]
+    fn infeasible_budget_detected() {
+        let mut mrt = Mrt::new();
+        mrt.push(MetaRule::necessity(
+            0,
+            "Life support",
+            TimeWindow::all_day(),
+            Action::SetTemperature(22.0),
+        ));
+        mrt.push(MetaRule::budget(0, "Tiny budget", 1.0, 8928));
+        // Necessity rule costs 1 kWh/h; allowance is 1/8928 kWh/h.
+        let conflicts = detect_budget_infeasibility(&mrt, |_| 1.0);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn feasible_budget_passes() {
+        let mrt = Mrt::flat_table2(11000.0);
+        // No necessity rules in Table II, so any budget is feasible.
+        assert!(detect_budget_infeasibility(&mrt, |_| 1.0).is_empty());
+    }
+
+    #[test]
+    fn analyze_combines_both() {
+        let mut mrt = Mrt::new();
+        mrt.push(MetaRule::convenience(
+            0,
+            "A",
+            TimeWindow::hours(1, 7),
+            Action::SetTemperature(25.0),
+        ));
+        mrt.push(MetaRule::convenience(
+            0,
+            "B",
+            TimeWindow::hours(6, 9),
+            Action::SetTemperature(20.0),
+        ));
+        mrt.push(MetaRule::necessity(
+            0,
+            "N",
+            TimeWindow::all_day(),
+            Action::SetTemperature(22.0),
+        ));
+        mrt.push(MetaRule::budget(0, "Tiny", 1.0, 8928));
+        let all = analyze(&mrt, |_| 1.0);
+        assert!(all
+            .iter()
+            .any(|c| matches!(c, Conflict::SetpointClash { .. })));
+        assert!(all
+            .iter()
+            .any(|c| matches!(c, Conflict::BudgetInfeasible { .. })));
+    }
+
+    #[test]
+    fn conflicts_render_human_readably() {
+        let c = Conflict::Duplicate {
+            first: RuleId(1),
+            second: RuleId(2),
+        };
+        assert_eq!(c.to_string(), "duplicate rules: MR1 and MR2");
+    }
+}

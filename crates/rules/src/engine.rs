@@ -1,0 +1,274 @@
+//! The unified RAW engine: one evaluator for all three rule species.
+//!
+//! The paper's Fig. 1 spectrum — manual tables, trigger-action rules,
+//! procedural workflows — converges at execution time: given the current
+//! environment, *what does the rule base want actuated?* [`RuleEngine`]
+//! answers that. It holds an MRT, an IFTTT table and a set of workflows,
+//! and [`RuleEngine::evaluate`] produces the merged [`Intent`] list for a
+//! snapshot, tagged with provenance so the meta-control firewall can apply
+//! per-source policy (e.g. "meta-rules are budget-managed, workflow output
+//! is advisory").
+//!
+//! Merge semantics per device class: meta-rules win over IFTTT, IFTTT wins
+//! over workflows (explicit user preferences beat automation defaults beat
+//! scripts), with later rules overriding earlier ones within a source —
+//! matching the per-source semantics each engine already has.
+
+use crate::action::{Action, DeviceClass};
+use crate::env::EnvSnapshot;
+use crate::ifttt::IftttTable;
+use crate::meta_rule::RuleId;
+use crate::mrt::Mrt;
+use crate::workflow::{Workflow, WorkflowError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where an intent came from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// A meta-rule of the MRT.
+    MetaRule(RuleId),
+    /// A trigger-action rule (index into the IFTTT table).
+    Ifttt(usize),
+    /// A procedural workflow, by name.
+    Workflow(String),
+}
+
+/// One desired actuation with provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Intent {
+    /// The actuation.
+    pub action: Action,
+    /// Which rule produced it.
+    pub provenance: Provenance,
+}
+
+/// The merged evaluation result for one snapshot.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Every intent produced, in evaluation order (meta-rules, IFTTT,
+    /// workflows).
+    pub intents: Vec<Intent>,
+    /// The winning intent per device class after merging.
+    pub winners: BTreeMap<DeviceClass, Intent>,
+    /// Workflow failures (a buggy script must not break the engine).
+    pub workflow_errors: Vec<(String, String)>,
+}
+
+/// The unified rule engine.
+#[derive(Debug, Clone, Default)]
+pub struct RuleEngine {
+    mrt: Mrt,
+    ifttt: IftttTable,
+    workflows: Vec<Workflow>,
+}
+
+impl RuleEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the Meta-Rule Table.
+    pub fn with_mrt(mut self, mrt: Mrt) -> Self {
+        self.mrt = mrt;
+        self
+    }
+
+    /// Sets the IFTTT table.
+    pub fn with_ifttt(mut self, table: IftttTable) -> Self {
+        self.ifttt = table;
+        self
+    }
+
+    /// Adds a workflow.
+    pub fn with_workflow(mut self, wf: Workflow) -> Self {
+        self.workflows.push(wf);
+        self
+    }
+
+    /// The configured MRT.
+    pub fn mrt(&self) -> &Mrt {
+        &self.mrt
+    }
+
+    /// Evaluates every rule source against a snapshot and merges.
+    pub fn evaluate(&self, env: &EnvSnapshot) -> Evaluation {
+        let mut eval = Evaluation::default();
+
+        // Workflows first (lowest priority in the merge).
+        let mut layered: Vec<Intent> = Vec::new();
+        for wf in &self.workflows {
+            match wf.run(env) {
+                Ok(outcome) => {
+                    for action in outcome.actions {
+                        layered.push(Intent {
+                            action,
+                            provenance: Provenance::Workflow(wf.name.clone()),
+                        });
+                    }
+                }
+                Err(e) => eval.workflow_errors.push((wf.name.clone(), describe(&e))),
+            }
+        }
+        // IFTTT next.
+        for (idx, rule) in self.ifttt.rules().iter().enumerate() {
+            if rule.trigger.eval(env) {
+                layered.push(Intent {
+                    action: rule.action,
+                    provenance: Provenance::Ifttt(idx),
+                });
+            }
+        }
+        // Meta-rules last (highest priority): active-window rules.
+        for rule in self.mrt.active_at_hour(env.hour) {
+            layered.push(Intent {
+                action: rule.action,
+                provenance: Provenance::MetaRule(rule.id),
+            });
+        }
+
+        // Merge: later layers (and later rules within a layer) override.
+        for intent in &layered {
+            if intent.action.is_budget() {
+                continue;
+            }
+            eval.winners
+                .insert(intent.action.device_class(), intent.clone());
+        }
+        eval.intents = layered;
+        eval
+    }
+}
+
+fn describe(e: &WorkflowError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta_rule::MetaRule;
+    use crate::predicate::Predicate;
+    use crate::window::TimeWindow;
+    use crate::workflow::{Expr, Stmt};
+
+    fn engine() -> RuleEngine {
+        let mut mrt = Mrt::new();
+        mrt.push(MetaRule::convenience(
+            0,
+            "Night Heat",
+            TimeWindow::hours(1, 7),
+            Action::SetTemperature(25.0),
+        ));
+        mrt.push(MetaRule::budget(0, "Budget", 100.0, 744));
+        let mut ifttt = IftttTable::new();
+        ifttt.push(crate::ifttt::IftttRule::new(
+            Predicate::True,
+            Action::SetTemperature(20.0),
+        ));
+        ifttt.push(crate::ifttt::IftttRule::new(
+            Predicate::True,
+            Action::SetLight(40.0),
+        ));
+        RuleEngine::new()
+            .with_mrt(mrt)
+            .with_ifttt(ifttt)
+            .with_workflow(Workflow::new(
+                "wf",
+                vec![Stmt::ActuateLight(Expr::Num(5.0))],
+            ))
+    }
+
+    #[test]
+    fn meta_rules_win_over_ifttt_over_workflows() {
+        let env = EnvSnapshot::neutral().with_hour(3);
+        let eval = engine().evaluate(&env);
+        // HVAC: the meta-rule's 25 beats IFTTT's 20.
+        assert_eq!(
+            eval.winners[&DeviceClass::Hvac].action,
+            Action::SetTemperature(25.0)
+        );
+        assert!(matches!(
+            eval.winners[&DeviceClass::Hvac].provenance,
+            Provenance::MetaRule(_)
+        ));
+        // Light: IFTTT's 40 beats the workflow's 5 (no meta light rule).
+        assert_eq!(
+            eval.winners[&DeviceClass::Light].action,
+            Action::SetLight(40.0)
+        );
+        assert!(matches!(
+            eval.winners[&DeviceClass::Light].provenance,
+            Provenance::Ifttt(1)
+        ));
+        // All five intents recorded (wf light, 2 ifttt, 1 meta; budget row inactive).
+        assert_eq!(eval.intents.len(), 4);
+    }
+
+    #[test]
+    fn outside_the_window_ifttt_takes_over() {
+        let env = EnvSnapshot::neutral().with_hour(12);
+        let eval = engine().evaluate(&env);
+        assert_eq!(
+            eval.winners[&DeviceClass::Hvac].action,
+            Action::SetTemperature(20.0)
+        );
+    }
+
+    #[test]
+    fn workflow_only_classes_surface() {
+        let env = EnvSnapshot::neutral().with_hour(12);
+        let engine = RuleEngine::new().with_workflow(Workflow::new(
+            "solo",
+            vec![Stmt::ActuateLight(Expr::Num(33.0))],
+        ));
+        let eval = engine.evaluate(&env);
+        assert_eq!(
+            eval.winners[&DeviceClass::Light].action,
+            Action::SetLight(33.0)
+        );
+        assert!(
+            matches!(eval.winners[&DeviceClass::Light].provenance, Provenance::Workflow(ref n) if n == "solo")
+        );
+    }
+
+    #[test]
+    fn budget_rows_never_win_a_device_class() {
+        let env = EnvSnapshot::neutral().with_hour(3);
+        let eval = engine().evaluate(&env);
+        assert!(!eval.winners.values().any(|i| i.action.is_budget()));
+    }
+
+    #[test]
+    fn broken_workflows_are_contained() {
+        let bad = Workflow::new(
+            "broken",
+            vec![Stmt::ActuateLight(Expr::Var("undefined".into()))],
+        );
+        let engine = RuleEngine::new().with_workflow(bad).with_ifttt({
+            let mut t = IftttTable::new();
+            t.push(crate::ifttt::IftttRule::new(
+                Predicate::True,
+                Action::SetLight(10.0),
+            ));
+            t
+        });
+        let eval = engine.evaluate(&EnvSnapshot::neutral());
+        assert_eq!(eval.workflow_errors.len(), 1);
+        assert_eq!(eval.workflow_errors[0].0, "broken");
+        // The rest of the rule base still evaluated.
+        assert_eq!(
+            eval.winners[&DeviceClass::Light].action,
+            Action::SetLight(10.0)
+        );
+    }
+
+    #[test]
+    fn empty_engine_is_quiet() {
+        let eval = RuleEngine::new().evaluate(&EnvSnapshot::neutral());
+        assert!(eval.intents.is_empty());
+        assert!(eval.winners.is_empty());
+        assert!(eval.workflow_errors.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Environment snapshots: the `IF`-side inputs of RAW rules.
+//!
+//! A rule engine needs a view of the world to evaluate triggers against. An
+//! [`EnvSnapshot`] carries everything Table III's triggers reference: season,
+//! weather, ambient temperature, light level and door state, plus the time of
+//! day so time-windowed rules can be resolved from the same structure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Calendar season, derived from the month.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Season {
+    Winter,
+    Spring,
+    Summer,
+    Autumn,
+}
+
+impl Season {
+    /// Season for a 1-based month using the meteorological convention
+    /// (Dec–Feb winter, Mar–May spring, Jun–Aug summer, Sep–Nov autumn).
+    ///
+    /// # Panics
+    /// Panics if `month` is not in `1..=12`.
+    pub fn from_month(month: u32) -> Season {
+        match month {
+            12 | 1 | 2 => Season::Winter,
+            3..=5 => Season::Spring,
+            6..=8 => Season::Summer,
+            9..=11 => Season::Autumn,
+            _ => panic!("month out of range: {month}"),
+        }
+    }
+}
+
+impl fmt::Display for Season {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Season::Winter => "Winter",
+            Season::Spring => "Spring",
+            Season::Summer => "Summer",
+            Season::Autumn => "Autumn",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Coarse weather condition as used by IFTTT triggers (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weather {
+    Sunny,
+    Cloudy,
+    Rainy,
+}
+
+impl fmt::Display for Weather {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Weather::Sunny => "Sunny",
+            Weather::Cloudy => "Cloudy",
+            Weather::Rainy => "Rainy",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A point-in-time view of the smart space used to evaluate rule conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvSnapshot {
+    /// 1-based month of year.
+    pub month: u32,
+    /// Hour of day, `0..24`.
+    pub hour: u32,
+    /// Minute of hour, `0..60`.
+    pub minute: u32,
+    /// Season, normally derived from `month`.
+    pub season: Season,
+    /// Coarse weather condition.
+    pub weather: Weather,
+    /// Ambient (indoor, unactuated) temperature in °C.
+    pub temperature: f64,
+    /// Ambient light level, 0–100.
+    pub light_level: f64,
+    /// Whether a monitored door is currently open.
+    pub door_open: bool,
+}
+
+impl EnvSnapshot {
+    /// A neutral snapshot useful as a builder seed and in tests: January,
+    /// midnight, winter, cloudy, 15 °C, dark, door closed.
+    pub fn neutral() -> Self {
+        EnvSnapshot {
+            month: 1,
+            hour: 0,
+            minute: 0,
+            season: Season::Winter,
+            weather: Weather::Cloudy,
+            temperature: 15.0,
+            light_level: 0.0,
+            door_open: false,
+        }
+    }
+
+    /// Minutes since midnight.
+    pub fn minute_of_day(&self) -> u32 {
+        self.hour * 60 + self.minute
+    }
+
+    /// Sets the month and keeps the season consistent with it.
+    pub fn with_month(mut self, month: u32) -> Self {
+        self.month = month;
+        self.season = Season::from_month(month);
+        self
+    }
+
+    /// Sets the hour of day.
+    pub fn with_hour(mut self, hour: u32) -> Self {
+        self.hour = hour;
+        self
+    }
+
+    /// Sets the ambient temperature.
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Sets the ambient light level.
+    pub fn with_light(mut self, l: f64) -> Self {
+        self.light_level = l;
+        self
+    }
+
+    /// Sets the weather.
+    pub fn with_weather(mut self, w: Weather) -> Self {
+        self.weather = w;
+        self
+    }
+
+    /// Sets the door state.
+    pub fn with_door_open(mut self, open: bool) -> Self {
+        self.door_open = open;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seasons_from_months() {
+        assert_eq!(Season::from_month(1), Season::Winter);
+        assert_eq!(Season::from_month(4), Season::Spring);
+        assert_eq!(Season::from_month(7), Season::Summer);
+        assert_eq!(Season::from_month(10), Season::Autumn);
+        assert_eq!(Season::from_month(12), Season::Winter);
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn month_zero_panics() {
+        Season::from_month(0);
+    }
+
+    #[test]
+    fn builder_keeps_season_in_sync() {
+        let e = EnvSnapshot::neutral().with_month(7);
+        assert_eq!(e.season, Season::Summer);
+        let e = e.with_month(11);
+        assert_eq!(e.season, Season::Autumn);
+    }
+
+    #[test]
+    fn minute_of_day() {
+        let e = EnvSnapshot::neutral().with_hour(13);
+        assert_eq!(e.minute_of_day(), 13 * 60);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Season::Summer.to_string(), "Summer");
+        assert_eq!(Weather::Sunny.to_string(), "Sunny");
+    }
+}

@@ -1,0 +1,199 @@
+//! Meta-rules: the rows of a Meta-Rule Table.
+//!
+//! A meta-rule expresses a *preference* ("Night Heat: between 01:00 and 07:00
+//! hold 25 °C") together with the metadata the IMCF needs to arbitrate it:
+//! whether it is a *convenience* or a *necessity* rule, its priority and the
+//! resident who owns it (for per-user convenience attribution, paper
+//! Table V).
+
+use crate::action::Action;
+use crate::window::TimeWindow;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a rule inside an MRT; stable across planner runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RuleId(pub u32);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MR{}", self.0)
+    }
+}
+
+/// Convenience vs. necessity classification (paper §I-B).
+///
+/// Convenience rules promote physical comfort and may be dropped by the
+/// Energy Planner; necessity rules are always executed regardless of the
+/// long-term target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RuleClass {
+    #[default]
+    Convenience,
+    Necessity,
+}
+
+/// One row of the Meta-Rule Table (paper Table II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaRule {
+    /// Stable identifier within its MRT.
+    pub id: RuleId,
+    /// Human-readable description, e.g. "Night Heat".
+    pub description: String,
+    /// Daily activity window. Budget rules (horizon-based) use
+    /// [`TimeWindow::all_day`] plus [`MetaRule::horizon_hours`].
+    pub window: TimeWindow,
+    /// The actuation intent.
+    pub action: Action,
+    /// Convenience or necessity.
+    pub class: RuleClass,
+    /// Priority; higher values are preferred when rules must be dropped.
+    pub priority: u32,
+    /// Owning resident, for per-user attribution (empty = household).
+    pub owner: String,
+    /// For budget rules: the horizon in hours the limit covers
+    /// (e.g. "for three years"). `None` for ordinary actuation rules.
+    pub horizon_hours: Option<u64>,
+}
+
+impl MetaRule {
+    /// Creates a convenience actuation rule with default priority 1 and
+    /// household ownership.
+    pub fn convenience(id: u32, description: &str, window: TimeWindow, action: Action) -> Self {
+        MetaRule {
+            id: RuleId(id),
+            description: description.to_string(),
+            window,
+            action,
+            class: RuleClass::Convenience,
+            priority: 1,
+            owner: String::new(),
+            horizon_hours: None,
+        }
+    }
+
+    /// Creates a necessity rule — always executed by the planner.
+    pub fn necessity(id: u32, description: &str, window: TimeWindow, action: Action) -> Self {
+        MetaRule {
+            class: RuleClass::Necessity,
+            ..Self::convenience(id, description, window, action)
+        }
+    }
+
+    /// Creates a budget meta-rule ("Set kWh Limit L for `horizon_hours`").
+    pub fn budget(id: u32, description: &str, limit_kwh: f64, horizon_hours: u64) -> Self {
+        MetaRule {
+            id: RuleId(id),
+            description: description.to_string(),
+            window: TimeWindow::all_day(),
+            action: Action::SetKwhLimit(limit_kwh),
+            class: RuleClass::Necessity,
+            priority: u32::MAX,
+            owner: String::new(),
+            horizon_hours: Some(horizon_hours),
+        }
+    }
+
+    /// Assigns an owning resident (builder style).
+    pub fn owned_by(mut self, owner: &str) -> Self {
+        self.owner = owner.to_string();
+        self
+    }
+
+    /// Assigns a priority (builder style).
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// True for `Set kWh Limit` rows.
+    pub fn is_budget(&self) -> bool {
+        self.action.is_budget()
+    }
+
+    /// True when the rule is active at the given hour of day. Budget rules
+    /// are never "active" in the actuation sense.
+    pub fn active_at_hour(&self, hour_of_day: u32) -> bool {
+        !self.is_budget() && self.window.contains_hour(hour_of_day)
+    }
+
+    /// Whether the planner may drop this rule.
+    pub fn droppable(&self) -> bool {
+        self.class == RuleClass::Convenience && !self.is_budget()
+    }
+}
+
+impl fmt::Display for MetaRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | {} | {}",
+            self.id, self.description, self.window, self.action
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn night_heat() -> MetaRule {
+        MetaRule::convenience(
+            1,
+            "Night Heat",
+            TimeWindow::hours(1, 7),
+            Action::SetTemperature(25.0),
+        )
+    }
+
+    #[test]
+    fn convenience_rules_are_droppable() {
+        assert!(night_heat().droppable());
+    }
+
+    #[test]
+    fn necessity_rules_are_not_droppable() {
+        let r = MetaRule::necessity(
+            2,
+            "Medical Fridge",
+            TimeWindow::all_day(),
+            Action::SetTemperature(4.0),
+        );
+        assert!(!r.droppable());
+    }
+
+    #[test]
+    fn budget_rules_are_not_droppable_and_never_active() {
+        let b = MetaRule::budget(7, "Energy Flat", 11000.0, 3 * 8928);
+        assert!(b.is_budget());
+        assert!(!b.droppable());
+        for h in 0..24 {
+            assert!(!b.active_at_hour(h));
+        }
+        assert_eq!(b.horizon_hours, Some(3 * 8928));
+    }
+
+    #[test]
+    fn activity_respects_window() {
+        let r = night_heat();
+        assert!(r.active_at_hour(1));
+        assert!(r.active_at_hour(6));
+        assert!(!r.active_at_hour(7));
+        assert!(!r.active_at_hour(12));
+    }
+
+    #[test]
+    fn ownership_and_priority_builders() {
+        let r = night_heat().owned_by("father").with_priority(5);
+        assert_eq!(r.owner, "father");
+        assert_eq!(r.priority, 5);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = night_heat().to_string();
+        assert!(s.contains("Night Heat"));
+        assert!(s.contains("01:00 - 07:00"));
+        assert!(s.contains("Set Temperature 25"));
+    }
+}

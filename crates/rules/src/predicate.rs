@@ -1,0 +1,208 @@
+//! Boolean predicates over environment snapshots.
+//!
+//! Predicates form the `IF`-side of trigger-action rules. The grammar covers
+//! everything Table III needs (season, weather, numeric comparisons on
+//! temperature and light level, door state) plus the Apilio-style boolean
+//! connectives the paper credits with expanding RAW expressiveness.
+
+use crate::env::{EnvSnapshot, Season, Weather};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator for numeric triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cmp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    /// Applies the comparison.
+    pub fn eval(&self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+            Cmp::Gt => lhs > rhs,
+            Cmp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean condition over an [`EnvSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (the trigger of an unconditional rule).
+    True,
+    /// `Season IS <season>`.
+    SeasonIs(Season),
+    /// `Weather IS <weather>`.
+    WeatherIs(Weather),
+    /// `Temperature <cmp> <value>` on ambient temperature.
+    Temperature(Cmp, f64),
+    /// `Light Level <cmp> <value>` on ambient light.
+    LightLevel(Cmp, f64),
+    /// `Door IS open/closed`.
+    DoorOpen(bool),
+    /// Time-of-day test: true when the snapshot's hour is in `[start, end)`
+    /// (wraps past midnight when `end < start`).
+    HourIn(u32, u32),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a snapshot.
+    pub fn eval(&self, env: &EnvSnapshot) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::SeasonIs(s) => env.season == *s,
+            Predicate::WeatherIs(w) => env.weather == *w,
+            Predicate::Temperature(c, v) => c.eval(env.temperature, *v),
+            Predicate::LightLevel(c, v) => c.eval(env.light_level, *v),
+            Predicate::DoorOpen(open) => env.door_open == *open,
+            Predicate::HourIn(start, end) => {
+                let h = env.hour % 24;
+                if end < start {
+                    h >= *start || h < *end
+                } else {
+                    h >= *start && h < *end
+                }
+            }
+            Predicate::And(a, b) => a.eval(env) && b.eval(env),
+            Predicate::Or(a, b) => a.eval(env) || b.eval(env),
+            Predicate::Not(p) => !p.eval(env),
+        }
+    }
+
+    /// `self AND other` (builder).
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other` (builder).
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self` (builder).
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Structural depth, bounded by parsers to prevent stack exhaustion.
+    pub fn depth(&self) -> usize {
+        match self {
+            Predicate::And(a, b) | Predicate::Or(a, b) => 1 + a.depth().max(b.depth()),
+            Predicate::Not(p) => 1 + p.depth(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::SeasonIs(s) => write!(f, "Season IS {s}"),
+            Predicate::WeatherIs(w) => write!(f, "Weather IS {w}"),
+            Predicate::Temperature(c, v) => write!(f, "Temperature {c} {v}"),
+            Predicate::LightLevel(c, v) => write!(f, "Light Level {c} {v}"),
+            Predicate::DoorOpen(true) => write!(f, "Door IS Open"),
+            Predicate::DoorOpen(false) => write!(f, "Door IS Closed"),
+            Predicate::HourIn(s, e) => write!(f, "Hour IN [{s}, {e})"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "(NOT {p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summer_noon() -> EnvSnapshot {
+        EnvSnapshot::neutral()
+            .with_month(7)
+            .with_hour(12)
+            .with_temperature(31.0)
+            .with_light(80.0)
+            .with_weather(Weather::Sunny)
+    }
+
+    #[test]
+    fn season_and_weather() {
+        let env = summer_noon();
+        assert!(Predicate::SeasonIs(Season::Summer).eval(&env));
+        assert!(!Predicate::SeasonIs(Season::Winter).eval(&env));
+        assert!(Predicate::WeatherIs(Weather::Sunny).eval(&env));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let env = summer_noon();
+        assert!(Predicate::Temperature(Cmp::Gt, 30.0).eval(&env));
+        assert!(!Predicate::Temperature(Cmp::Lt, 10.0).eval(&env));
+        assert!(Predicate::LightLevel(Cmp::Gt, 15.0).eval(&env));
+        assert!(Predicate::LightLevel(Cmp::Ge, 80.0).eval(&env));
+        assert!(Predicate::LightLevel(Cmp::Le, 80.0).eval(&env));
+    }
+
+    #[test]
+    fn door_state() {
+        let open = EnvSnapshot::neutral().with_door_open(true);
+        assert!(Predicate::DoorOpen(true).eval(&open));
+        assert!(!Predicate::DoorOpen(false).eval(&open));
+    }
+
+    #[test]
+    fn hour_in_with_wrap() {
+        let p = Predicate::HourIn(22, 6);
+        assert!(p.eval(&EnvSnapshot::neutral().with_hour(23)));
+        assert!(p.eval(&EnvSnapshot::neutral().with_hour(2)));
+        assert!(!p.eval(&EnvSnapshot::neutral().with_hour(12)));
+    }
+
+    #[test]
+    fn connectives() {
+        let env = summer_noon();
+        let p = Predicate::SeasonIs(Season::Summer).and(Predicate::Temperature(Cmp::Gt, 30.0));
+        assert!(p.eval(&env));
+        let q = Predicate::SeasonIs(Season::Winter).or(Predicate::WeatherIs(Weather::Sunny));
+        assert!(q.eval(&env));
+        assert!(!q.clone().negate().eval(&env));
+        assert_eq!(p.depth(), 2);
+        assert_eq!(q.negate().depth(), 3);
+    }
+
+    #[test]
+    fn true_is_always_true() {
+        assert!(Predicate::True.eval(&EnvSnapshot::neutral()));
+    }
+
+    #[test]
+    fn display_round_trip_vocabulary() {
+        let p = Predicate::Temperature(Cmp::Gt, 30.0);
+        assert_eq!(p.to_string(), "Temperature > 30");
+        let d = Predicate::DoorOpen(true);
+        assert_eq!(d.to_string(), "Door IS Open");
+    }
+}

@@ -1,0 +1,480 @@
+//! Procedural rule workflows (the Apple-Automation end of the RAW spectrum).
+//!
+//! The paper's Fig. 1 places procedural rules — "variables, while loops, if
+//! statements and functions" — at the most expressive end of RAW management.
+//! This module implements a small, total (fuel-bounded) imperative language
+//! whose programs read the environment, compute with variables and emit
+//! actuation [`Action`]s. The IMCF treats a workflow exactly like any other
+//! rule source: the actions it emits pass through the same meta-control
+//! firewall.
+//!
+//! The interpreter is deterministic and cannot loop forever: every statement
+//! execution consumes one unit of *fuel* and evaluation aborts with
+//! [`WorkflowError::FuelExhausted`] when the budget runs out.
+
+use crate::action::Action;
+use crate::env::EnvSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Runtime value of the workflow language.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Num(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn as_num(&self) -> Result<f64, WorkflowError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            Value::Bool(_) => Err(WorkflowError::TypeError("expected number, found bool")),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, WorkflowError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Num(_) => Err(WorkflowError::TypeError("expected bool, found number")),
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Ambient temperature from the environment snapshot.
+    EnvTemperature,
+    /// Ambient light level from the environment snapshot.
+    EnvLight,
+    /// Hour of day from the environment snapshot.
+    EnvHour,
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Comparison, yields a Bool.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical and.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for `lhs <op> rhs` arithmetic.
+    pub fn arith(op: ArithOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Arith(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for comparisons.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Bind or rebind a variable.
+    Set(String, Expr),
+    /// Conditional execution.
+    If {
+        cond: Expr,
+        then_block: Vec<Stmt>,
+        else_block: Vec<Stmt>,
+    },
+    /// Fuel-bounded loop.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// Emit a thermostat actuation with the value of the expression.
+    ActuateTemperature(Expr),
+    /// Emit a light actuation with the value of the expression.
+    ActuateLight(Expr),
+    /// Advance workflow-local time by the value of the expression (minutes).
+    Wait(Expr),
+}
+
+/// Errors produced by workflow execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// A variable was read before being set.
+    UndefinedVariable(String),
+    /// A value had the wrong type for the operation.
+    TypeError(&'static str),
+    /// Division by zero.
+    DivisionByZero,
+    /// The fuel budget ran out (runaway loop).
+    FuelExhausted,
+    /// A `Wait` was negative or non-finite.
+    InvalidWait(f64),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::UndefinedVariable(v) => write!(f, "undefined variable `{v}`"),
+            WorkflowError::TypeError(m) => write!(f, "type error: {m}"),
+            WorkflowError::DivisionByZero => write!(f, "division by zero"),
+            WorkflowError::FuelExhausted => write!(f, "fuel exhausted (possible infinite loop)"),
+            WorkflowError::InvalidWait(v) => write!(f, "invalid wait duration {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// The result of running a workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowOutcome {
+    /// Actions emitted, in order.
+    pub actions: Vec<Action>,
+    /// Total minutes of `Wait` accumulated.
+    pub waited_minutes: f64,
+    /// Final variable bindings (useful for testing and debugging).
+    pub bindings: BTreeMap<String, Value>,
+}
+
+/// A procedural rule workflow: a named program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Human-readable name.
+    pub name: String,
+    /// Program body.
+    pub body: Vec<Stmt>,
+}
+
+/// Default fuel budget: generous for preference programs, tiny for a CPU.
+pub const DEFAULT_FUEL: u64 = 100_000;
+
+impl Workflow {
+    /// Creates a workflow.
+    pub fn new(name: &str, body: Vec<Stmt>) -> Self {
+        Workflow {
+            name: name.to_string(),
+            body,
+        }
+    }
+
+    /// Runs the workflow against an environment snapshot with the default
+    /// fuel budget.
+    pub fn run(&self, env: &EnvSnapshot) -> Result<WorkflowOutcome, WorkflowError> {
+        self.run_with_fuel(env, DEFAULT_FUEL)
+    }
+
+    /// Runs the workflow with an explicit fuel budget.
+    pub fn run_with_fuel(
+        &self,
+        env: &EnvSnapshot,
+        fuel: u64,
+    ) -> Result<WorkflowOutcome, WorkflowError> {
+        let mut interp = Interp {
+            env,
+            fuel,
+            vars: BTreeMap::new(),
+            actions: Vec::new(),
+            waited: 0.0,
+        };
+        interp.exec_block(&self.body)?;
+        Ok(WorkflowOutcome {
+            actions: interp.actions,
+            waited_minutes: interp.waited,
+            bindings: interp.vars,
+        })
+    }
+}
+
+struct Interp<'a> {
+    env: &'a EnvSnapshot,
+    fuel: u64,
+    vars: BTreeMap<String, Value>,
+    actions: Vec<Action>,
+    waited: f64,
+}
+
+impl Interp<'_> {
+    fn burn(&mut self) -> Result<(), WorkflowError> {
+        if self.fuel == 0 {
+            return Err(WorkflowError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn exec_block(&mut self, block: &[Stmt]) -> Result<(), WorkflowError> {
+        for stmt in block {
+            self.exec(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), WorkflowError> {
+        self.burn()?;
+        match stmt {
+            Stmt::Set(name, expr) => {
+                let v = self.eval(expr)?;
+                self.vars.insert(name.clone(), v);
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                if self.eval(cond)?.as_bool()? {
+                    self.exec_block(then_block)?;
+                } else {
+                    self.exec_block(else_block)?;
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond)?.as_bool()? {
+                    self.burn()?;
+                    self.exec_block(body)?;
+                }
+            }
+            Stmt::ActuateTemperature(expr) => {
+                let v = self.eval(expr)?.as_num()?;
+                self.actions.push(Action::SetTemperature(v));
+            }
+            Stmt::ActuateLight(expr) => {
+                let v = self.eval(expr)?.as_num()?;
+                self.actions.push(Action::SetLight(v));
+            }
+            Stmt::Wait(expr) => {
+                let v = self.eval(expr)?.as_num()?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(WorkflowError::InvalidWait(v));
+                }
+                self.waited += v;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self, expr: &Expr) -> Result<Value, WorkflowError> {
+        self.burn()?;
+        Ok(match expr {
+            Expr::Num(n) => Value::Num(*n),
+            Expr::Bool(b) => Value::Bool(*b),
+            Expr::Var(name) => *self
+                .vars
+                .get(name)
+                .ok_or_else(|| WorkflowError::UndefinedVariable(name.clone()))?,
+            Expr::EnvTemperature => Value::Num(self.env.temperature),
+            Expr::EnvLight => Value::Num(self.env.light_level),
+            Expr::EnvHour => Value::Num(self.env.hour as f64),
+            Expr::Arith(op, a, b) => {
+                let a = self.eval(a)?.as_num()?;
+                let b = self.eval(b)?.as_num()?;
+                Value::Num(match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => {
+                        if b == 0.0 {
+                            return Err(WorkflowError::DivisionByZero);
+                        }
+                        a / b
+                    }
+                })
+            }
+            Expr::Cmp(op, a, b) => {
+                let a = self.eval(a)?.as_num()?;
+                let b = self.eval(b)?.as_num()?;
+                Value::Bool(match op {
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                })
+            }
+            Expr::And(a, b) => Value::Bool(self.eval(a)?.as_bool()? && self.eval(b)?.as_bool()?),
+            Expr::Or(a, b) => Value::Bool(self.eval(a)?.as_bool()? || self.eval(b)?.as_bool()?),
+            Expr::Not(e) => Value::Bool(!self.eval(e)?.as_bool()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// "Preheat ramp": raise the setpoint by 1°C per simulated 30-minute
+    /// wait until it reaches the target — a realistic procedural RAW.
+    fn preheat_ramp() -> Workflow {
+        Workflow::new(
+            "preheat ramp",
+            vec![
+                Stmt::Set("t".into(), Expr::EnvTemperature),
+                Stmt::While {
+                    cond: Expr::cmp(CmpOp::Lt, Expr::Var("t".into()), Expr::Num(22.0)),
+                    body: vec![
+                        Stmt::Set(
+                            "t".into(),
+                            Expr::arith(ArithOp::Add, Expr::Var("t".into()), Expr::Num(1.0)),
+                        ),
+                        Stmt::ActuateTemperature(Expr::Var("t".into())),
+                        Stmt::Wait(Expr::Num(30.0)),
+                    ],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn ramp_emits_one_action_per_degree() {
+        let env = EnvSnapshot::neutral().with_temperature(18.0);
+        let out = preheat_ramp().run(&env).unwrap();
+        assert_eq!(out.actions.len(), 4); // 19, 20, 21, 22
+        assert_eq!(out.actions[0], Action::SetTemperature(19.0));
+        assert_eq!(out.actions[3], Action::SetTemperature(22.0));
+        assert_eq!(out.waited_minutes, 120.0);
+        assert_eq!(out.bindings["t"], Value::Num(22.0));
+    }
+
+    #[test]
+    fn warm_start_emits_nothing() {
+        let env = EnvSnapshot::neutral().with_temperature(25.0);
+        let out = preheat_ramp().run(&env).unwrap();
+        assert!(out.actions.is_empty());
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let wf = Workflow::new(
+            "evening lights",
+            vec![Stmt::If {
+                cond: Expr::cmp(CmpOp::Ge, Expr::EnvHour, Expr::Num(18.0)),
+                then_block: vec![Stmt::ActuateLight(Expr::Num(40.0))],
+                else_block: vec![Stmt::ActuateLight(Expr::Num(0.0))],
+            }],
+        );
+        let evening = wf.run(&EnvSnapshot::neutral().with_hour(20)).unwrap();
+        assert_eq!(evening.actions, vec![Action::SetLight(40.0)]);
+        let noon = wf.run(&EnvSnapshot::neutral().with_hour(12)).unwrap();
+        assert_eq!(noon.actions, vec![Action::SetLight(0.0)]);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let wf = Workflow::new(
+            "runaway",
+            vec![Stmt::While {
+                cond: Expr::Bool(true),
+                body: vec![],
+            }],
+        );
+        let err = wf.run_with_fuel(&EnvSnapshot::neutral(), 1000).unwrap_err();
+        assert_eq!(err, WorkflowError::FuelExhausted);
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let wf = Workflow::new("bad", vec![Stmt::ActuateLight(Expr::Var("nope".into()))]);
+        match wf.run(&EnvSnapshot::neutral()).unwrap_err() {
+            WorkflowError::UndefinedVariable(v) => assert_eq!(v, "nope"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_error_on_bool_arith() {
+        let wf = Workflow::new(
+            "bad",
+            vec![Stmt::ActuateLight(Expr::arith(
+                ArithOp::Add,
+                Expr::Bool(true),
+                Expr::Num(1.0),
+            ))],
+        );
+        assert!(matches!(
+            wf.run(&EnvSnapshot::neutral()).unwrap_err(),
+            WorkflowError::TypeError(_)
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let wf = Workflow::new(
+            "bad",
+            vec![Stmt::Set(
+                "x".into(),
+                Expr::arith(ArithOp::Div, Expr::Num(1.0), Expr::Num(0.0)),
+            )],
+        );
+        assert_eq!(
+            wf.run(&EnvSnapshot::neutral()).unwrap_err(),
+            WorkflowError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn negative_wait_rejected() {
+        let wf = Workflow::new("bad", vec![Stmt::Wait(Expr::Num(-1.0))]);
+        assert_eq!(
+            wf.run(&EnvSnapshot::neutral()).unwrap_err(),
+            WorkflowError::InvalidWait(-1.0)
+        );
+    }
+
+    #[test]
+    fn logic_operators() {
+        let wf = Workflow::new(
+            "logic",
+            vec![
+                Stmt::Set(
+                    "cold_and_dark".into(),
+                    Expr::And(
+                        Box::new(Expr::cmp(CmpOp::Lt, Expr::EnvTemperature, Expr::Num(10.0))),
+                        Box::new(Expr::cmp(CmpOp::Lt, Expr::EnvLight, Expr::Num(5.0))),
+                    ),
+                ),
+                Stmt::If {
+                    cond: Expr::Var("cold_and_dark".into()),
+                    then_block: vec![Stmt::ActuateLight(Expr::Num(60.0))],
+                    else_block: vec![],
+                },
+            ],
+        );
+        let env = EnvSnapshot::neutral().with_temperature(4.0).with_light(0.0);
+        assert_eq!(wf.run(&env).unwrap().actions, vec![Action::SetLight(60.0)]);
+        let mild = EnvSnapshot::neutral().with_temperature(20.0);
+        assert!(wf.run(&mild).unwrap().actions.is_empty());
+    }
+
+    #[test]
+    fn workflow_serializes() {
+        let wf = preheat_ramp();
+        let json = serde_json::to_string(&wf).unwrap();
+        let back: Workflow = serde_json::from_str(&json).unwrap();
+        assert_eq!(wf, back);
+    }
+}

@@ -1,0 +1,687 @@
+//! A text syntax for procedural workflows.
+//!
+//! The paper's Fig. 1 shows Apple-Automation-style rule programs authored
+//! by end users; this module gives our [`crate::workflow`] language a
+//! human-writable form so workflows can live next to MRT files:
+//!
+//! ```text
+//! workflow "gentle preheat"
+//!   set t = env.temperature
+//!   while t < 21
+//!     set t = t + 2
+//!     actuate temperature t
+//!     wait 20
+//!   end
+//!   if env.light < 10 and env.hour >= 18
+//!     actuate light 30
+//!   else
+//!     actuate light 0
+//!   end
+//! end
+//! ```
+//!
+//! Grammar (one statement per line, blocks closed with `end`):
+//!
+//! ```text
+//! program   := "workflow" STRING NEWLINE stmt* "end"
+//! stmt      := "set" IDENT "=" expr
+//!            | "if" expr NEWLINE stmt* ("else" NEWLINE stmt*)? "end"
+//!            | "while" expr NEWLINE stmt* "end"
+//!            | "actuate" ("temperature" | "light") expr
+//!            | "wait" expr
+//! expr      := or ;   or := and ("or" and)* ;   and := not ("and" not)*
+//! not       := "not" not | cmp
+//! cmp       := add (("<"|"<="|">"|">="|"=="|"!=") add)?
+//! add       := mul (("+"|"-") mul)* ;   mul := unary (("*"|"/") unary)*
+//! unary     := "-" unary | atom
+//! atom      := NUMBER | "true" | "false" | "env.temperature" | "env.light"
+//!            | "env.hour" | IDENT | "(" expr ")"
+//! ```
+
+use crate::workflow::{ArithOp, CmpOp, Expr, Stmt, Workflow};
+use std::fmt;
+
+/// A workflow-text parse failure with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkflowParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for WorkflowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for WorkflowParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> WorkflowParseError {
+    WorkflowParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    Keyword(&'static str),
+    Op(&'static str),
+}
+
+const KEYWORDS: [&str; 14] = [
+    "workflow", "set", "if", "else", "while", "end", "actuate", "wait", "and", "or", "not", "true",
+    "false", "env",
+];
+
+fn lex_line(line: &str, lineno: usize) -> Result<Vec<Tok>, WorkflowParseError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            break; // comment to end of line
+        }
+        if c == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != '"' {
+                j += 1;
+            }
+            if j == bytes.len() {
+                return Err(err(lineno, "unterminated string literal"));
+            }
+            toks.push(Tok::Str(bytes[start..j].iter().collect()));
+            i = j + 1;
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let n: f64 = text
+                .parse()
+                .map_err(|_| err(lineno, format!("invalid number `{text}`")))?;
+            toks.push(Tok::Num(n));
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+            {
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            // `env.temperature` lexes as one identifier; split keywords.
+            if let Some(k) = KEYWORDS.iter().find(|k| **k == word) {
+                toks.push(Tok::Keyword(k));
+            } else {
+                toks.push(Tok::Ident(word));
+            }
+            continue;
+        }
+        // Operators, longest match first.
+        let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+        let matched = ["<=", ">=", "==", "!="]
+            .iter()
+            .find(|op| two.starts_with(**op))
+            .copied();
+        if let Some(op) = matched {
+            toks.push(Tok::Op(op));
+            i += 2;
+            continue;
+        }
+        let one = match c {
+            '<' => "<",
+            '>' => ">",
+            '=' => "=",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            '(' => "(",
+            ')' => ")",
+            _ => return Err(err(lineno, format!("unexpected character `{c}`"))),
+        };
+        toks.push(Tok::Op(one));
+        i += 1;
+    }
+    Ok(toks)
+}
+
+// --------------------------------------------------------- expr parsing --
+
+struct ExprParser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Op(o)) if *o == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Keyword(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, WorkflowParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, WorkflowParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_keyword("and") {
+            let rhs = self.parse_not()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, WorkflowParseError> {
+        if self.eat_keyword("not") {
+            return Ok(Expr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, WorkflowParseError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Op("<")) => Some(CmpOp::Lt),
+            Some(Tok::Op("<=")) => Some(CmpOp::Le),
+            Some(Tok::Op(">")) => Some(CmpOp::Gt),
+            Some(Tok::Op(">=")) => Some(CmpOp::Ge),
+            Some(Tok::Op("==")) => Some(CmpOp::Eq),
+            Some(Tok::Op("!=")) => Some(CmpOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_add()?;
+            return Ok(Expr::cmp(op, lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, WorkflowParseError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            if self.eat_op("+") {
+                lhs = Expr::arith(ArithOp::Add, lhs, self.parse_mul()?);
+            } else if self.eat_op("-") {
+                lhs = Expr::arith(ArithOp::Sub, lhs, self.parse_mul()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, WorkflowParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            if self.eat_op("*") {
+                lhs = Expr::arith(ArithOp::Mul, lhs, self.parse_unary()?);
+            } else if self.eat_op("/") {
+                lhs = Expr::arith(ArithOp::Div, lhs, self.parse_unary()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, WorkflowParseError> {
+        if self.eat_op("-") {
+            return Ok(Expr::arith(
+                ArithOp::Sub,
+                Expr::Num(0.0),
+                self.parse_unary()?,
+            ));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, WorkflowParseError> {
+        let line = self.line;
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(*n)),
+            Some(Tok::Keyword("true")) => Ok(Expr::Bool(true)),
+            Some(Tok::Keyword("false")) => Ok(Expr::Bool(false)),
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "env.temperature" => Ok(Expr::EnvTemperature),
+                "env.light" => Ok(Expr::EnvLight),
+                "env.hour" => Ok(Expr::EnvHour),
+                other if other.starts_with("env.") => {
+                    Err(err(line, format!("unknown environment field `{other}`")))
+                }
+                other => Ok(Expr::Var(other.to_string())),
+            },
+            Some(Tok::Op("(")) => {
+                let inner = self.parse_or()?;
+                if !self.eat_op(")") {
+                    return Err(err(line, "missing `)`"));
+                }
+                Ok(inner)
+            }
+            other => Err(err(line, format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), WorkflowParseError> {
+        if self.pos != self.toks.len() {
+            return Err(err(
+                self.line,
+                format!("trailing tokens: {:?}", &self.toks[self.pos..]),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn parse_expr(toks: &[Tok], line: usize) -> Result<Expr, WorkflowParseError> {
+    let mut p = ExprParser { toks, pos: 0, line };
+    let e = p.parse_or()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+fn parse_expr_prefix(toks: &[Tok], line: usize) -> Result<Expr, WorkflowParseError> {
+    let mut p = ExprParser { toks, pos: 0, line };
+    p.parse_or()
+}
+
+// --------------------------------------------------------- stmt parsing --
+
+struct Lines<'a> {
+    lines: Vec<(usize, Vec<Tok>)>,
+    pos: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Lines<'_> {
+    fn peek(&self) -> Option<&(usize, Vec<Tok>)> {
+        self.lines.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<(usize, Vec<Tok>)> {
+        let l = self.lines.get(self.pos).cloned();
+        self.pos += 1;
+        l
+    }
+}
+
+fn starts_with_keyword(toks: &[Tok], kw: &str) -> bool {
+    matches!(toks.first(), Some(Tok::Keyword(k)) if *k == kw)
+}
+
+fn parse_block(
+    lines: &mut Lines<'_>,
+    terminators: &[&str],
+) -> Result<(Vec<Stmt>, &'static str), WorkflowParseError> {
+    let mut body = Vec::new();
+    loop {
+        let Some((lineno, toks)) = lines.peek().cloned() else {
+            return Err(err(
+                lines.lines.last().map(|(l, _)| *l).unwrap_or(1),
+                format!("unterminated block (expected one of {terminators:?})"),
+            ));
+        };
+        for t in terminators {
+            if starts_with_keyword(&toks, t) {
+                lines.bump();
+                let found: &'static str = if *t == "end" { "end" } else { "else" };
+                return Ok((body, found));
+            }
+        }
+        lines.bump();
+        body.push(parse_stmt(lineno, &toks, lines)?);
+    }
+}
+
+fn parse_stmt(
+    lineno: usize,
+    toks: &[Tok],
+    lines: &mut Lines<'_>,
+) -> Result<Stmt, WorkflowParseError> {
+    match toks.first() {
+        Some(Tok::Keyword("set")) => {
+            let Some(Tok::Ident(name)) = toks.get(1) else {
+                return Err(err(lineno, "expected variable name after `set`"));
+            };
+            if !matches!(toks.get(2), Some(Tok::Op("="))) {
+                return Err(err(lineno, "expected `=` in `set`"));
+            }
+            Ok(Stmt::Set(name.clone(), parse_expr(&toks[3..], lineno)?))
+        }
+        Some(Tok::Keyword("if")) => {
+            let cond = parse_expr(&toks[1..], lineno)?;
+            let (then_block, terminator) = parse_block(lines, &["else", "end"])?;
+            let else_block = if terminator == "else" {
+                let (b, _) = parse_block(lines, &["end"])?;
+                b
+            } else {
+                Vec::new()
+            };
+            Ok(Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            })
+        }
+        Some(Tok::Keyword("while")) => {
+            let cond = parse_expr(&toks[1..], lineno)?;
+            let (body, _) = parse_block(lines, &["end"])?;
+            Ok(Stmt::While { cond, body })
+        }
+        Some(Tok::Keyword("actuate")) => {
+            let target = match toks.get(1) {
+                Some(Tok::Ident(t)) => t.as_str(),
+                _ => {
+                    return Err(err(
+                        lineno,
+                        "expected `temperature` or `light` after `actuate`",
+                    ))
+                }
+            };
+            let expr = parse_expr(&toks[2..], lineno)?;
+            match target {
+                "temperature" => Ok(Stmt::ActuateTemperature(expr)),
+                "light" => Ok(Stmt::ActuateLight(expr)),
+                other => Err(err(lineno, format!("unknown actuation target `{other}`"))),
+            }
+        }
+        Some(Tok::Keyword("wait")) => Ok(Stmt::Wait(parse_expr(&toks[1..], lineno)?)),
+        other => Err(err(lineno, format!("expected statement, found {other:?}"))),
+    }
+}
+
+/// Parses a workflow program.
+pub fn parse_workflow(input: &str) -> Result<Workflow, WorkflowParseError> {
+    let mut lexed = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let toks = lex_line(raw, lineno)?;
+        if !toks.is_empty() {
+            lexed.push((lineno, toks));
+        }
+    }
+    let mut lines = Lines {
+        lines: lexed,
+        pos: 0,
+        _marker: std::marker::PhantomData,
+    };
+
+    let Some((lineno, header)) = lines.bump() else {
+        return Err(err(1, "empty input"));
+    };
+    if !starts_with_keyword(&header, "workflow") {
+        return Err(err(lineno, "program must start with `workflow \"name\"`"));
+    }
+    let Some(Tok::Str(name)) = header.get(1) else {
+        return Err(err(lineno, "expected a quoted workflow name"));
+    };
+    let (body, _) = parse_block(&mut lines, &["end"])?;
+    if let Some((l, toks)) = lines.peek() {
+        return Err(err(*l, format!("unexpected content after `end`: {toks:?}")));
+    }
+    Ok(Workflow::new(name, body))
+}
+
+// ------------------------------------------------------------ formatter --
+
+fn format_expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(n) => format!("{n}"),
+        Expr::Bool(b) => format!("{b}"),
+        Expr::Var(v) => v.clone(),
+        Expr::EnvTemperature => "env.temperature".into(),
+        Expr::EnvLight => "env.light".into(),
+        Expr::EnvHour => "env.hour".into(),
+        Expr::Arith(op, a, b) => {
+            let sym = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+            };
+            format!("({} {} {})", format_expr(a), sym, format_expr(b))
+        }
+        Expr::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+            };
+            format!("({} {} {})", format_expr(a), sym, format_expr(b))
+        }
+        Expr::And(a, b) => format!("({} and {})", format_expr(a), format_expr(b)),
+        Expr::Or(a, b) => format!("({} or {})", format_expr(a), format_expr(b)),
+        Expr::Not(a) => format!("(not {})", format_expr(a)),
+    }
+}
+
+fn format_stmt(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Set(name, e) => out.push_str(&format!("{pad}set {name} = {}\n", format_expr(e))),
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            out.push_str(&format!("{pad}if {}\n", format_expr(cond)));
+            for st in then_block {
+                format_stmt(st, indent + 1, out);
+            }
+            if !else_block.is_empty() {
+                out.push_str(&format!("{pad}else\n"));
+                for st in else_block {
+                    format_stmt(st, indent + 1, out);
+                }
+            }
+            out.push_str(&format!("{pad}end\n"));
+        }
+        Stmt::While { cond, body } => {
+            out.push_str(&format!("{pad}while {}\n", format_expr(cond)));
+            for st in body {
+                format_stmt(st, indent + 1, out);
+            }
+            out.push_str(&format!("{pad}end\n"));
+        }
+        Stmt::ActuateTemperature(e) => {
+            out.push_str(&format!("{pad}actuate temperature {}\n", format_expr(e)))
+        }
+        Stmt::ActuateLight(e) => out.push_str(&format!("{pad}actuate light {}\n", format_expr(e))),
+        Stmt::Wait(e) => out.push_str(&format!("{pad}wait {}\n", format_expr(e))),
+    }
+}
+
+/// Serializes a workflow to the text format parsed by [`parse_workflow`].
+pub fn format_workflow(wf: &Workflow) -> String {
+    let mut out = format!("workflow \"{}\"\n", wf.name);
+    for s in &wf.body {
+        format_stmt(s, 1, &mut out);
+    }
+    out.push_str("end\n");
+    out
+}
+
+// Used by the grammar doc above; kept for future single-line statements.
+#[allow(dead_code)]
+fn reserved(toks: &[Tok], line: usize) -> Result<Expr, WorkflowParseError> {
+    parse_expr_prefix(toks, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvSnapshot;
+    use imcf_action_check::*;
+
+    /// Tiny shim so the tests read naturally.
+    mod imcf_action_check {
+        pub use crate::action::Action;
+    }
+
+    const PREHEAT: &str = r#"
+workflow "gentle preheat"
+  set t = env.temperature
+  while t < 21
+    set t = t + 2
+    actuate temperature t
+    wait 20
+  end
+  if env.light < 10 and env.hour >= 18
+    actuate light 30
+  else
+    actuate light 0
+  end
+end
+"#;
+
+    #[test]
+    fn parses_and_runs_preheat() {
+        let wf = parse_workflow(PREHEAT).unwrap();
+        assert_eq!(wf.name, "gentle preheat");
+        let env = EnvSnapshot::neutral()
+            .with_temperature(15.0)
+            .with_hour(20)
+            .with_light(2.0);
+        let out = wf.run(&env).unwrap();
+        // 15 → 17 → 19 → 21: three temperature actuations, then light 30.
+        assert_eq!(out.actions.len(), 4);
+        assert_eq!(out.actions[2], Action::SetTemperature(21.0));
+        assert_eq!(out.actions[3], Action::SetLight(30.0));
+        assert_eq!(out.waited_minutes, 60.0);
+    }
+
+    #[test]
+    fn else_branch_taken_when_bright() {
+        let wf = parse_workflow(PREHEAT).unwrap();
+        let env = EnvSnapshot::neutral()
+            .with_temperature(25.0)
+            .with_hour(12)
+            .with_light(80.0);
+        let out = wf.run(&env).unwrap();
+        assert_eq!(out.actions, vec![Action::SetLight(0.0)]);
+    }
+
+    #[test]
+    fn round_trips_through_formatter() {
+        let wf = parse_workflow(PREHEAT).unwrap();
+        let text = format_workflow(&wf);
+        let again = parse_workflow(&text).unwrap();
+        assert_eq!(wf, again);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let wf = parse_workflow(
+            "workflow \"p\"\n  set x = 2 + 3 * 4\n  set y = (2 + 3) * 4\n  set z = -2 + 1\nend\n",
+        )
+        .unwrap();
+        let out = wf.run(&EnvSnapshot::neutral()).unwrap();
+        assert_eq!(out.bindings["x"], crate::workflow::Value::Num(14.0));
+        assert_eq!(out.bindings["y"], crate::workflow::Value::Num(20.0));
+        assert_eq!(out.bindings["z"], crate::workflow::Value::Num(-1.0));
+    }
+
+    #[test]
+    fn boolean_precedence_and_not() {
+        let wf = parse_workflow("workflow \"b\"\n  set v = not 1 > 2 and 3 < 4\nend\n").unwrap();
+        let out = wf.run(&EnvSnapshot::neutral()).unwrap();
+        // not (1>2) and (3<4) = true and true.
+        assert_eq!(out.bindings["v"], crate::workflow::Value::Bool(true));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let wf = parse_workflow(
+            "workflow \"c\"  # header\n\n  # set nothing\n  wait 5  # five minutes\nend\n",
+        )
+        .unwrap();
+        let out = wf.run(&EnvSnapshot::neutral()).unwrap();
+        assert_eq!(out.waited_minutes, 5.0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_workflow("workflow \"x\"\n  set = 3\nend\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_workflow("workflow \"x\"\n  while true\n").unwrap_err();
+        assert!(e.message.contains("unterminated block"));
+        let e = parse_workflow("wait 5\n").unwrap_err();
+        assert!(e.message.contains("must start with"));
+        let e = parse_workflow("workflow \"x\"\n  set a = env.humidity\nend\n").unwrap_err();
+        assert!(e.message.contains("unknown environment field"));
+        let e = parse_workflow("workflow \"x\"\n  actuate humidity 3\nend\n").unwrap_err();
+        assert!(e.message.contains("unknown actuation target"));
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let e = parse_workflow("workflow \"x\n").unwrap_err();
+        assert!(e.message.contains("unterminated string"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let e = parse_workflow("workflow \"x\"\n  wait 5 6\nend\n").unwrap_err();
+        assert!(e.message.contains("trailing tokens"));
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let wf = parse_workflow(
+            "workflow \"n\"\n  set i = 0\n  while i < 3\n    set i = i + 1\n    if i == 2\n      actuate light i * 10\n    end\n  end\nend\n",
+        )
+        .unwrap();
+        let out = wf.run(&EnvSnapshot::neutral()).unwrap();
+        assert_eq!(out.actions, vec![Action::SetLight(20.0)]);
+    }
+}

@@ -1,0 +1,95 @@
+//! The simulation clock.
+//!
+//! A [`SimClock`] tracks the current hour of a simulation run over the
+//! paper calendar and hands out calendar components; the controller's
+//! scheduler asks it whether cron-style trigger points have been crossed.
+
+use imcf_core::calendar::{PaperCalendar, PaperDateTime};
+use serde::{Deserialize, Serialize};
+
+/// An hour-granular simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    calendar: PaperCalendar,
+    hour: u64,
+}
+
+impl SimClock {
+    /// A clock at hour 0 of the given calendar.
+    pub fn new(calendar: PaperCalendar) -> Self {
+        SimClock { calendar, hour: 0 }
+    }
+
+    /// The current flat hour index.
+    pub fn hour_index(&self) -> u64 {
+        self.hour
+    }
+
+    /// The calendar in use.
+    pub fn calendar(&self) -> PaperCalendar {
+        self.calendar
+    }
+
+    /// Calendar components of the current hour.
+    pub fn now(&self) -> PaperDateTime {
+        self.calendar.decompose(self.hour)
+    }
+
+    /// Advances by one hour and returns the new hour index.
+    pub fn tick(&mut self) -> u64 {
+        self.hour += 1;
+        self.hour
+    }
+
+    /// Advances by `hours`.
+    pub fn advance(&mut self, hours: u64) {
+        self.hour += hours;
+    }
+
+    /// Moves to an absolute hour (must not go backwards).
+    ///
+    /// # Panics
+    /// Panics when `hour` is before the current time.
+    pub fn seek(&mut self, hour: u64) {
+        assert!(
+            hour >= self.hour,
+            "clock cannot go backwards ({hour} < {})",
+            self.hour
+        );
+        self.hour = hour;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcf_core::calendar::HOURS_PER_DAY;
+
+    #[test]
+    fn ticks_advance_time() {
+        let mut c = SimClock::new(PaperCalendar::january_start());
+        assert_eq!(c.hour_index(), 0);
+        assert_eq!(c.tick(), 1);
+        c.advance(22);
+        assert_eq!(c.hour_index(), 23);
+        assert_eq!(c.now().hour, 23);
+        c.tick();
+        let now = c.now();
+        assert_eq!((now.day, now.hour), (2, 0));
+    }
+
+    #[test]
+    fn seek_forward_only() {
+        let mut c = SimClock::new(PaperCalendar::january_start());
+        c.seek(HOURS_PER_DAY * 31);
+        assert_eq!(c.now().month, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot go backwards")]
+    fn seek_backwards_panics() {
+        let mut c = SimClock::new(PaperCalendar::january_start());
+        c.advance(10);
+        c.seek(5);
+    }
+}

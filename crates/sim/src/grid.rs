@@ -1,0 +1,149 @@
+//! Grid carbon-intensity process (the "environmentally friendly
+//! rescheduling" signal of the paper's future work).
+//!
+//! Deferrable-load scheduling needs a per-hour cost signal; the natural one
+//! is the grid's CO₂ intensity. [`GridIntensity`] models the classic duck
+//! curve: a solar-driven midday dip (deeper in summer), an evening ramp
+//! peak, and a mild overnight plateau, with deterministic per-day
+//! variation.
+
+use imcf_core::calendar::PaperCalendar;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the intensity model, kg CO₂e per kWh.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridIntensity {
+    /// Overnight base intensity.
+    pub base: f64,
+    /// Additional intensity at the evening ramp peak (18:00–21:00).
+    pub evening_ramp: f64,
+    /// Midday reduction on a clear summer day (solar displacement).
+    pub solar_dip: f64,
+    /// Day-to-day variation amplitude (fraction of base).
+    pub daily_jitter: f64,
+}
+
+impl GridIntensity {
+    /// A solar-heavy southern-European grid.
+    pub fn solar_heavy() -> Self {
+        GridIntensity {
+            base: 0.35,
+            evening_ramp: 0.25,
+            solar_dip: 0.22,
+            daily_jitter: 0.1,
+        }
+    }
+
+    /// A flat fossil-dominated grid (little diurnal structure).
+    pub fn fossil_flat() -> Self {
+        GridIntensity {
+            base: 0.7,
+            evening_ramp: 0.05,
+            solar_dip: 0.02,
+            daily_jitter: 0.05,
+        }
+    }
+
+    /// Intensity at a flat hour index, kg CO₂e/kWh.
+    pub fn at(&self, calendar: PaperCalendar, hour_index: u64, seed: u64) -> f64 {
+        let dt = calendar.decompose(hour_index);
+        let day = calendar.day_index(hour_index);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ day.wrapping_mul(0x517c_c1b7_2722_0a95));
+        let jitter = 1.0 + rng.gen_range(-1.0..1.0) * self.daily_jitter;
+
+        // Seasonal solar strength: strongest in June/July.
+        let month_phase = (dt.month as f64 - 6.5) / 12.0 * std::f64::consts::TAU;
+        let season = 0.5 + 0.5 * month_phase.cos();
+
+        // Solar dip: a midday bell (10:00–16:00).
+        let h = dt.hour as f64;
+        let dip = if (9.0..=17.0).contains(&h) {
+            let x = (h - 9.0) / 8.0 * std::f64::consts::PI;
+            self.solar_dip * season * x.sin()
+        } else {
+            0.0
+        };
+        // Evening ramp: 18:00–21:00.
+        let ramp = if (18..=21).contains(&dt.hour) {
+            self.evening_ramp
+        } else {
+            0.0
+        };
+
+        ((self.base + ramp - dip) * jitter).max(0.02)
+    }
+
+    /// The intensity series for a horizon (e.g. a deferrable-scheduling
+    /// cost vector).
+    pub fn series(&self, calendar: PaperCalendar, horizon_hours: u64, seed: u64) -> Vec<f64> {
+        (0..horizon_hours)
+            .map(|h| self.at(calendar, h, seed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imcf_core::calendar::HOURS_PER_MONTH;
+
+    fn cal() -> PaperCalendar {
+        PaperCalendar::january_start()
+    }
+
+    #[test]
+    fn evening_peak_exceeds_midnight() {
+        let g = GridIntensity::solar_heavy();
+        let midnight = g.at(cal(), 0, 1);
+        let evening = g.at(cal(), 19, 1);
+        assert!(
+            evening > midnight,
+            "evening {evening} vs midnight {midnight}"
+        );
+    }
+
+    #[test]
+    fn summer_midday_dips_below_winter_midday() {
+        let g = GridIntensity::solar_heavy();
+        // Average several days to wash out jitter.
+        let avg = |start: u64| -> f64 {
+            (0..10).map(|d| g.at(cal(), start + d * 24, 3)).sum::<f64>() / 10.0
+        };
+        let winter_noon = avg(12);
+        let summer_noon = avg(6 * HOURS_PER_MONTH + 12);
+        assert!(
+            summer_noon < winter_noon - 0.05,
+            "summer {summer_noon} vs winter {winter_noon}"
+        );
+    }
+
+    #[test]
+    fn intensity_is_positive_and_deterministic() {
+        let g = GridIntensity::solar_heavy();
+        for h in (0..8928).step_by(91) {
+            let v = g.at(cal(), h, 7);
+            assert!(v > 0.0 && v < 2.0);
+            assert_eq!(v, g.at(cal(), h, 7));
+        }
+    }
+
+    #[test]
+    fn fossil_grid_is_flatter() {
+        let spread = |g: GridIntensity| -> f64 {
+            let s = g.series(cal(), 24, 5);
+            let max = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            (max - min) / min
+        };
+        assert!(spread(GridIntensity::fossil_flat()) < spread(GridIntensity::solar_heavy()));
+    }
+
+    #[test]
+    fn series_length() {
+        let g = GridIntensity::solar_heavy();
+        assert_eq!(g.series(cal(), 100, 0).len(), 100);
+    }
+}

@@ -1,0 +1,78 @@
+//! Indoor illuminance composition.
+//!
+//! The light level a resident experiences is the sum of daylight entering
+//! the room and any lamp contribution, saturating at the 0–100 scale. The
+//! convenience semantics of light rules build on this: a "Set Light 40"
+//! rule is satisfied whenever the *combined* level reaches 40.
+
+use serde::{Deserialize, Serialize};
+
+/// A room's illuminance state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoomLight {
+    /// Fraction of outdoor daylight reaching the room interior, 0–1.
+    pub daylight_transmission: f64,
+    /// Current lamp level, 0–100.
+    pub lamp_level: f64,
+}
+
+impl RoomLight {
+    /// A typical room: 80 % effective daylight transmission, lamp off.
+    pub fn typical() -> Self {
+        RoomLight {
+            daylight_transmission: 0.8,
+            lamp_level: 0.0,
+        }
+    }
+
+    /// Sets the lamp level (clamped to 0–100).
+    pub fn set_lamp(&mut self, level: f64) {
+        self.lamp_level = level.clamp(0.0, 100.0);
+    }
+
+    /// The perceived light level under the given outdoor daylight.
+    pub fn perceived(&self, outdoor_daylight: f64) -> f64 {
+        (outdoor_daylight.clamp(0.0, 100.0) * self.daylight_transmission + self.lamp_level)
+            .clamp(0.0, 100.0)
+    }
+
+    /// The lamp level needed to perceive at least `target` under the given
+    /// daylight (0 when daylight already suffices).
+    pub fn lamp_needed(&self, target: f64, outdoor_daylight: f64) -> f64 {
+        let daylight = outdoor_daylight.clamp(0.0, 100.0) * self.daylight_transmission;
+        (target - daylight).clamp(0.0, 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perceived_combines_and_saturates() {
+        let mut r = RoomLight::typical();
+        assert_eq!(r.perceived(0.0), 0.0);
+        r.set_lamp(40.0);
+        assert_eq!(r.perceived(0.0), 40.0);
+        assert_eq!(r.perceived(50.0), 80.0);
+        r.set_lamp(100.0);
+        assert_eq!(r.perceived(100.0), 100.0);
+    }
+
+    #[test]
+    fn lamp_needed_accounts_for_daylight() {
+        let r = RoomLight::typical();
+        assert_eq!(r.lamp_needed(40.0, 0.0), 40.0);
+        assert_eq!(r.lamp_needed(40.0, 50.0), 0.0);
+        assert_eq!(r.lamp_needed(40.0, 25.0), 20.0);
+    }
+
+    #[test]
+    fn set_lamp_clamps() {
+        let mut r = RoomLight::typical();
+        r.set_lamp(250.0);
+        assert_eq!(r.lamp_level, 100.0);
+        r.set_lamp(-3.0);
+        assert_eq!(r.lamp_level, 0.0);
+    }
+}

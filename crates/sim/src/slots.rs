@@ -1,0 +1,245 @@
+//! The slot builder: joining traces, rules, devices and budgets.
+//!
+//! For every hour of the horizon, [`SlotBuilder`] materializes the
+//! [`PlanningSlot`] the Energy Planner (and the baselines) consume: one
+//! candidate per active meta-rule across all zones, each priced through the
+//! dataset's device models against the zone's ambient trace values, plus
+//! the hourly budget from the Amortization Plan. IFTTT counterpart values
+//! are resolved per zone from the dataset's Table III rule set.
+//!
+//! Slots are produced lazily — a dorms-scale horizon holds millions of
+//! candidate instances and is streamed, never collected.
+
+use crate::building::Dataset;
+use imcf_core::amortization::AmortizationPlan;
+use imcf_core::candidate::{CandidateRule, PlanningSlot};
+use imcf_rules::action::{Action, DeviceClass};
+use imcf_rules::env::{EnvSnapshot, Season};
+use imcf_rules::meta_rule::RuleClass;
+
+/// Builds planning slots for a dataset under an amortization plan.
+pub struct SlotBuilder<'a> {
+    dataset: &'a Dataset,
+    plan: &'a AmortizationPlan,
+}
+
+impl<'a> SlotBuilder<'a> {
+    /// Creates a builder.
+    pub fn new(dataset: &'a Dataset, plan: &'a AmortizationPlan) -> Self {
+        SlotBuilder { dataset, plan }
+    }
+
+    /// The environment snapshot of one zone at an hour (the IFTTT engine's
+    /// view of the world).
+    fn env_for(&self, zone_idx: usize, hour_index: u64) -> EnvSnapshot {
+        let zone = &self.dataset.trace.zones[zone_idx];
+        let dt = self.dataset.trace.calendar.decompose(hour_index);
+        let light = zone.light.at(hour_index);
+        // Classify the day's sky condition from the noon reading: a bright
+        // noon implies a clear day (the trigger-action platform's weather
+        // feed reports sky condition, not instantaneous indoor light).
+        let day_start = hour_index - (dt.hour as u64);
+        let noon = (day_start + 12).min(self.dataset.horizon_hours - 1);
+        let weather = if zone.light.at(noon) > 33.0 {
+            imcf_rules::env::Weather::Sunny
+        } else {
+            imcf_rules::env::Weather::Cloudy
+        };
+        EnvSnapshot {
+            month: dt.month,
+            hour: dt.hour,
+            minute: 0,
+            season: Season::from_month(dt.month),
+            weather,
+            temperature: zone.temperature.at(hour_index),
+            light_level: light,
+            door_open: zone.door_open.at(hour_index) > 0.05,
+        }
+    }
+
+    /// Builds the slot for one hour.
+    pub fn slot_at(&self, hour_index: u64) -> PlanningSlot {
+        let hour_of_day = self.dataset.trace.calendar.hour_of_day(hour_index);
+        let mut candidates = Vec::new();
+        for (zone_idx, (zone, mrt)) in self
+            .dataset
+            .trace
+            .zones
+            .iter()
+            .zip(self.dataset.zone_mrts.iter())
+            .enumerate()
+        {
+            let active = mrt.active_at_hour(hour_of_day);
+            if active.is_empty() {
+                continue;
+            }
+            let env = self.env_for(zone_idx, hour_index);
+            let ifttt_actions = self.dataset.ifttt.resolve(&env);
+            let ambient_temp = zone.temperature.at(hour_index);
+            let ambient_light = zone.light.at(hour_index);
+            for rule in active {
+                let (desired, ambient) = match rule.action {
+                    Action::SetTemperature(v) => (v, ambient_temp),
+                    Action::SetLight(v) => (v, ambient_light),
+                    Action::SetKwhLimit(_) => continue,
+                };
+                let exec_kwh = self
+                    .dataset
+                    .action_kwh(&rule.action, ambient_temp, ambient_light);
+                let mut candidate = CandidateRule {
+                    rule_id: rule.id,
+                    zone: zone.zone.clone(),
+                    device_class: rule.action.device_class(),
+                    owner: rule.owner.clone(),
+                    priority: rule.priority,
+                    necessity: rule.class == RuleClass::Necessity,
+                    desired,
+                    ambient,
+                    exec_kwh,
+                    ifttt_value: None,
+                    ifttt_kwh: 0.0,
+                };
+                if let Some(action) = ifttt_actions.get(&rule.action.device_class()) {
+                    let v = action.desired_value();
+                    let kwh = self.dataset.action_kwh(action, ambient_temp, ambient_light);
+                    // The perceived output of an IFTTT lamp actuation
+                    // includes daylight (lamps add to ambient).
+                    let perceived = match action.device_class() {
+                        DeviceClass::Light => (v + ambient_light).min(100.0),
+                        _ => v,
+                    };
+                    candidate.ifttt_value = Some(perceived);
+                    candidate.ifttt_kwh = kwh;
+                }
+                candidates.push(candidate);
+            }
+        }
+        PlanningSlot::new(hour_index, candidates, self.plan.hourly_budget(hour_index))
+    }
+
+    /// Streams every slot of the horizon.
+    pub fn iter(&self) -> impl Iterator<Item = PlanningSlot> + '_ {
+        (0..self.dataset.horizon_hours).map(move |h| self.slot_at(h))
+    }
+
+    /// Streams a sub-range of the horizon (used by tests and the live
+    /// controller loop).
+    pub fn range(&self, hours: std::ops::Range<u64>) -> impl Iterator<Item = PlanningSlot> + '_ {
+        hours.map(move |h| self.slot_at(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::DatasetKind;
+    use imcf_core::amortization::ApKind;
+    use imcf_core::calendar::HOURS_PER_DAY;
+
+    fn flat_setup() -> (Dataset, AmortizationPlan) {
+        let d = Dataset::build(DatasetKind::Flat, 0);
+        let ecp = d.derive_mr_ecp();
+        let plan = AmortizationPlan::new(
+            ApKind::Eaf,
+            ecp,
+            d.budget_kwh,
+            d.horizon_hours,
+            d.calendar(),
+        );
+        (d, plan)
+    }
+
+    #[test]
+    fn active_candidates_follow_table2_windows() {
+        let (d, plan) = flat_setup();
+        let b = SlotBuilder::new(&d, &plan);
+        // 05:00 — Night Heat + Morning Lights.
+        let slot = b.slot_at(5);
+        assert_eq!(slot.len(), 2);
+        // 12:00 — Day Heat + Midday Lights.
+        assert_eq!(b.slot_at(12).len(), 2);
+        // 00:00 — nothing.
+        assert_eq!(b.slot_at(0).len(), 0);
+        // 20:00 — Afternoon Preheat + Cosmetic Lights.
+        assert_eq!(b.slot_at(20).len(), 2);
+    }
+
+    #[test]
+    fn candidate_pricing_reflects_ambient() {
+        let (d, plan) = flat_setup();
+        let b = SlotBuilder::new(&d, &plan);
+        // Hour 0 of the horizon is October; deep winter is ~3 months in.
+        let winter_night = (3 * 31 + 10) as u64 * HOURS_PER_DAY + 5;
+        let summer_night = (9 * 31 + 10) as u64 * HOURS_PER_DAY + 5;
+        let winter_slot = b.slot_at(winter_night);
+        let summer_slot = b.slot_at(summer_night);
+        let winter_hvac = winter_slot
+            .candidates
+            .iter()
+            .find(|c| c.desired == 25.0)
+            .unwrap();
+        let summer_hvac = summer_slot
+            .candidates
+            .iter()
+            .find(|c| c.desired == 25.0)
+            .unwrap();
+        assert!(winter_hvac.exec_kwh > summer_hvac.exec_kwh);
+        assert!(winter_hvac.ambient < summer_hvac.ambient);
+    }
+
+    #[test]
+    fn budgets_come_from_the_plan() {
+        let (d, plan) = flat_setup();
+        let b = SlotBuilder::new(&d, &plan);
+        let s = b.slot_at(100);
+        assert!((s.budget_kwh - plan.hourly_budget(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ifttt_counterparts_present_when_triggers_fire() {
+        let (d, plan) = flat_setup();
+        let b = SlotBuilder::new(&d, &plan);
+        // Every slot with HVAC candidates should have an IFTTT temperature
+        // counterpart: Table III has season rules covering every season.
+        let mut covered = 0;
+        let mut total = 0;
+        for h in (0..d.horizon_hours).step_by(97) {
+            for c in &b.slot_at(h).candidates {
+                if c.desired >= 20.0 && c.desired <= 26.0 {
+                    total += 1;
+                    if c.ifttt_value.is_some() {
+                        covered += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(covered * 10 >= total * 9, "ifttt covered {covered}/{total}");
+    }
+
+    #[test]
+    fn dorms_slots_span_zones() {
+        let d = Dataset::build(DatasetKind::Dorms, 0);
+        let ecp = d.derive_mr_ecp();
+        let plan = AmortizationPlan::new(
+            ApKind::Eaf,
+            ecp,
+            d.budget_kwh,
+            d.horizon_hours,
+            d.calendar(),
+        );
+        let b = SlotBuilder::new(&d, &plan);
+        let slot = b.slot_at(5);
+        // 100 zones × ~2 active rules (windows jittered, so roughly).
+        assert!(slot.len() > 120, "len = {}", slot.len());
+        assert!(slot.len() <= 100 * 6);
+    }
+
+    #[test]
+    fn range_streams_the_requested_hours() {
+        let (d, plan) = flat_setup();
+        let b = SlotBuilder::new(&d, &plan);
+        let hours: Vec<u64> = b.range(10..15).map(|s| s.hour_index).collect();
+        assert_eq!(hours, vec![10, 11, 12, 13, 14]);
+    }
+}

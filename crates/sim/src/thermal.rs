@@ -1,0 +1,122 @@
+//! First-order RC thermal model for live simulation runs.
+//!
+//! Trace-driven experiments read indoor temperatures straight from the
+//! dataset. Live runs (the week-long prototype evaluation, the controller
+//! loop examples) need the room to *respond* to actuation: a first-order
+//! lumped-capacitance model,
+//!
+//! ```text
+//! T' = T + Δt/τ · (T_out − T) + η · P_heat − η · P_cool
+//! ```
+//!
+//! with leakage time constant τ and heating/cooling effectiveness η. An
+//! HVAC controller wrapper drives the room toward a setpoint and reports
+//! the energy it spent doing so.
+
+use serde::{Deserialize, Serialize};
+
+/// A lumped-capacitance room.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoomThermalModel {
+    /// Leakage time constant, hours (larger = better insulated).
+    pub tau_hours: f64,
+    /// Temperature rise per kWh of heating delivered, °C/kWh.
+    pub degrees_per_kwh: f64,
+    /// Maximum HVAC thermal output per hour, kWh.
+    pub max_kwh_per_hour: f64,
+    /// Current indoor temperature, °C.
+    pub indoor_c: f64,
+}
+
+impl RoomThermalModel {
+    /// A ≈50 m² flat: τ = 6 h, 1.8 °C/kWh, 2.5 kWh/h ceiling.
+    pub fn flat(initial_c: f64) -> Self {
+        RoomThermalModel {
+            tau_hours: 6.0,
+            degrees_per_kwh: 1.8,
+            max_kwh_per_hour: 2.5,
+            indoor_c: initial_c,
+        }
+    }
+
+    /// Advances one hour with free-running dynamics (no HVAC).
+    pub fn step_free(&mut self, outdoor_c: f64) {
+        self.indoor_c += (outdoor_c - self.indoor_c) / self.tau_hours;
+    }
+
+    /// Advances one hour while an HVAC unit holds `setpoint_c`. Returns the
+    /// *thermal* kWh delivered (bounded by the unit's ceiling); the caller
+    /// prices it through the device's electrical model.
+    pub fn step_controlled(&mut self, outdoor_c: f64, setpoint_c: f64) -> f64 {
+        // Leakage first.
+        self.step_free(outdoor_c);
+        let deficit = setpoint_c - self.indoor_c;
+        if deficit.abs() < f64::EPSILON {
+            return 0.0;
+        }
+        let needed_kwh = deficit.abs() / self.degrees_per_kwh;
+        let delivered = needed_kwh.min(self.max_kwh_per_hour);
+        let direction = deficit.signum();
+        self.indoor_c += direction * delivered * self.degrees_per_kwh;
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_running_room_approaches_outdoor() {
+        let mut room = RoomThermalModel::flat(22.0);
+        for _ in 0..100 {
+            room.step_free(5.0);
+        }
+        assert!((room.indoor_c - 5.0).abs() < 0.5, "t = {}", room.indoor_c);
+    }
+
+    #[test]
+    fn controlled_room_holds_setpoint() {
+        let mut room = RoomThermalModel::flat(15.0);
+        let mut total = 0.0;
+        for _ in 0..24 {
+            total += room.step_controlled(8.0, 22.0);
+        }
+        assert!((room.indoor_c - 22.0).abs() < 0.1, "t = {}", room.indoor_c);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn cooling_works_symmetrically() {
+        let mut room = RoomThermalModel::flat(30.0);
+        for _ in 0..24 {
+            room.step_controlled(33.0, 24.0);
+        }
+        assert!((room.indoor_c - 24.0).abs() < 0.1, "t = {}", room.indoor_c);
+    }
+
+    #[test]
+    fn output_ceiling_limits_recovery() {
+        let mut room = RoomThermalModel::flat(0.0);
+        // One hour cannot jump 22 degrees: ceiling is 2.5 kWh × 1.8 °C/kWh.
+        let delivered = room.step_controlled(0.0, 22.0);
+        assert!((delivered - 2.5).abs() < 1e-9);
+        assert!(room.indoor_c < 10.0);
+    }
+
+    #[test]
+    fn colder_outdoors_cost_more_to_hold() {
+        let hold = |outdoor: f64| -> f64 {
+            let mut room = RoomThermalModel::flat(22.0);
+            (0..48).map(|_| room.step_controlled(outdoor, 22.0)).sum()
+        };
+        assert!(hold(0.0) > hold(15.0));
+    }
+
+    #[test]
+    fn no_energy_needed_at_equilibrium() {
+        let mut room = RoomThermalModel::flat(22.0);
+        let spent = room.step_controlled(22.0, 22.0);
+        assert_eq!(spent, 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # imcf-store — the embedded persistence layer
+//!
+//! The paper's prototype keeps user configurations and sensor readings in a
+//! local MariaDB instance on the Raspberry Pi (§II-A). This crate provides
+//! the equivalent storage substrate as an embedded, dependency-free engine:
+//!
+//! * [`wal::Wal`] — an append-only, CRC-checked write-ahead log with torn
+//!   tail recovery;
+//! * [`table::Table`] — a typed table of serde rows layered on the WAL, with
+//!   an in-memory index, snapshots and log compaction;
+//! * [`store::Store`] — a directory of named tables, the unit the Local
+//!   Controller opens at boot;
+//! * [`index::IndexedTable`] — typed secondary indexes with equality and
+//!   range queries.
+//!
+//! Durability model: every mutation is appended to the WAL before the
+//! in-memory index is updated; [`table::Table::snapshot`] persists the full
+//! state and truncates the log. On open, a table loads the snapshot (if any)
+//! and replays the WAL suffix, discarding any torn record at the tail — the
+//! standard redo-log recovery discipline.
+//!
+//! Rows are encoded as JSON with serde_json's `float_roundtrip` feature
+//! enabled: without it, `f64` fields can drift by one ulp across a
+//! persist/recover cycle (caught by the `table_matches_model` property
+//! test).
+
+pub mod crc32;
+pub mod index;
+pub mod store;
+pub mod table;
+pub mod wal;
+
+pub use store::{Store, StoreError};
+pub use table::Table;
+pub use wal::Wal;

@@ -1,0 +1,181 @@
+//! CSV persistence of raw sensor readings.
+//!
+//! Format (header + one row per reading):
+//!
+//! ```text
+//! timestamp_s,zone,sensor,value
+//! 0,flat,temperature,14.3
+//! 0,flat,light,0.0
+//! ```
+//!
+//! The writer buffers; the reader is line-oriented, validates every field
+//! and reports the offending line number on failure.
+
+use crate::reading::{SensorKind, SensorReading};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A CSV parse/IO failure.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content at a 1-based line.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes readings as CSV to any writer.
+pub fn write_csv<W: Write>(writer: W, readings: &[SensorReading]) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "timestamp_s,zone,sensor,value")?;
+    for r in readings {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            r.timestamp_s,
+            r.zone,
+            r.sensor.token(),
+            r.value
+        )?;
+    }
+    w.flush()
+}
+
+/// Writes readings to a file.
+pub fn write_csv_file(path: impl AsRef<Path>, readings: &[SensorReading]) -> io::Result<()> {
+    write_csv(std::fs::File::create(path)?, readings)
+}
+
+/// Reads readings from any reader.
+pub fn read_csv<R: Read>(reader: R) -> Result<Vec<SensorReading>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (lineno == 1 && trimmed.starts_with("timestamp_s")) {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 4 {
+            return Err(CsvError::Malformed {
+                line: lineno,
+                message: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        let timestamp_s: u64 = fields[0].parse().map_err(|_| CsvError::Malformed {
+            line: lineno,
+            message: format!("invalid timestamp `{}`", fields[0]),
+        })?;
+        let sensor = SensorKind::parse(fields[2]).ok_or_else(|| CsvError::Malformed {
+            line: lineno,
+            message: format!("unknown sensor `{}`", fields[2]),
+        })?;
+        let value: f64 = fields[3].parse().map_err(|_| CsvError::Malformed {
+            line: lineno,
+            message: format!("invalid value `{}`", fields[3]),
+        })?;
+        if !value.is_finite() {
+            return Err(CsvError::Malformed {
+                line: lineno,
+                message: format!("non-finite value `{}`", fields[3]),
+            });
+        }
+        out.push(SensorReading::new(timestamp_s, fields[1], sensor, value));
+    }
+    Ok(out)
+}
+
+/// Reads readings from a file.
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Vec<SensorReading>, CsvError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SensorReading> {
+        vec![
+            SensorReading::new(0, "flat", SensorKind::Temperature, 14.25),
+            SensorReading::new(60, "flat", SensorKind::Light, 0.0),
+            SensorReading::new(120, "bedroom", SensorKind::Door, 1.0),
+        ]
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample()).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn round_trip_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("trace.csv");
+        write_csv_file(&path, &sample()).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn header_and_blank_lines_skipped() {
+        let text = "timestamp_s,zone,sensor,value\n\n5,z,light,3.5\n";
+        let rows = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].timestamp_s, 5);
+    }
+
+    #[test]
+    fn malformed_rows_report_line() {
+        let text = "1,z,light,3.5\nnot,a,row\n";
+        match read_csv(text.as_bytes()).unwrap_err() {
+            CsvError::Malformed { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("4 fields"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_sensor_and_bad_number_rejected() {
+        assert!(matches!(
+            read_csv("1,z,humidity,1.0\n".as_bytes()).unwrap_err(),
+            CsvError::Malformed { .. }
+        ));
+        assert!(matches!(
+            read_csv("1,z,light,abc\n".as_bytes()).unwrap_err(),
+            CsvError::Malformed { .. }
+        ));
+        assert!(matches!(
+            read_csv("1,z,light,NaN\n".as_bytes()).unwrap_err(),
+            CsvError::Malformed { .. }
+        ));
+    }
+}

@@ -1,0 +1,105 @@
+//! Raw sensor readings: the row model of the CASAS-style datasets.
+//!
+//! A reading is a `(timestamp, zone, sensor, value)` tuple. Timestamps are
+//! seconds since the start of the trace horizon (the paper's traces start
+//! October 2013; our paper-calendar hour 0 corresponds to that origin).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sensor families present in the paper's datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Indoor temperature, °C.
+    Temperature,
+    /// Indoor illuminance, 0–100.
+    Light,
+    /// Door/window contact: 1 open, 0 closed.
+    Door,
+}
+
+impl SensorKind {
+    /// Stable lowercase token used in CSV files.
+    pub fn token(&self) -> &'static str {
+        match self {
+            SensorKind::Temperature => "temperature",
+            SensorKind::Light => "light",
+            SensorKind::Door => "door",
+        }
+    }
+
+    /// Parses the CSV token.
+    pub fn parse(token: &str) -> Option<SensorKind> {
+        match token {
+            "temperature" => Some(SensorKind::Temperature),
+            "light" => Some(SensorKind::Light),
+            "door" => Some(SensorKind::Door),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.token())
+    }
+}
+
+/// One timestamped sensor reading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// Seconds since the trace origin.
+    pub timestamp_s: u64,
+    /// The zone (room/apartment) the sensor lives in.
+    pub zone: String,
+    /// Sensor family.
+    pub sensor: SensorKind,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl SensorReading {
+    /// Creates a reading.
+    pub fn new(timestamp_s: u64, zone: &str, sensor: SensorKind, value: f64) -> Self {
+        SensorReading {
+            timestamp_s,
+            zone: zone.to_string(),
+            sensor,
+            value,
+        }
+    }
+
+    /// The hour index this reading falls in.
+    pub fn hour_index(&self) -> u64 {
+        self.timestamp_s / 3600
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        for kind in [SensorKind::Temperature, SensorKind::Light, SensorKind::Door] {
+            assert_eq!(SensorKind::parse(kind.token()), Some(kind));
+        }
+        assert_eq!(SensorKind::parse("humidity"), None);
+    }
+
+    #[test]
+    fn hour_indexing() {
+        assert_eq!(
+            SensorReading::new(0, "z", SensorKind::Light, 1.0).hour_index(),
+            0
+        );
+        assert_eq!(
+            SensorReading::new(3599, "z", SensorKind::Light, 1.0).hour_index(),
+            0
+        );
+        assert_eq!(
+            SensorReading::new(3600, "z", SensorKind::Light, 1.0).hour_index(),
+            1
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Hourly-resampled trace series: the planner-facing view of a dataset.
+//!
+//! Raw readings arrive at second/minute cadence; the planner runs hourly.
+//! [`HourlySeries`] is a dense per-hour vector; [`ZoneTrace`] groups the
+//! temperature, light and door series of one zone; [`Trace`] is a whole
+//! dataset (one or many zones).
+
+use crate::reading::{SensorKind, SensorReading};
+use imcf_core::calendar::PaperCalendar;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A dense hourly series of sensor values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlySeries {
+    values: Vec<f64>,
+}
+
+impl HourlySeries {
+    /// Creates a series from hourly values.
+    pub fn new(values: Vec<f64>) -> Self {
+        HourlySeries { values }
+    }
+
+    /// Length in hours.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at an hour index (panics when out of range).
+    pub fn at(&self, hour: u64) -> f64 {
+        self.values[hour as usize]
+    }
+
+    /// Raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mean of the series (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Resamples raw readings of one sensor into hourly means over
+    /// `horizon_hours`. Hours with no readings inherit the previous hour's
+    /// value (or `fill` at the very start).
+    pub fn from_readings<'a, I>(readings: I, horizon_hours: u64, fill: f64) -> HourlySeries
+    where
+        I: IntoIterator<Item = &'a SensorReading>,
+    {
+        let mut sums = vec![0.0f64; horizon_hours as usize];
+        let mut counts = vec![0u32; horizon_hours as usize];
+        for r in readings {
+            let h = r.hour_index();
+            if h < horizon_hours {
+                sums[h as usize] += r.value;
+                counts[h as usize] += 1;
+            }
+        }
+        let mut values = Vec::with_capacity(horizon_hours as usize);
+        let mut last = fill;
+        for (sum, count) in sums.into_iter().zip(counts) {
+            if count > 0 {
+                last = sum / count as f64;
+            }
+            values.push(last);
+        }
+        HourlySeries { values }
+    }
+}
+
+/// All hourly series of one zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneTrace {
+    /// Zone name (room or apartment identifier).
+    pub zone: String,
+    /// Indoor unactuated temperature, °C.
+    pub temperature: HourlySeries,
+    /// Indoor ambient illuminance, 0–100.
+    pub light: HourlySeries,
+    /// Fraction of the hour a door stood open, 0–1.
+    pub door_open: HourlySeries,
+}
+
+impl ZoneTrace {
+    /// Horizon length in hours (the minimum across series).
+    pub fn horizon_hours(&self) -> u64 {
+        self.temperature
+            .len()
+            .min(self.light.len())
+            .min(self.door_open.len()) as u64
+    }
+}
+
+/// A dataset: one or many zone traces over a common horizon and calendar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The calendar anchoring hour 0 (the CASAS traces start in October).
+    pub calendar: PaperCalendar,
+    /// Per-zone series.
+    pub zones: Vec<ZoneTrace>,
+}
+
+impl Trace {
+    /// Creates a trace.
+    pub fn new(calendar: PaperCalendar, zones: Vec<ZoneTrace>) -> Self {
+        Trace { calendar, zones }
+    }
+
+    /// The common horizon (minimum across zones; 0 when empty).
+    pub fn horizon_hours(&self) -> u64 {
+        self.zones
+            .iter()
+            .map(|z| z.horizon_hours())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Looks up a zone by name.
+    pub fn zone(&self, name: &str) -> Option<&ZoneTrace> {
+        self.zones.iter().find(|z| z.zone == name)
+    }
+
+    /// Builds a trace by resampling raw readings grouped by zone.
+    pub fn from_readings(
+        calendar: PaperCalendar,
+        readings: &[SensorReading],
+        horizon_hours: u64,
+    ) -> Trace {
+        let mut by_zone: BTreeMap<&str, Vec<&SensorReading>> = BTreeMap::new();
+        for r in readings {
+            by_zone.entry(r.zone.as_str()).or_default().push(r);
+        }
+        let zones = by_zone
+            .into_iter()
+            .map(|(zone, rs)| {
+                let of = |kind: SensorKind, fill: f64| {
+                    HourlySeries::from_readings(
+                        rs.iter().copied().filter(|r| r.sensor == kind),
+                        horizon_hours,
+                        fill,
+                    )
+                };
+                ZoneTrace {
+                    zone: zone.to_string(),
+                    temperature: of(SensorKind::Temperature, 18.0),
+                    light: of(SensorKind::Light, 0.0),
+                    door_open: of(SensorKind::Door, 0.0),
+                }
+            })
+            .collect();
+        Trace { calendar, zones }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resampling_averages_within_hours() {
+        let readings = [
+            SensorReading::new(0, "flat", SensorKind::Temperature, 10.0),
+            SensorReading::new(1800, "flat", SensorKind::Temperature, 20.0),
+            SensorReading::new(3600, "flat", SensorKind::Temperature, 30.0),
+        ];
+        let s = HourlySeries::from_readings(readings.iter(), 3, 0.0);
+        assert_eq!(s.at(0), 15.0);
+        assert_eq!(s.at(1), 30.0);
+        // Hour 2 has no readings: carries forward.
+        assert_eq!(s.at(2), 30.0);
+    }
+
+    #[test]
+    fn gaps_at_start_use_fill() {
+        let readings = [SensorReading::new(
+            2 * 3600,
+            "flat",
+            SensorKind::Light,
+            50.0,
+        )];
+        let s = HourlySeries::from_readings(readings.iter(), 4, 7.0);
+        assert_eq!(s.values(), &[7.0, 7.0, 50.0, 50.0]);
+    }
+
+    #[test]
+    fn trace_from_readings_groups_zones() {
+        let readings = vec![
+            SensorReading::new(0, "bedroom", SensorKind::Temperature, 18.0),
+            SensorReading::new(0, "kitchen", SensorKind::Temperature, 21.0),
+            SensorReading::new(0, "bedroom", SensorKind::Light, 5.0),
+        ];
+        let trace = Trace::from_readings(PaperCalendar::starting_in(10), &readings, 2);
+        assert_eq!(trace.zone_count(), 2);
+        assert_eq!(trace.zone("bedroom").unwrap().temperature.at(0), 18.0);
+        assert_eq!(trace.zone("kitchen").unwrap().temperature.at(0), 21.0);
+        assert_eq!(trace.horizon_hours(), 2);
+        assert!(trace.zone("garage").is_none());
+    }
+
+    #[test]
+    fn out_of_horizon_readings_ignored() {
+        let readings = [
+            SensorReading::new(0, "z", SensorKind::Light, 1.0),
+            SensorReading::new(100 * 3600, "z", SensorKind::Light, 99.0),
+        ];
+        let s = HourlySeries::from_readings(readings.iter(), 2, 0.0);
+        assert_eq!(s.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn series_mean() {
+        assert_eq!(HourlySeries::new(vec![1.0, 2.0, 3.0]).mean(), 2.0);
+        assert_eq!(HourlySeries::new(vec![]).mean(), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Summary statistics over traces.
+//!
+//! Mirrors the dataset tables of the paper's §III-A (reading counts, spans,
+//! per-sensor ranges) so experiment output can print a dataset inventory.
+
+use crate::reading::{SensorKind, SensorReading};
+use crate::series::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-sensor summary over raw readings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorStats {
+    /// Reading count.
+    pub count: u64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+}
+
+/// Summary of a raw reading set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total reading count.
+    pub readings: u64,
+    /// Distinct zones.
+    pub zones: usize,
+    /// Span covered, seconds.
+    pub span_s: u64,
+    /// Per-sensor summaries.
+    pub per_sensor: BTreeMap<String, SensorStats>,
+}
+
+/// Computes summary statistics over raw readings.
+pub fn raw_stats(readings: &[SensorReading]) -> TraceStats {
+    let mut zones = std::collections::BTreeSet::new();
+    let mut span = 0u64;
+    let mut acc: BTreeMap<SensorKind, (u64, f64, f64, f64)> = BTreeMap::new();
+    for r in readings {
+        zones.insert(r.zone.as_str());
+        span = span.max(r.timestamp_s);
+        let e = acc
+            .entry(r.sensor)
+            .or_insert((0, f64::INFINITY, f64::NEG_INFINITY, 0.0));
+        e.0 += 1;
+        e.1 = e.1.min(r.value);
+        e.2 = e.2.max(r.value);
+        e.3 += r.value;
+    }
+    TraceStats {
+        readings: readings.len() as u64,
+        zones: zones.len(),
+        span_s: span,
+        per_sensor: acc
+            .into_iter()
+            .map(|(k, (count, min, max, sum))| {
+                (
+                    k.token().to_string(),
+                    SensorStats {
+                        count,
+                        min,
+                        max,
+                        mean: sum / count as f64,
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// A compact description of an hourly trace (the dataset inventory line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlyTraceStats {
+    /// Zones.
+    pub zones: usize,
+    /// Horizon in hours.
+    pub horizon_hours: u64,
+    /// Mean indoor temperature over all zones.
+    pub mean_temperature_c: f64,
+    /// Mean light level over all zones.
+    pub mean_light: f64,
+}
+
+/// Computes summary statistics over an hourly trace.
+pub fn hourly_stats(trace: &Trace) -> HourlyTraceStats {
+    let zones = trace.zone_count();
+    let horizon = trace.horizon_hours();
+    let mut t_sum = 0.0;
+    let mut l_sum = 0.0;
+    let mut n = 0u64;
+    for z in &trace.zones {
+        for h in 0..horizon {
+            t_sum += z.temperature.at(h);
+            l_sum += z.light.at(h);
+            n += 1;
+        }
+    }
+    HourlyTraceStats {
+        zones,
+        horizon_hours: horizon,
+        mean_temperature_c: if n > 0 { t_sum / n as f64 } else { 0.0 },
+        mean_light: if n > 0 { l_sum / n as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use imcf_core::calendar::PaperCalendar;
+
+    #[test]
+    fn raw_stats_summarize() {
+        let readings = vec![
+            SensorReading::new(0, "a", SensorKind::Temperature, 10.0),
+            SensorReading::new(100, "a", SensorKind::Temperature, 20.0),
+            SensorReading::new(50, "b", SensorKind::Light, 40.0),
+        ];
+        let s = raw_stats(&readings);
+        assert_eq!(s.readings, 3);
+        assert_eq!(s.zones, 2);
+        assert_eq!(s.span_s, 100);
+        let t = &s.per_sensor["temperature"];
+        assert_eq!((t.count, t.min, t.max, t.mean), (2, 10.0, 20.0, 15.0));
+        assert_eq!(s.per_sensor["light"].count, 1);
+    }
+
+    #[test]
+    fn hourly_stats_over_generated_trace() {
+        let g = TraceGenerator {
+            climate: crate::generator::ClimateModel::mediterranean(),
+            calendar: PaperCalendar::january_start(),
+            horizon_hours: 24 * 31,
+            seed: 4,
+        };
+        let t = g.generate(&["a", "b"]);
+        let s = hourly_stats(&t);
+        assert_eq!(s.zones, 2);
+        assert_eq!(s.horizon_hours, 24 * 31);
+        // January: cool indoors, mostly dark.
+        assert!(s.mean_temperature_c > 5.0 && s.mean_temperature_c < 20.0);
+        assert!(s.mean_light < 40.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = raw_stats(&[]);
+        assert_eq!(s.readings, 0);
+        assert_eq!(s.zones, 0);
+        let t = Trace::new(PaperCalendar::january_start(), vec![]);
+        let hs = hourly_stats(&t);
+        assert_eq!(hs.zones, 0);
+        assert_eq!(hs.mean_temperature_c, 0.0);
+    }
+}

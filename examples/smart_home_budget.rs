@@ -1,0 +1,84 @@
+//! The paper's smart-home motivational scenario (§I-A): a family on a
+//! photovoltaic net-metering scheme with a yearly production budget wants
+//! its comfort rules filtered so the year ends on budget — without manual
+//! guess-work.
+//!
+//! We scale the scenario to our calibrated flat (the paper's family budget
+//! of 8 500 kWh covers heating *and* mobility; the rule-managed share here
+//! is the flat's 11 000 kWh / 3 years ≈ 3 666 kWh/year), plan a full year,
+//! print the monthly ledger, and account the CO₂ impact of the filtered
+//! plan versus greedy execution.
+//!
+//! Run with: `cargo run --release --example smart_home_budget`
+
+use imcf::core::baselines::run_mr;
+use imcf::core::calendar::HOURS_PER_MONTH;
+use imcf::core::co2::{Co2Savings, EmissionFactor};
+use imcf::core::{AmortizationPlan, ApKind, EnergyPlanner, PlannerConfig};
+use imcf::sim::{Dataset, DatasetKind, SlotBuilder};
+
+const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+fn main() {
+    let dataset = Dataset::build(DatasetKind::Flat, 7);
+    let ecp = dataset.derive_mr_ecp();
+    let yearly_budget = dataset.budget_kwh / 3.0;
+    println!("family budget: {yearly_budget:.0} kWh/year (net-metered PV production)");
+
+    let plan = AmortizationPlan::new(
+        ApKind::Eaf,
+        ecp,
+        dataset.budget_kwh,
+        dataset.horizon_hours,
+        dataset.calendar(),
+    );
+    let builder = SlotBuilder::new(&dataset, &plan);
+    let planner = EnergyPlanner::from_config(PlannerConfig::default());
+
+    // Plan the first year month by month for the ledger (the trace starts
+    // in October, like the CASAS data).
+    println!(
+        "\n{:<5} {:>12} {:>12} {:>10}",
+        "month", "EP kWh", "greedy kWh", "F_CE (%)"
+    );
+    let mut ep_total = 0.0;
+    let mut mr_total = 0.0;
+    for m in 0..12u64 {
+        let range = m * HOURS_PER_MONTH..(m + 1) * HOURS_PER_MONTH;
+        let ep = planner.plan(builder.range(range.clone()));
+        let mr = run_mr(builder.range(range));
+        let month_name = MONTH_NAMES[((9 + m) % 12) as usize];
+        println!(
+            "{:<5} {:>12.1} {:>12.1} {:>10.2}",
+            month_name,
+            ep.fe_kwh(),
+            mr.fe_kwh(),
+            ep.fce_percent()
+        );
+        ep_total += ep.fe_kwh();
+        mr_total += mr.fe_kwh();
+    }
+    println!(
+        "\nyear one: EP {ep_total:.0} kWh vs greedy {mr_total:.0} kWh (budget {yearly_budget:.0} kWh)"
+    );
+    if ep_total <= yearly_budget {
+        println!("the family ends the year ON budget — no manual planning involved.");
+    }
+
+    // CO₂ accounting (paper future work): what the filtering saves if the
+    // overflow beyond PV production had come from the grid.
+    let grid_overflow_greedy = (mr_total - yearly_budget).max(0.0);
+    let grid_overflow_ep = (ep_total - yearly_budget).max(0.0);
+    let co2 = Co2Savings::compare(
+        EmissionFactor::eu_average(),
+        grid_overflow_greedy,
+        grid_overflow_ep,
+    );
+    println!(
+        "grid overflow avoided: {:.0} kWh → {:.0} kg CO₂e/year at the EU average mix",
+        grid_overflow_greedy - grid_overflow_ep,
+        co2.saved_kg()
+    );
+}

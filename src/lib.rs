@@ -1,0 +1,50 @@
+//! # imcf — The IoT Meta-Control Firewall
+//!
+//! A from-scratch Rust reproduction of *"The IoT Meta-Control Firewall"*
+//! (Constantinou, Konstantinidis, Zeinalipour-Yazti, Chrysanthis —
+//! ICDE 2021): a budget-aware filter for Rule Automation Workflows that
+//! balances user convenience against a long-term energy objective.
+//!
+//! The facade re-exports every subsystem:
+//!
+//! * [`core`] — the Energy Planner (EP) and Amortization Plan (AP)
+//!   algorithms, objectives, optimizers and baselines;
+//! * [`rules`] — meta-rules, IFTTT trigger-action rules, predicates and
+//!   procedural workflows;
+//! * [`devices`] — the openHAB-like thing/item/channel substrate and device
+//!   energy models;
+//! * [`sim`] — the environment simulator (weather, thermal, buildings,
+//!   datasets, slot building);
+//! * [`traces`] — CASAS-style trace synthesis and handling;
+//! * [`store`] — the embedded WAL-backed persistence layer;
+//! * [`controller`] — the Local Controller with the meta-control firewall.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use imcf::core::{AmortizationPlan, ApKind, EnergyPlanner, PlannerConfig};
+//! use imcf::sim::{Dataset, DatasetKind, SlotBuilder};
+//!
+//! // Build the paper's flat dataset (synthetic CASAS-like traces).
+//! let dataset = Dataset::build(DatasetKind::Flat, 0);
+//! let ecp = dataset.derive_mr_ecp();
+//!
+//! // Amortize the 3-year 11 000 kWh budget with ECP shaping (EAF).
+//! let plan = AmortizationPlan::new(
+//!     ApKind::Eaf, ecp, dataset.budget_kwh, dataset.horizon_hours, dataset.calendar(),
+//! );
+//!
+//! // Plan one week of slots with the hill-climbing Energy Planner.
+//! let builder = SlotBuilder::new(&dataset, &plan);
+//! let planner = EnergyPlanner::from_config(PlannerConfig::default());
+//! let report = planner.plan(builder.range(0..168));
+//! assert!(report.fce_percent() < 100.0);
+//! ```
+
+pub use imcf_controller as controller;
+pub use imcf_core as core;
+pub use imcf_devices as devices;
+pub use imcf_rules as rules;
+pub use imcf_sim as sim;
+pub use imcf_store as store;
+pub use imcf_traces as traces;

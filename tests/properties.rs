@@ -1,0 +1,147 @@
+//! Cross-crate property-based tests: invariants of the planner, objectives
+//! and amortization under arbitrary inputs.
+
+use imcf::core::amortization::{AmortizationPlan, ApKind};
+use imcf::core::baselines::{run_mr, run_nr};
+use imcf::core::calendar::{PaperCalendar, HOURS_PER_YEAR};
+use imcf::core::candidate::{CandidateRule, PlanningSlot};
+use imcf::core::ecp::Ecp;
+use imcf::core::init::InitStrategy;
+use imcf::core::objective::{convenience_error_fraction, evaluate};
+use imcf::core::optimizer::{HillClimbing, Optimizer};
+use imcf::core::solution::Solution;
+use imcf::core::{EnergyPlanner, PlannerConfig};
+use imcf::rules::meta_rule::RuleId;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_candidate() -> impl Strategy<Value = CandidateRule> {
+    (
+        0u32..64,
+        5.0f64..40.0,
+        -5.0f64..45.0,
+        0.0f64..2.0,
+        proptest::bool::weighted(0.15),
+    )
+        .prop_map(|(id, desired, ambient, kwh, necessity)| {
+            let mut c = CandidateRule::convenience(RuleId(id), desired, ambient, kwh);
+            c.necessity = necessity;
+            c
+        })
+}
+
+fn arb_slot() -> impl Strategy<Value = PlanningSlot> {
+    (
+        proptest::collection::vec(arb_candidate(), 0..12),
+        0.0f64..6.0,
+    )
+        .prop_map(|(candidates, budget)| PlanningSlot::new(0, candidates, budget))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The convenience-error fraction is always a valid fraction, zero when
+    /// the desire is met or exceeded, and monotone in the deficiency.
+    #[test]
+    fn ce_fraction_bounds(desired in -100.0f64..100.0, actual in -100.0f64..100.0) {
+        let ce = convenience_error_fraction(desired, actual);
+        prop_assert!((0.0..=1.0).contains(&ce));
+        if actual.abs() >= desired.abs() {
+            prop_assert_eq!(ce, 0.0);
+        }
+    }
+
+    /// Evaluation is consistent: energy is the sum of adopted costs and the
+    /// error sum counts only dropped candidates.
+    #[test]
+    fn evaluation_consistency(slot in arb_slot()) {
+        let n = slot.len();
+        let all = evaluate(&slot, &Solution::all_ones(n));
+        prop_assert!((all.energy_kwh - slot.max_energy()).abs() < 1e-9);
+        prop_assert_eq!(all.ce_sum, 0.0);
+        let none = evaluate(&slot, &Solution::all_zeros(n));
+        prop_assert_eq!(none.energy_kwh, 0.0);
+        prop_assert!(none.ce_sum <= n as f64 + 1e-9);
+    }
+
+    /// Whatever the slot, the hill climber returns a solution that (a)
+    /// keeps every necessity rule, and (b) respects the budget whenever the
+    /// necessity-only fallback respects it.
+    #[test]
+    fn optimizer_respects_necessity_and_budget(slot in arb_slot(), seed in 0u64..16) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let hc = HillClimbing::new(2, 60);
+        let (bits, obj) = hc.optimize(&slot, Solution::all_ones(slot.len()), &mut rng);
+        for (candidate, adopted) in slot.candidates.iter().zip(bits.iter()) {
+            if candidate.necessity {
+                prop_assert!(adopted, "necessity rule dropped");
+            }
+        }
+        if slot.necessity_energy() <= slot.budget_kwh {
+            prop_assert!(obj.feasible(slot.budget_kwh), "feasible fallback exists but result is infeasible");
+        }
+    }
+
+    /// Over any horizon of slots, the planner's convenience error is
+    /// bracketed by the MR and NR extremes, and with carry-over its total
+    /// energy never exceeds the summed allowances.
+    #[test]
+    fn planner_bracketed_by_extremes(slots in proptest::collection::vec(arb_slot(), 1..12)) {
+        let planner = EnergyPlanner::from_config(PlannerConfig { tau_max: 40, ..Default::default() });
+        let ep = planner.plan(slots.clone());
+        let mr = run_mr(slots.clone());
+        let nr = run_nr(slots.clone());
+        prop_assert!(ep.fce_percent() >= mr.fce_percent() - 1e-9);
+        prop_assert!(ep.fce_percent() <= nr.fce_percent() + 1e-9);
+        let allowance: f64 = slots.iter().map(|s| s.budget_kwh).sum();
+        let necessity: f64 = slots.iter().map(|s| s.necessity_energy()).sum();
+        prop_assert!(ep.fe_kwh() <= allowance + necessity + 1e-9);
+    }
+
+    /// LAF and EAF allocate exactly the budget across any horizon of whole
+    /// years, for any scaling of the Table I profile.
+    #[test]
+    fn amortization_conserves_budget(budget in 10.0f64..1e6, years in 1u64..4, scale in 0.1f64..10.0) {
+        let ecp = Ecp::flat_table1().scaled(scale);
+        for kind in [ApKind::Laf, ApKind::Eaf] {
+            let plan = AmortizationPlan::new(
+                kind,
+                ecp.clone(),
+                budget,
+                years * HOURS_PER_YEAR,
+                PaperCalendar::january_start(),
+            );
+            let total = plan.total_allocated();
+            prop_assert!((total - budget).abs() < budget * 1e-9 + 1e-6, "total {total} vs budget {budget}");
+        }
+    }
+
+    /// Savings scale allocations linearly.
+    #[test]
+    fn savings_scale_linearly(savings in 0.0f64..0.9) {
+        let base = AmortizationPlan::new(
+            ApKind::Eaf,
+            Ecp::flat_table1(),
+            1000.0,
+            HOURS_PER_YEAR,
+            PaperCalendar::january_start(),
+        );
+        let saving = base.clone().with_savings(savings);
+        for h in [0u64, 1000, 5000] {
+            prop_assert!((saving.hourly_budget(h) - base.hourly_budget(h) * (1.0 - savings)).abs() < 1e-12);
+        }
+    }
+
+    /// Initialization strategies always produce vectors of the right arity,
+    /// and the deterministic ones are what they claim.
+    #[test]
+    fn init_arity(n in 0usize..64, seed in 0u64..32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for init in [InitStrategy::AllOnes, InitStrategy::AllZeros, InitStrategy::Random] {
+            let s = init.generate(n, &mut rng);
+            prop_assert_eq!(s.len(), n);
+        }
+    }
+}

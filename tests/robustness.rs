@@ -1,0 +1,110 @@
+//! Failure-injection tests: the planning pipeline under sensor outages and
+//! degraded configurations.
+
+use imcf::core::baselines::run_mr;
+use imcf::core::calendar::HOURS_PER_MONTH;
+use imcf::core::{AmortizationPlan, ApKind, EnergyPlanner, PlannerConfig};
+use imcf::sim::{Dataset, DatasetKind, SlotBuilder};
+use imcf::traces::outage::{Outage, OutagePlan};
+
+/// A dataset whose sensors black out now and then still plans: the stale
+/// ambients shift cost estimates but never break feasibility, and the
+/// convenience degradation stays bounded by the outage share.
+#[test]
+fn planner_survives_sensor_outages() {
+    let healthy = Dataset::build(DatasetKind::Flat, 0);
+    let plan_budget = |d: &Dataset| {
+        let ecp = d.derive_mr_ecp();
+        AmortizationPlan::new(
+            ApKind::Eaf,
+            ecp,
+            d.budget_kwh,
+            d.horizon_hours,
+            d.calendar(),
+        )
+    };
+
+    // Break ~5 % of the horizon in multi-hour outages.
+    let outages = OutagePlan::sample(healthy.horizon_hours, 8.0, 12, 42);
+    let outage_share =
+        outages.total_hours(healthy.horizon_hours) as f64 / healthy.horizon_hours as f64;
+    assert!(
+        outage_share > 0.005,
+        "outage plan too light to test anything"
+    );
+
+    let mut broken = healthy.clone();
+    broken.trace = outages.apply_to_trace(&healthy.trace);
+
+    let window = 3 * HOURS_PER_MONTH..6 * HOURS_PER_MONTH; // one winter quarter
+
+    let healthy_plan = plan_budget(&healthy);
+    let broken_plan = plan_budget(&broken);
+    let healthy_builder = SlotBuilder::new(&healthy, &healthy_plan);
+    let broken_builder = SlotBuilder::new(&broken, &broken_plan);
+
+    let planner = EnergyPlanner::from_config(PlannerConfig::default());
+    let healthy_report = planner.plan(healthy_builder.range(window.clone()));
+    let broken_report = planner.plan(broken_builder.range(window.clone()));
+
+    // Still plans every slot and keeps energy in the same band.
+    assert_eq!(broken_report.slots, healthy_report.slots);
+    assert!(broken_report.fe_kwh() > 0.0);
+    let energy_drift =
+        (broken_report.fe_kwh() - healthy_report.fe_kwh()).abs() / healthy_report.fe_kwh();
+    assert!(
+        energy_drift < 0.15,
+        "energy drift {:.1} % under {:.1} % outages",
+        energy_drift * 100.0,
+        outage_share * 100.0
+    );
+
+    // Convenience error stays in the same regime (stale readings can help
+    // or hurt individual hours, but not blow up the plan).
+    assert!(broken_report.fce_percent() < healthy_report.fce_percent() + 5.0);
+}
+
+/// A total blackout of one zone degrades gracefully: the frozen readings
+/// still produce finite candidates and the MR cost stays finite.
+#[test]
+fn full_zone_blackout_is_finite() {
+    let dataset = Dataset::build(DatasetKind::Flat, 1);
+    let blackout = OutagePlan::from_windows(vec![Outage {
+        start: 0,
+        hours: dataset.horizon_hours,
+    }]);
+    let mut broken = dataset.clone();
+    broken.trace = blackout.apply_to_trace(&dataset.trace);
+    let ecp = broken.derive_mr_ecp();
+    assert!(ecp.total_kwh().is_finite());
+    let plan = AmortizationPlan::new(
+        ApKind::Eaf,
+        ecp,
+        broken.budget_kwh,
+        broken.horizon_hours,
+        broken.calendar(),
+    );
+    let builder = SlotBuilder::new(&broken, &plan);
+    let mr = run_mr(builder.range(0..168));
+    assert!(mr.fe_kwh().is_finite() && mr.fe_kwh() > 0.0);
+}
+
+/// Outage injection composes with the scaled datasets.
+#[test]
+fn outages_on_multi_zone_dataset() {
+    let dataset = Dataset::build(DatasetKind::House, 2);
+    let outages = OutagePlan::sample(dataset.horizon_hours, 4.0, 8, 9);
+    let mut broken = dataset.clone();
+    broken.trace = outages.apply_to_trace(&dataset.trace);
+    assert_eq!(broken.trace.zone_count(), 4);
+    let plan = AmortizationPlan::new(
+        ApKind::Eaf,
+        broken.derive_mr_ecp(),
+        broken.budget_kwh,
+        broken.horizon_hours,
+        broken.calendar(),
+    );
+    let builder = SlotBuilder::new(&broken, &plan);
+    let report = EnergyPlanner::from_config(PlannerConfig::default()).plan(builder.range(0..240));
+    assert_eq!(report.slots, 240);
+}

@@ -1,0 +1,179 @@
+//! In-tree stand-in for `bytes`.
+//!
+//! Provides the little-endian cursor reading ([`Buf`] on `&[u8]`) and
+//! growable write buffer ([`BytesMut`] + [`BufMut`]) surface the store's
+//! WAL uses. `BytesMut` is a thin wrapper over `Vec<u8>`; zero-copy
+//! splitting is not implemented because nothing here needs it.
+
+use std::ops::{Deref, DerefMut};
+
+/// Sequential little-endian reads from a byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Skips `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads a little-endian `u32` and advances past it.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64` and advances past it.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_le_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let v = u64::from_le_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+}
+
+/// Sequential little-endian writes into a byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+/// A growable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Clears the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Consumes the buffer as a plain `Vec<u8>`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut(src.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u32_le(3);
+        buf.put_slice(b"abc");
+        assert_eq!(buf.len(), 11);
+
+        let mut cursor = &buf[..];
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u32_le(), 3);
+        assert_eq!(&cursor[..3], b"abc");
+        cursor.advance(3);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        cursor.advance(3);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX - 7);
+        let mut cursor = &buf[..];
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 7);
+    }
+}

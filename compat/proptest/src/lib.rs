@@ -1,0 +1,660 @@
+//! In-tree, offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range / tuple /
+//! `Just` / `prop_oneof!` / mapped / recursive strategies,
+//! `proptest::collection::vec`, `proptest::bool::weighted` and the
+//! `prop_assert*` macros. Cases are sampled deterministically (seeded per
+//! test name); failures report the case number but are not shrunk.
+
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::fmt;
+
+    /// The RNG driving strategy sampling.
+    pub type TestRng = ChaCha8Rng;
+
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-(test, case) RNG. `PROPTEST_RNG_SEED` perturbs
+    /// the base seed for exploratory reruns.
+    pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let extra = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng::seed_from_u64(h ^ ((case as u64) << 32) ^ extra)
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `f` receives the strategy for the
+        /// smaller depth and returns the composite level. Leaves stay
+        /// reachable at every level.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut current = boxed(self.clone());
+            for _ in 0..depth {
+                current = boxed(Union::new(vec![boxed(self.clone()), boxed(f(current))]));
+            }
+            current
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            boxed(self)
+        }
+    }
+
+    /// A shared type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Boxes a strategy behind a shared pointer.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        BoxedStrategy(Rc::new(s))
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A mapped strategy (`prop_map`).
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].sample(rng)
+        }
+    }
+
+    /// One parsed regex atom: candidate chars plus a repetition range.
+    struct PatternAtom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the regex subset used as string strategies: literal chars and
+    /// `[a-z0-9_]` classes, each optionally followed by `{m}`, `{m,n}`,
+    /// `?`, `+` or `*`.
+    fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = if c == '[' {
+                let mut class: Vec<char> = Vec::new();
+                for d in it.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    class.push(d);
+                }
+                let mut set = Vec::new();
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        for r in class[i]..=class[i + 2] {
+                            set.push(r);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(class[i]);
+                        i += 1;
+                    }
+                }
+                set
+            } else {
+                vec![c]
+            };
+            let (min, max) = match it.peek() {
+                Some('{') => {
+                    it.next();
+                    let spec: String = it.by_ref().take_while(|&d| d != '}').collect();
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repetition"),
+                            hi.trim().parse().expect("bad repetition"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad repetition");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    it.next();
+                    (0, 1)
+                }
+                Some('+') => {
+                    it.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    it.next();
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(!chars.is_empty(), "empty character class in {pattern:?}");
+            atoms.push(PatternAtom { chars, min, max });
+        }
+        atoms
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse_pattern(self) {
+                let n = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..n {
+                    out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    );
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen_range(-1.0e6..1.0e6)
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// An unconstrained strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable size arguments for [`vec`].
+    pub trait IntoSizeRange {
+        /// The inclusive (min, max) element count.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// The strategy behind [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy behind [`weighted`].
+    #[derive(Debug, Clone)]
+    pub struct Weighted(pub f64);
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(self.0)
+        }
+    }
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted(p)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: `{}` == `{}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// A uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}:\n{}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u8, bool)> {
+        (0u8..10, any::<bool>())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..9, y in -2i64..=2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn oneof_and_map(m in prop_oneof![Just(1u8), 2u8..4, Just(9u8)].prop_map(|x| x as u32)) {
+            prop_assert!(m == 1 || m == 2 || m == 3 || m == 9);
+        }
+
+        #[test]
+        fn tuples_work(p in arb_pair()) {
+            prop_assert!(p.0 < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..=255) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        impl Tree {
+            fn leaf_sum(&self) -> u32 {
+                match self {
+                    Tree::Leaf(v) => u32::from(*v),
+                    Tree::Node(a, b) => a.leaf_sum() + b.leaf_sum(),
+                }
+            }
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::rng_for("recursion", 0);
+        for _ in 0..50 {
+            let tree = strat.sample(&mut rng);
+            // Leaves draw from 0..10, so any sum stays below 10 per leaf.
+            assert!(tree.leaf_sum() < 10 * 32);
+        }
+    }
+}

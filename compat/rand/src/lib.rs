@@ -1,0 +1,248 @@
+//! In-tree, dependency-free stand-in for the `rand` crate.
+//!
+//! Provides the trait surface this workspace uses — [`RngCore`],
+//! [`SeedableRng`], the [`Rng`] extension (ranges and Bernoulli draws) and
+//! [`seq::index::sample`] — with the concrete generator supplied by the
+//! in-tree `rand_chacha` crate. Sampling is uniform enough for simulation
+//! and property tests; it does not promise bit-compatibility with the real
+//! `rand` streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range drawable by [`Rng::gen_range`]; keyed on the element type `T`
+/// so call sites infer the element from context (as in real `rand`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let f = unit_f64(rng);
+                (self.start as f64 + f * (self.end as f64 - self.start as f64)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi, "gen_range: empty range");
+                let f = unit_f64(rng);
+                (lo + f * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+// f64 only: an f32 impl would make `gen_range(-1.0..1.0)` ambiguous at
+// call sites that rely on float-literal fallback.
+uniform_float!(f64);
+
+/// Types drawable by [`Rng::gen`] (the `Standard` distribution).
+pub trait StandardDraw {
+    /// Draws one value from the standard distribution.
+    fn standard_draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardDraw for f64 {
+    fn standard_draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl StandardDraw for f32 {
+    fn standard_draw<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        unit_f64(rng) as f32
+    }
+}
+
+impl StandardDraw for bool {
+    fn standard_draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardDraw for u32 {
+    fn standard_draw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardDraw for u64 {
+    fn standard_draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Convenience draws on top of [`RngCore`].
+pub trait Rng: RngCore {
+    /// A draw from the standard distribution (floats in `[0, 1)`).
+    fn gen<T: StandardDraw>(&mut self) -> T {
+        T::standard_draw(self)
+    }
+
+    /// A uniform draw from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence sampling helpers.
+pub mod seq {
+    /// Index sampling (the `rand::seq::index` module).
+    pub mod index {
+        use crate::{Rng, RngCore};
+
+        /// Distinct indices drawn from `0..length`.
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The sampled indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Draws `amount` distinct indices uniformly from `0..length`
+        /// using Floyd's algorithm — O(amount) expected work, no O(length)
+        /// shuffle.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "cannot sample {amount} from {length}");
+            let mut chosen: Vec<usize> = Vec::with_capacity(amount);
+            for i in (length - amount)..length {
+                let t = rng.gen_range(0..=i);
+                if chosen.contains(&t) {
+                    chosen.push(i);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            IndexVec(chosen)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3..7);
+            assert!((-3..7).contains(&v));
+            let f = rng.gen_range(0.25..0.5f64);
+            assert!((0.25..0.5).contains(&f));
+            let i = rng.gen_range(0u8..=3);
+            assert!(i <= 3);
+        }
+    }
+
+    #[test]
+    fn sample_is_distinct() {
+        let mut rng = Lcg(7);
+        for _ in 0..200 {
+            let picked = seq::index::sample(&mut rng, 10, 4).into_vec();
+            assert_eq!(picked.len(), 4);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicates in {picked:?}");
+            assert!(picked.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Lcg(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,498 @@
+//! In-tree `serde_derive` stand-in.
+//!
+//! Generates `Serialize` / `Deserialize` impls for plain structs and enums
+//! against the Value-tree traits of the in-tree `serde` crate. The parser
+//! walks the raw token stream (no `syn`/`quote` available offline) and the
+//! generators emit Rust source strings, so it supports exactly the shapes
+//! this workspace uses: named/tuple/unit structs, enums with unit, tuple
+//! and struct variants, and simple `<T>` type parameters. `#[serde(...)]`
+//! attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Group(_)) = self.peek() {
+                self.pos += 1; // '[...]'
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes a `<...>` generics list (cursor must be at `<`) and returns
+    /// the type parameter names, skipping lifetimes, bounds and defaults.
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        let mut depth = 0usize;
+        let mut at_param_start = false;
+        let mut skipping_segment = false;
+        loop {
+            let Some(tok) = self.next() else {
+                panic!("serde_derive: unterminated generics");
+            };
+            match tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => {
+                        depth += 1;
+                        if depth == 1 {
+                            at_param_start = true;
+                            skipping_segment = false;
+                        }
+                    }
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return params;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        at_param_start = true;
+                        skipping_segment = false;
+                    }
+                    '\'' if depth == 1 && at_param_start => {
+                        // Lifetime parameter: skip the following ident.
+                        self.next();
+                        at_param_start = false;
+                        skipping_segment = true;
+                    }
+                    _ => {}
+                },
+                TokenTree::Ident(id) if depth == 1 && at_param_start && !skipping_segment => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        // Const parameter: record nothing, skip its name.
+                        self.next();
+                    } else {
+                        params.push(s);
+                    }
+                    at_param_start = false;
+                    skipping_segment = true;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts top-level comma-separated segments in a token stream, treating
+/// `<...>` angle regions as nested (parens/brackets/braces are already
+/// atomic groups in the token tree).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1usize;
+    let mut angle = 0usize;
+    let mut last_was_comma = false;
+    for tok in &tokens {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    fields += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+/// Parses the field names out of a `{ ... }` struct body stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            return names;
+        }
+        c.skip_visibility();
+        names.push(c.expect_ident());
+        // Expect ':' then skip the type until a top-level comma.
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field name, found {other:?}"),
+        }
+        let mut angle = 0usize;
+        loop {
+            match c.peek() {
+                None => return names,
+                Some(TokenTree::Punct(p)) => {
+                    let ch = p.as_char();
+                    c.pos += 1;
+                    match ch {
+                        '<' => angle += 1,
+                        '>' => angle = angle.saturating_sub(1),
+                        ',' if angle == 0 => break,
+                        _ => {}
+                    }
+                }
+                Some(_) => c.pos += 1,
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            return variants;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                c.pos += 1;
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        loop {
+            match c.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push((name, fields));
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    let type_params = match c.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => c.parse_generics(),
+        _ => Vec::new(),
+    };
+    // Skip an optional where clause: everything up to the body.
+    let kind = loop {
+        match c.peek() {
+            None => break Kind::Struct(Fields::Unit), // `struct S;` ends the stream
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                break Kind::Struct(Fields::Unit);
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                break Kind::Struct(Fields::Tuple(n));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                break if keyword == "enum" {
+                    Kind::Enum(parse_variants(stream))
+                } else {
+                    Kind::Struct(Fields::Named(parse_named_fields(stream)))
+                };
+            }
+            Some(_) => c.pos += 1, // inside a where clause
+        }
+    };
+    Item {
+        name,
+        type_params,
+        kind,
+    }
+}
+
+/// `impl<T: ::serde::Serialize> ::serde::Serialize for Name<T>` pieces.
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.type_params.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounded: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.type_params.join(", ");
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{}<{}>", item.name, plain),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (generics, self_ty) = impl_header(item, "Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pushes.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            pushes.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Serialize for {self_ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (generics, self_ty) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::Error::custom(\"expected null for {name}\")) }}"
+        ),
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"arity mismatch for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__obj, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                             let __arr = __payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{v}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"arity mismatch for {name}::{v}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__obj, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                             let __obj = __payload.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__s}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__m[0];\n\
+                 let _ = __payload;\n\
+                 match __tag.as_str() {{\n\
+                 {}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__tag}}`\"))),\n\
+                 }}\n\
+                 }}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-key object for {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Deserialize for {self_ty} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` (Value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (Value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}

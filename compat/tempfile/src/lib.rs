@@ -1,0 +1,80 @@
+//! In-tree stand-in for `tempfile` — only [`tempdir`] / [`TempDir`].
+//!
+//! Directories are created under `std::env::temp_dir()` with a
+//! pid + counter + clock suffix so concurrent test processes cannot
+//! collide, and removed recursively on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{fs, io};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary directory deleted (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort; a failed cleanup must not panic a passing test.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    for _ in 0..64 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!(".imcf-tmp-{}-{n}-{nanos:09}", std::process::id()));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::AlreadyExists,
+        "could not create a unique temporary directory",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept_path;
+        {
+            let dir = tempdir().unwrap();
+            kept_path = dir.path().to_path_buf();
+            assert!(kept_path.is_dir());
+            fs::write(kept_path.join("nested.txt"), b"x").unwrap();
+            fs::create_dir(kept_path.join("sub")).unwrap();
+            fs::write(kept_path.join("sub/deep.txt"), b"y").unwrap();
+        }
+        assert!(!kept_path.exists(), "drop should remove the tree");
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -9,13 +9,16 @@
 //! (26–39 %) < NR (≈62 %); F_E ordering NR (0) < EP (≤ budget) <
 //! IFTTT ≈ MR; F_T ordering NR ≈ MR ≪ EP.
 
-use imcf_bench::harness::{ep_summary, repetitions, run_method, DatasetBundle, Method};
+use imcf_bench::harness::{
+    ep_summary, repetitions, run_method, write_artifacts, DatasetBundle, Method,
+};
 use imcf_core::amortization::ApKind;
 use imcf_core::planner::PlannerConfig;
 use imcf_sim::building::DatasetKind;
 
 fn main() {
     let reps = repetitions();
+    let mut results = Vec::new();
     println!("=== Fig. 6: Performance Evaluation (EP reps = {reps}) ===\n");
     for kind in DatasetKind::all() {
         let bundle = DatasetBundle::build(kind, 0);
@@ -38,6 +41,13 @@ fn main() {
                 m.fe_kwh,
                 m.ft_seconds
             );
+            results.push(serde_json::json!({
+                "dataset": kind.label(),
+                "method": method.label(),
+                "fce_percent": m.fce_percent,
+                "fe_kwh": m.fe_kwh,
+                "ft_seconds": m.ft_seconds,
+            }));
         }
         let ep = ep_summary(&bundle, PlannerConfig::default(), ApKind::Eaf, 0.0, reps);
         println!(
@@ -47,15 +57,40 @@ fn main() {
             ep.fe.format(1),
             ep.ft.format(3)
         );
+        results.push(serde_json::json!({
+            "dataset": kind.label(),
+            "method": "EP",
+            "reps": reps,
+            "fce_percent_mean": ep.fce.mean(),
+            "fce_percent_std": ep.fce.std(),
+            "fe_kwh_mean": ep.fe.mean(),
+            "fe_kwh_std": ep.fe.std(),
+            "ft_seconds_mean": ep.ft.mean(),
+            "ft_seconds_std": ep.ft.std(),
+        }));
         let mr = run_method(&bundle, Method::Mr);
         println!(
             "{:<6} | {:>16.2} | {:>22.1} | {:>16.3}",
             "MR", mr.fce_percent, mr.fe_kwh, mr.ft_seconds
         );
+        results.push(serde_json::json!({
+            "dataset": kind.label(),
+            "method": "MR",
+            "fce_percent": mr.fce_percent,
+            "fe_kwh": mr.fe_kwh,
+            "ft_seconds": mr.ft_seconds,
+        }));
         println!(
             "EP vs MR energy gap: {:.0} kWh; EP budget utilization: {:.1} %\n",
             mr.fe_kwh - ep.fe.mean(),
             100.0 * ep.fe.mean() / bundle.dataset.budget_kwh
         );
+    }
+    match write_artifacts("fig6_performance", &results) {
+        Ok(()) => println!(
+            "artifacts: {}/fig6_performance{{.json,.telemetry.json}}",
+            imcf_bench::harness::artifact_dir().display()
+        ),
+        Err(e) => eprintln!("warning: could not write artifacts: {e}"),
     }
 }

@@ -7,13 +7,14 @@
 //! proportionally, trading a steady F_E decrease for a modest (1–3 point)
 //! F_CE increase.
 
-use imcf_bench::harness::{ep_summary, repetitions, DatasetBundle};
+use imcf_bench::harness::{ep_summary, repetitions, write_artifacts, DatasetBundle};
 use imcf_core::amortization::ApKind;
 use imcf_core::planner::PlannerConfig;
 use imcf_sim::building::DatasetKind;
 
 fn main() {
     let reps = repetitions();
+    let mut results = Vec::new();
     println!("=== Fig. 9: Energy Conservation Study (EP reps = {reps}) ===\n");
     for kind in DatasetKind::all() {
         let bundle = DatasetBundle::build(kind, 0);
@@ -40,7 +41,23 @@ fn main() {
                 s.fce.format(2),
                 s.fe.format(1)
             );
+            results.push(serde_json::json!({
+                "dataset": kind.label(),
+                "savings_percent": savings_pct,
+                "reps": reps,
+                "fce_percent_mean": s.fce.mean(),
+                "fce_percent_std": s.fce.std(),
+                "fe_kwh_mean": s.fe.mean(),
+                "fe_kwh_std": s.fe.std(),
+            }));
         }
         println!();
+    }
+    match write_artifacts("fig9_savings", &results) {
+        Ok(()) => println!(
+            "artifacts: {}/fig9_savings{{.json,.telemetry.json}}",
+            imcf_bench::harness::artifact_dir().display()
+        ),
+        Err(e) => eprintln!("warning: could not write artifacts: {e}"),
     }
 }

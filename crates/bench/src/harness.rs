@@ -98,10 +98,37 @@ pub fn ep_run(
     planner.plan(builder.iter())
 }
 
+/// One method run plus the telemetry recorded while it ran.
+pub struct MethodRun {
+    /// The paper's three metrics.
+    pub metrics: RunMetrics,
+    /// JSON snapshot of the global telemetry registry covering exactly
+    /// this method's run (the registry is reset beforehand).
+    pub telemetry: serde_json::Value,
+}
+
+/// Runs one method and captures its telemetry snapshot. The global
+/// registry is reset first so the snapshot is per-method, not cumulative
+/// across a comparison sweep.
+pub fn run_method_with_telemetry(bundle: &DatasetBundle, method: Method) -> MethodRun {
+    imcf_telemetry::global().reset();
+    let metrics = run_method_inner(bundle, method);
+    MethodRun {
+        metrics,
+        telemetry: imcf_telemetry::global().json_snapshot(),
+    }
+}
+
 /// Runs one method over a bundle. The slot stream always carries the EAF
 /// budget shaping so every method sees identical slots; the baselines
-/// simply ignore the budget.
+/// simply ignore the budget. Resets the telemetry registry first so
+/// back-to-back method runs don't bleed into each other's metrics.
 pub fn run_method(bundle: &DatasetBundle, method: Method) -> RunMetrics {
+    imcf_telemetry::global().reset();
+    run_method_inner(bundle, method)
+}
+
+fn run_method_inner(bundle: &DatasetBundle, method: Method) -> RunMetrics {
     match method {
         Method::Nr => {
             let plan = bundle.plan(ApKind::Eaf, 0.0);
@@ -152,6 +179,28 @@ pub fn ep_summary(
 /// Formats a `mean ± std` cell.
 pub fn cell(stat: &MeanStd, precision: usize) -> String {
     stat.format(precision)
+}
+
+/// The directory experiment binaries write artifacts into:
+/// `IMCF_OUT` if set, else `target/experiments`.
+pub fn artifact_dir() -> std::path::PathBuf {
+    std::env::var("IMCF_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("target/experiments"))
+}
+
+/// Writes `<name>.json` (the experiment's results) and
+/// `<name>.telemetry.json` (the current global telemetry snapshot) into
+/// [`artifact_dir`], so perf regressions are diagnosable from artifacts.
+pub fn write_artifacts<T: serde::Serialize>(name: &str, results: &T) -> std::io::Result<()> {
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir)?;
+    let results_json = serde_json::to_string(results).expect("experiment results serialize");
+    std::fs::write(dir.join(format!("{name}.json")), results_json)?;
+    std::fs::write(
+        dir.join(format!("{name}.telemetry.json")),
+        imcf_telemetry::global().json_snapshot_string(),
+    )
 }
 
 #[cfg(test)]

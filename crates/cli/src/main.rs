@@ -28,6 +28,9 @@ USAGE:
   imcf workflow <wf-file> [--temperature C] [--light L] [--hour H] [--month M]
   imcf schedule <loads-file> [--horizon H] [--headroom KWH]
 
+GLOBAL OPTIONS:
+  --telemetry <path>    dump a JSON telemetry snapshot to <path> on exit
+
 Run `imcf <command> --help` for details.";
 
 fn main() -> ExitCode {
@@ -46,7 +49,14 @@ fn main() -> ExitCode {
         default_hook(info);
     }));
 
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path = match extract_telemetry_flag(&mut argv) {
+        Ok(path) => path,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(command) = argv.first() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -68,6 +78,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &telemetry_path {
+        if let Err(e) = dump_telemetry(path) {
+            eprintln!("error: cannot write telemetry snapshot to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -75,4 +91,23 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes the global `--telemetry <path>` flag from argv (it may appear
+/// anywhere) and returns the path, if given.
+fn extract_telemetry_flag(argv: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(i) = argv.iter().position(|a| a == "--telemetry") else {
+        return Ok(None);
+    };
+    if i + 1 >= argv.len() {
+        return Err("option `--telemetry` needs a value".to_string());
+    }
+    let path = argv.remove(i + 1);
+    argv.remove(i);
+    Ok(Some(path))
+}
+
+/// Writes the global registry's JSON snapshot (metrics + trace events).
+fn dump_telemetry(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, imcf_telemetry::global().json_snapshot_string())
 }

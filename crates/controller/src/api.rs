@@ -12,6 +12,7 @@
 //! GET  /rest/things
 //! GET  /rest/firewall
 //! GET  /rest/meter
+//! GET  /rest/metrics            (Prometheus text; `?format=json` for JSON)
 //! ```
 //!
 //! and answers with JSON, so a GUI, a test harness, or a TCP shim can drive
@@ -51,6 +52,10 @@ impl Response {
                 .expect("serializable"),
         }
     }
+
+    fn text(body: String) -> Response {
+        Response { status: 200, body }
+    }
 }
 
 /// The request router over the controller's shared state.
@@ -78,9 +83,13 @@ impl Router {
     pub fn handle(&self, request: &str) -> Response {
         let mut parts = request.splitn(3, ' ');
         let method = parts.next().unwrap_or("");
-        let path = parts.next().unwrap_or("");
+        let full_path = parts.next().unwrap_or("");
         let body = parts.next().unwrap_or("").trim();
-        match (method, path) {
+        let (path, query) = match full_path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (full_path, ""),
+        };
+        let response = match (method, path) {
             ("GET", "/rest/items") => self.get_items(),
             ("GET", p) if p.starts_with("/rest/items/") => {
                 self.get_item(&p["/rest/items/".len()..])
@@ -91,8 +100,22 @@ impl Router {
             ("GET", "/rest/things") => self.get_things(),
             ("GET", "/rest/firewall") => self.get_firewall(),
             ("GET", "/rest/meter") => self.get_meter(),
+            ("GET", "/rest/metrics") => Self::get_metrics(query),
             ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
             _ => Response::error(400, "expected `GET <path>` or `POST <path> <value>`"),
+        };
+        imcf_telemetry::global()
+            .counter_with("api.requests", &[("status", &response.status.to_string())])
+            .inc();
+        response
+    }
+
+    fn get_metrics(query: &str) -> Response {
+        let telemetry = imcf_telemetry::global();
+        if query.split('&').any(|kv| kv == "format=json") {
+            Response::text(serde_json::to_string(&telemetry.json_snapshot()).expect("serializable"))
+        } else {
+            Response::text(telemetry.prometheus_text())
         }
     }
 

@@ -51,6 +51,19 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// Stable kind name, used as the `event` telemetry label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SensorUpdate { .. } => "sensor_update",
+            Event::PlanComputed { .. } => "plan_computed",
+            Event::CommandDelivered { .. } => "command_delivered",
+            Event::CommandBlocked { .. } => "command_blocked",
+            Event::TickCompleted { .. } => "tick_completed",
+        }
+    }
+}
+
 /// A broadcast event bus.
 #[derive(Clone, Default)]
 pub struct EventBus {
@@ -66,14 +79,28 @@ impl EventBus {
     /// Subscribes; returns a receiver of all future events.
     pub fn subscribe(&self) -> Receiver<Event> {
         let (tx, rx) = unbounded();
-        self.subscribers.lock().push(tx);
+        let mut subs = self.subscribers.lock();
+        subs.push(tx);
+        imcf_telemetry::global()
+            .gauge("bus.subscribers")
+            .set(subs.len() as f64);
         rx
     }
 
     /// Publishes an event to every live subscriber, pruning closed ones.
     pub fn publish(&self, event: Event) {
+        let kind = event.kind();
         let mut subs = self.subscribers.lock();
         subs.retain(|tx| tx.send(event.clone()).is_ok());
+        let telemetry = imcf_telemetry::global();
+        telemetry
+            .counter_with("bus.published", &[("event", kind)])
+            .inc();
+        // Worst undelivered backlog across subscribers: a growing value
+        // means some consumer is falling behind the publish rate.
+        let lag = subs.iter().map(|tx| tx.len()).max().unwrap_or(0);
+        telemetry.gauge("bus.subscriber_lag").set(lag as f64);
+        telemetry.gauge("bus.subscribers").set(subs.len() as f64);
     }
 
     /// Number of live subscribers.

@@ -184,6 +184,7 @@ impl LocalController {
 
     /// Runs one orchestration tick over a planning slot.
     pub fn tick(&mut self, slot: &PlanningSlot) -> TickSummary {
+        let _tick_span = imcf_telemetry::span!("scheduler.tick_micros");
         // 1. Plan, letting the slot draw on the carry-over reserve.
         let mut slot = slot.clone();
         slot.budget_kwh += self.reserve_kwh;

@@ -188,15 +188,42 @@ impl Chain {
 
     /// Evaluates a command: first matching rule wins, otherwise the policy.
     pub fn evaluate(&mut self, thing: &Thing, cmd: &Command) -> Verdict {
+        use std::sync::OnceLock;
         self.evaluated += 1;
-        let verdict = self
+        let hit = self
             .rules
             .iter()
-            .find(|r| r.matcher.matches(thing, cmd))
-            .map(|r| r.verdict)
-            .unwrap_or(self.policy);
+            .enumerate()
+            .find(|(_, r)| r.matcher.matches(thing, cmd));
+        let verdict = hit.map(|(_, r)| r.verdict).unwrap_or(self.policy);
         if verdict == Verdict::Drop {
             self.dropped += 1;
+        }
+        // Cached handles keep the no-match fast path at one atomic add.
+        static ACCEPTS: OnceLock<imcf_telemetry::Counter> = OnceLock::new();
+        static DROPS: OnceLock<imcf_telemetry::Counter> = OnceLock::new();
+        let (cell, label) = match verdict {
+            Verdict::Accept => (&ACCEPTS, "accept"),
+            Verdict::Drop => (&DROPS, "drop"),
+        };
+        cell.get_or_init(|| {
+            imcf_telemetry::global().counter_with("firewall.verdicts", &[("verdict", label)])
+        })
+        .inc();
+        // Per-rule attribution only on an actual rule hit (registry lookup;
+        // rule identity is the comment, or the chain position when unset).
+        if let Some((index, rule)) = hit {
+            let rule_label = if rule.comment.is_empty() {
+                index.to_string()
+            } else {
+                rule.comment.clone()
+            };
+            imcf_telemetry::global()
+                .counter_with(
+                    "firewall.rule_hits",
+                    &[("rule", &rule_label), ("verdict", label)],
+                )
+                .inc();
         }
         verdict
     }

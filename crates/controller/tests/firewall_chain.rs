@@ -1,0 +1,160 @@
+//! Satellite coverage for `controller::firewall::Chain`: first-match-wins
+//! ordering under insert/delete, default-policy fallthrough, and an
+//! iptables rendering round-trip over every `Match` variant.
+
+use imcf_controller::firewall::{Chain, FirewallRule, Match, Verdict};
+use imcf_devices::channel::ChannelUid;
+use imcf_devices::command::{Command, CommandPayload};
+use imcf_devices::thing::Thing;
+use imcf_rules::action::DeviceClass;
+
+fn daikin_cmd() -> (Thing, Command) {
+    let thing = Thing::daikin_example();
+    let cmd = Command::binding(
+        ChannelUid::new(thing.uid.clone(), "power"),
+        CommandPayload::Power(true),
+    );
+    (thing, cmd)
+}
+
+#[test]
+fn insert_preserves_first_match_wins_ordering() {
+    let (thing, cmd) = daikin_cmd();
+    let mut chain = Chain::default();
+    chain.append(FirewallRule::accept_host(&thing.host));
+    chain.append(FirewallRule::drop_host(&thing.host));
+    assert_eq!(chain.evaluate(&thing, &cmd), Verdict::Accept);
+
+    // Inserting a DROP at the head makes it the first match.
+    chain.insert(0, FirewallRule::drop_host(&thing.host));
+    assert_eq!(chain.evaluate(&thing, &cmd), Verdict::Drop);
+
+    // Inserting between the head DROP and the ACCEPT changes nothing:
+    // the head still matches first.
+    chain.insert(1, FirewallRule::accept_host(&thing.host));
+    assert_eq!(chain.evaluate(&thing, &cmd), Verdict::Drop);
+    assert_eq!(chain.rules().len(), 4);
+
+    // An out-of-range insert clamps to the tail (iptables rejects it; we
+    // append) and therefore never shadows earlier rules.
+    chain.insert(99, FirewallRule::accept_host(&thing.host));
+    assert_eq!(chain.rules().len(), 5);
+    assert_eq!(chain.evaluate(&thing, &cmd), Verdict::Drop);
+}
+
+#[test]
+fn delete_restores_the_shadowed_rule() {
+    let (thing, cmd) = daikin_cmd();
+    let mut chain = Chain::default();
+    chain.append(FirewallRule::drop_host(&thing.host));
+    chain.append(FirewallRule::accept_host(&thing.host));
+    assert_eq!(chain.evaluate(&thing, &cmd), Verdict::Drop);
+
+    // Deleting the head DROP exposes the ACCEPT underneath.
+    let removed = chain.delete(0).expect("head rule exists");
+    assert_eq!(removed.verdict, Verdict::Drop);
+    assert_eq!(chain.evaluate(&thing, &cmd), Verdict::Accept);
+
+    // Deleting past the end is a no-op.
+    assert!(chain.delete(7).is_none());
+    assert_eq!(chain.rules().len(), 1);
+    assert_eq!(chain.evaluate(&thing, &cmd), Verdict::Accept);
+}
+
+#[test]
+fn default_policy_fallthrough() {
+    let (thing, cmd) = daikin_cmd();
+
+    // Empty chain: the policy decides.
+    let mut accept_chain = Chain::new(Verdict::Accept);
+    assert_eq!(accept_chain.evaluate(&thing, &cmd), Verdict::Accept);
+    let mut drop_chain = Chain::new(Verdict::Drop);
+    assert_eq!(drop_chain.evaluate(&thing, &cmd), Verdict::Drop);
+
+    // Non-matching rules fall through to the policy too.
+    drop_chain.append(FirewallRule::accept_host("10.9.9.9"));
+    assert_eq!(drop_chain.evaluate(&thing, &cmd), Verdict::Drop);
+    drop_chain.set_policy(Verdict::Accept);
+    assert_eq!(drop_chain.evaluate(&thing, &cmd), Verdict::Accept);
+}
+
+fn parse_class(s: &str) -> DeviceClass {
+    match s {
+        "hvac" => DeviceClass::Hvac,
+        "light" => DeviceClass::Light,
+        "meter" => DeviceClass::Meter,
+        other => panic!("unknown device class `{other}`"),
+    }
+}
+
+/// Parses a line produced by `FirewallRule::render_iptables` back into a
+/// rule, inverting every rendering branch.
+fn parse_iptables(line: &str) -> FirewallRule {
+    let rest = line
+        .strip_prefix("iptables -A OUTPUT ")
+        .expect("chain prefix");
+    let (rest, comment) = match rest.split_once(" -m comment --comment \"") {
+        Some((r, c)) => (r, c.strip_suffix('"').expect("closing quote").to_string()),
+        None => (rest, String::new()),
+    };
+    let (matcher_part, target) = rest.rsplit_once("-j ").expect("jump target");
+    let verdict = match target {
+        "ACCEPT" => Verdict::Accept,
+        "DROP" => Verdict::Drop,
+        other => panic!("unknown target `{other}`"),
+    };
+    let matcher_part = matcher_part.trim_end();
+    let matcher = if matcher_part.is_empty() {
+        Match::Any
+    } else if let Some(host) = matcher_part.strip_prefix("-s ") {
+        match host.strip_suffix("0/24") {
+            Some(prefix) => Match::HostPrefix(prefix.to_string()),
+            None => Match::Host(host.to_string()),
+        }
+    } else if let Some(zone_rest) = matcher_part.strip_prefix("-m zone --zone ") {
+        match zone_rest.split_once(" -m class --class ") {
+            Some((z, c)) => Match::ZoneClass(z.to_string(), parse_class(c)),
+            None => Match::Zone(zone_rest.to_string()),
+        }
+    } else if let Some(c) = matcher_part.strip_prefix("-m class --class ") {
+        Match::Class(parse_class(c))
+    } else {
+        panic!("unparsed matcher `{matcher_part}`");
+    };
+    FirewallRule {
+        matcher,
+        verdict,
+        comment,
+    }
+}
+
+#[test]
+fn iptables_rendering_round_trips_every_match_variant() {
+    let matchers = [
+        Match::Any,
+        Match::Host("192.168.0.5".to_string()),
+        Match::HostPrefix("192.168.0.".to_string()),
+        Match::Class(DeviceClass::Hvac),
+        Match::Class(DeviceClass::Light),
+        Match::Class(DeviceClass::Meter),
+        Match::Zone("living_room".to_string()),
+        Match::ZoneClass("den".to_string(), DeviceClass::Light),
+    ];
+    for matcher in matchers {
+        for verdict in [Verdict::Accept, Verdict::Drop] {
+            for comment in ["", "imcf: plan dropped hvac rules in den"] {
+                let rule = FirewallRule {
+                    matcher: matcher.clone(),
+                    verdict,
+                    comment: comment.to_string(),
+                };
+                let line = rule.render_iptables();
+                assert_eq!(
+                    parse_iptables(&line),
+                    rule,
+                    "round-trip failed for `{line}`"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Acceptance scenario for the telemetry edge: drive a small planning
+//! scenario through the controller, then scrape `GET /rest/metrics` and
+//! check the hot-path metrics are present in both exposition formats.
+
+use imcf_controller::api::Router;
+use imcf_controller::controller::{ControllerConfig, LocalController};
+use imcf_core::calendar::PaperCalendar;
+use imcf_core::candidate::{CandidateRule, PlanningSlot};
+use imcf_rules::meta_rule::RuleId;
+use imcf_sim::meter::EnergyMeter;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn metrics_endpoint_reports_scenario_counters() {
+    let mut c = LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
+    c.provision_zone("den");
+
+    // One adopted rule (fits the budget) exercises the planner and the
+    // firewall egress path; one over-budget tick exercises the DROP path.
+    let affordable = PlanningSlot::new(
+        0,
+        vec![CandidateRule::convenience(RuleId(0), 22.0, 15.0, 0.4).in_zone("den")],
+        1.0,
+    );
+    let summary = c.tick(&affordable);
+    assert_eq!(summary.delivered, 1);
+
+    let router = Router::new(
+        c.registry(),
+        c.firewall(),
+        Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
+    );
+    // A first request registers `api.requests` before the scrape.
+    assert_eq!(router.handle("GET /rest/items").status, 200);
+
+    let resp = router.handle("GET /rest/metrics");
+    assert_eq!(resp.status, 200);
+    assert!(!resp.body.is_empty());
+    for needle in ["firewall.verdicts", "planner.slot_micros", "api.requests"] {
+        assert!(
+            resp.body.contains(needle),
+            "metrics output missing `{needle}`:\n{}",
+            resp.body
+        );
+    }
+    // Prometheus shape: sanitized sample lines next to the dotted HELP.
+    assert!(resp.body.contains("# TYPE planner_slot_micros histogram"));
+    assert!(resp.body.contains("firewall_verdicts{verdict=\"accept\"}"));
+
+    // The JSON variant parses and carries the same metric names.
+    let json = router.handle("GET /rest/metrics?format=json");
+    assert_eq!(json.status, 200);
+    let value: serde_json::Value = serde_json::from_str(&json.body).expect("valid JSON snapshot");
+    let metrics = value
+        .get("metrics")
+        .and_then(|v| v.as_array())
+        .expect("metrics array");
+    let names: Vec<&str> = metrics
+        .iter()
+        .filter_map(|m| m.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for needle in ["firewall.verdicts", "planner.slot_micros", "api.requests"] {
+        assert!(
+            names.contains(&needle),
+            "JSON snapshot missing `{needle}`: {names:?}"
+        );
+    }
+}

@@ -166,6 +166,11 @@ impl AmortizationPlan {
     /// The hourly budget constraint `E_p` for the slot at `hour_index`
     /// (paper: the planner runs with hourly granularity in the evaluation).
     pub fn hourly_budget(&self, hour_index: u64) -> f64 {
+        use std::sync::OnceLock;
+        static RECOMPUTES: OnceLock<imcf_telemetry::Counter> = OnceLock::new();
+        RECOMPUTES
+            .get_or_init(|| imcf_telemetry::global().counter("amortization.recomputes"))
+            .inc();
         let month = self.calendar.month_of(hour_index);
         let raw = match &self.kind {
             ApKind::Laf => self.budget_kwh / self.horizon_hours as f64,

@@ -23,8 +23,23 @@ use crate::candidate::PlanningSlot;
 use crate::neighborhood::KOpt;
 use crate::objective::{evaluate, evaluate_with_flips, SlotObjective};
 use crate::solution::Solution;
+use imcf_telemetry::Counter;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Cached handle for `optimizer.iterations{optimizer=...}` — one relaxed
+/// atomic add per `optimize` call, no registry lookup in the hot path.
+/// Safe to cache in a static because [`imcf_telemetry::Registry::reset`]
+/// keeps metric identities.
+fn iteration_counter(
+    cell: &'static OnceLock<Counter>,
+    optimizer: &'static str,
+) -> &'static Counter {
+    cell.get_or_init(|| {
+        imcf_telemetry::global().counter_with("optimizer.iterations", &[("optimizer", optimizer)])
+    })
+}
 
 /// A slot optimizer.
 pub trait Optimizer {
@@ -126,6 +141,8 @@ impl Optimizer for HillClimbing {
             }
             tau += 1;
         }
+        static ITERATIONS: OnceLock<Counter> = OnceLock::new();
+        iteration_counter(&ITERATIONS, "hill-climbing").add(tau as u64);
         if !best.1.feasible(slot.budget_kwh) {
             let fb = fallback(slot);
             let obj = evaluate(slot, &fb);
@@ -210,6 +227,8 @@ impl Optimizer for SimulatedAnnealing {
             }
             temperature *= self.cooling;
         }
+        static ITERATIONS: OnceLock<Counter> = OnceLock::new();
+        iteration_counter(&ITERATIONS, "simulated-annealing").add(self.tau_max as u64);
         if !best.1.feasible(slot.budget_kwh) {
             let fb = fallback(slot);
             let obj = evaluate(slot, &fb);
@@ -262,6 +281,8 @@ impl Optimizer for ExhaustiveOracle {
                 best = cand;
             }
         }
+        static ITERATIONS: OnceLock<Counter> = OnceLock::new();
+        iteration_counter(&ITERATIONS, "exhaustive-oracle").add(1u64 << mutable.len());
         best
     }
 

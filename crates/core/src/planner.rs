@@ -171,6 +171,14 @@ impl<O: Optimizer> EnergyPlanner<O> {
     where
         I: IntoIterator<Item = PlanningSlot>,
     {
+        // Handles are fetched once per horizon; the per-slot cost is two
+        // `Instant::now` calls and a few relaxed atomic ops.
+        let telemetry = imcf_telemetry::global();
+        let slot_micros = telemetry.histogram_with(
+            "planner.slot_micros",
+            &[("optimizer", self.optimizer_name())],
+        );
+        let slots_planned = telemetry.counter("planner.slots_planned");
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut report = PlanReport::empty();
         let mut reserve = 0.0f64;
@@ -180,7 +188,10 @@ impl<O: Optimizer> EnergyPlanner<O> {
                 slot.budget_kwh += reserve;
             }
             let init = self.init.generate(slot.len(), &mut rng);
+            let slot_start = Instant::now();
             let (bits, obj) = self.optimizer.optimize(&slot, init, &mut rng);
+            slot_micros.observe(slot_start.elapsed().as_micros() as f64);
+            slots_planned.inc();
             if self.carry_over {
                 reserve = (slot.budget_kwh - obj.energy_kwh).max(0.0);
             }
@@ -192,8 +203,17 @@ impl<O: Optimizer> EnergyPlanner<O> {
 
     /// Plans a single slot (used by the live controller loop).
     pub fn plan_slot(&self, slot: &PlanningSlot, rng: &mut ChaCha8Rng) -> (Solution, f64) {
+        let slot_micros = imcf_telemetry::global().histogram_with(
+            "planner.slot_micros",
+            &[("optimizer", self.optimizer_name())],
+        );
         let init = self.init.generate(slot.len(), rng);
+        let slot_start = Instant::now();
         let (bits, obj) = self.optimizer.optimize(slot, init, rng);
+        slot_micros.observe(slot_start.elapsed().as_micros() as f64);
+        imcf_telemetry::global()
+            .counter("planner.slots_planned")
+            .inc();
         (bits, obj.energy_kwh)
     }
 

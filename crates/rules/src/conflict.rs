@@ -151,6 +151,11 @@ where
 {
     let mut out = detect_clashes(mrt);
     out.extend(detect_budget_infeasibility(mrt, worst_case_hourly_kwh));
+    if !out.is_empty() {
+        imcf_telemetry::global()
+            .counter("rules.conflicts")
+            .add(out.len() as u64);
+    }
     out
 }
 

@@ -94,6 +94,11 @@ impl RuleEngine {
 
     /// Evaluates every rule source against a snapshot and merges.
     pub fn evaluate(&self, env: &EnvSnapshot) -> Evaluation {
+        use std::sync::OnceLock;
+        static EVALUATIONS: OnceLock<imcf_telemetry::Counter> = OnceLock::new();
+        EVALUATIONS
+            .get_or_init(|| imcf_telemetry::global().counter("rules.evaluations"))
+            .inc();
         let mut eval = Evaluation::default();
 
         // Workflows first (lowest priority in the merge).

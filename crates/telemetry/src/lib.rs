@@ -1,0 +1,58 @@
+//! Observability for the IMCF stack: a lock-free metrics registry, span
+//! timing, a bounded trace ring buffer and two exporters.
+//!
+//! # Design
+//!
+//! Metric **handles** ([`Counter`], [`Gauge`], [`Histogram`]) are cheap
+//! `Arc`s over atomics: updating one is a handful of atomic instructions
+//! with no locking, so hot paths may update on every call. **Registration**
+//! (name + label lookup) takes a short mutex and should be done once per
+//! site where rates matter — handles stay valid for the life of the
+//! registry, including across [`Registry::reset`], which zeroes values but
+//! keeps identities.
+//!
+//! Names are dotted (`planner.slot_micros`), optionally with label pairs
+//! (`firewall.verdicts{verdict="drop"}`). The Prometheus exporter rewrites
+//! dots to underscores and carries the dotted name in the `# HELP` line.
+//!
+//! # Example
+//!
+//! ```
+//! use imcf_telemetry::{global, span};
+//!
+//! let verdicts = global().counter_with("firewall.verdicts", &[("verdict", "accept")]);
+//! verdicts.inc();
+//! {
+//!     let _timer = span!("ep.plan_slot");
+//!     // ... timed work; the histogram records on drop ...
+//! }
+//! assert!(global().prometheus_text().contains("firewall_verdicts"));
+//! ```
+
+mod export;
+mod registry;
+mod ring;
+mod span;
+
+pub use registry::{global, Counter, Gauge, Histogram, Registry, DEFAULT_BUCKETS};
+pub use ring::TraceEvent;
+pub use span::{start_span, start_span_with, Span};
+
+/// Starts a [`Span`] timing guard against the global registry. The first
+/// form records into a histogram named after the span; the second adds
+/// label pairs:
+///
+/// ```
+/// # use imcf_telemetry::span;
+/// let _t = span!("scheduler.tick_micros");
+/// let _u = span!("planner.slot_micros", "optimizer" => "greedy");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::start_span($name)
+    };
+    ($name:expr, $($key:expr => $value:expr),+ $(,)?) => {
+        $crate::start_span_with($name, &[$(($key, $value)),+])
+    };
+}

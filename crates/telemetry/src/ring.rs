@@ -1,0 +1,106 @@
+//! The bounded in-memory ring buffer of structured trace events.
+
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Default number of trace events kept in memory.
+pub(crate) const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// One structured trace event (e.g. a completed span).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceEvent {
+    /// Monotonic sequence number; survives ring eviction, so gaps reveal
+    /// how many events were dropped.
+    pub seq: u64,
+    /// Dotted event name (usually the span name).
+    pub name: String,
+    /// Free-form key/value annotations.
+    pub labels: Vec<(String, String)>,
+    /// Elapsed time for span events; `None` for point events.
+    pub duration_micros: Option<u64>,
+}
+
+impl TraceEvent {
+    /// A point event with no duration. `seq` is assigned by the ring.
+    pub fn point(name: &str, labels: &[(&str, &str)]) -> Self {
+        TraceEvent {
+            seq: 0,
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            duration_micros: None,
+        }
+    }
+
+    /// A completed-span event.
+    pub fn span(name: &str, labels: &[(&str, &str)], micros: u64) -> Self {
+        TraceEvent {
+            duration_micros: Some(micros),
+            ..Self::point(name, labels)
+        }
+    }
+}
+
+/// Fixed-capacity FIFO of trace events; pushing at capacity evicts the
+/// oldest event.
+#[derive(Debug)]
+pub(crate) struct EventRing {
+    capacity: usize,
+    next_seq: u64,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl EventRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        EventRing {
+            capacity,
+            next_seq: 0,
+            buf: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    pub(crate) fn push(&mut self, mut event: TraceEvent) {
+        event.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_oldest_at_capacity() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push(TraceEvent::point(&format!("e{i}"), &[]));
+        }
+        let names: Vec<String> = ring.snapshot().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn sequence_numbers_reveal_drops() {
+        let mut ring = EventRing::new(2);
+        for _ in 0..4 {
+            ring.push(TraceEvent::point("e", &[]));
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3]);
+    }
+}

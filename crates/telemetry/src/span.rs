@@ -1,0 +1,86 @@
+//! Span timing: RAII guards that record elapsed wall time into a
+//! histogram (and the trace ring) when dropped.
+
+use crate::registry::{global, Histogram, Registry};
+use crate::ring::TraceEvent;
+use std::time::Instant;
+
+/// A running span; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    registry: &'static Registry,
+    histogram: Histogram,
+    name: String,
+    labels: Vec<(String, String)>,
+    started: Instant,
+}
+
+impl Span {
+    /// Elapsed time so far, in whole microseconds.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let micros = self.elapsed_micros();
+        self.histogram.observe(micros as f64);
+        let labels: Vec<(&str, &str)> = self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        self.registry
+            .record_event(TraceEvent::span(&self.name, &labels, micros));
+    }
+}
+
+/// Starts a span recording into the global registry's histogram `name`.
+pub fn start_span(name: &str) -> Span {
+    start_span_with(name, &[])
+}
+
+/// Starts a labelled span (`planner.slot_micros{optimizer="greedy"}`).
+pub fn start_span_with(name: &str, labels: &[(&str, &str)]) -> Span {
+    let registry = global();
+    Span {
+        registry,
+        histogram: registry.histogram_with(name, labels),
+        name: name.to_string(),
+        labels: labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        started: Instant::now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_histogram_and_event() {
+        // Global registry: use a name unique to this test.
+        let before = global().histogram("test.span.unit").count();
+        {
+            let _s = crate::span!("test.span.unit");
+            std::hint::black_box(3 + 4);
+        }
+        assert_eq!(global().histogram("test.span.unit").count(), before + 1);
+        assert!(global()
+            .events()
+            .iter()
+            .any(|e| e.name == "test.span.unit" && e.duration_micros.is_some()));
+    }
+
+    #[test]
+    fn labelled_span_lands_in_labelled_series() {
+        {
+            let _s = crate::span!("test.span.labelled", "optimizer" => "greedy");
+        }
+        let h = global().histogram_with("test.span.labelled", &[("optimizer", "greedy")]);
+        assert!(h.count() >= 1);
+    }
+}

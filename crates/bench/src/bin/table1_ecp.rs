@@ -40,14 +40,7 @@ fn main() {
         "{:<11} | {:>14} {:>13} | {:>14} {:>13}",
         "Month", "paper kWh/mo", "paper kWh/h", "derived kWh/mo", "derived kWh/h"
     );
-    println!(
-        "{}",
-        "-".len()
-            .max(1)
-            .checked_mul(76)
-            .map(|_| "-".repeat(76))
-            .unwrap()
-    );
+    println!("{}", "-".repeat(76));
     for (i, name) in MONTHS.iter().enumerate() {
         let month = i as u32 + 1;
         println!(

@@ -195,7 +195,8 @@ pub fn artifact_dir() -> std::path::PathBuf {
 pub fn write_artifacts<T: serde::Serialize>(name: &str, results: &T) -> std::io::Result<()> {
     let dir = artifact_dir();
     std::fs::create_dir_all(&dir)?;
-    let results_json = serde_json::to_string(results).expect("experiment results serialize");
+    let results_json = serde_json::to_string(results)
+        .map_err(|e| std::io::Error::other(format!("serializing {name} results: {e}")))?;
     std::fs::write(dir.join(format!("{name}.json")), results_json)?;
     std::fs::write(
         dir.join(format!("{name}.telemetry.json")),

@@ -54,7 +54,9 @@ pub fn validate(argv: &[String]) -> Result<(), String> {
         max_positional: 1,
     };
     let parsed = spec.parse(argv)?;
-    let path = parsed.positional(0).expect("arity checked");
+    let Some(path) = parsed.positional(0) else {
+        return Err(String::from("missing <path> argument"));
+    };
     let mrt = load_mrt(path)?;
     println!(
         "{path}: {} rules ({} convenience, {} necessity, {} budget rows)",
@@ -155,7 +157,9 @@ pub fn plan(argv: &[String]) -> Result<(), String> {
         max_positional: 1,
     };
     let parsed = spec.parse(argv)?;
-    let path = parsed.positional(0).expect("arity checked");
+    let Some(path) = parsed.positional(0) else {
+        return Err(String::from("missing <path> argument"));
+    };
     let mrt = load_mrt(path)?;
     let (budget, budget_horizon) = mrt
         .tightest_budget()
@@ -307,7 +311,9 @@ pub fn workflow(argv: &[String]) -> Result<(), String> {
         max_positional: 1,
     };
     let parsed = spec.parse(argv)?;
-    let path = parsed.positional(0).expect("arity checked");
+    let Some(path) = parsed.positional(0) else {
+        return Err(String::from("missing <path> argument"));
+    };
     let wf = parse_workflow(&read_file(path)?).map_err(|e| format!("{path}: {e}"))?;
 
     let env = EnvSnapshot::neutral()
@@ -449,7 +455,9 @@ pub fn schedule(argv: &[String]) -> Result<(), String> {
         max_positional: 1,
     };
     let parsed = spec.parse(argv)?;
-    let path = parsed.positional(0).expect("arity checked");
+    let Some(path) = parsed.positional(0) else {
+        return Err(String::from("missing <path> argument"));
+    };
     let horizon = parsed.get_u64("horizon", 48)?;
     let headroom = parsed.get_f64("headroom", 4.0)?;
 

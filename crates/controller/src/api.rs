@@ -39,9 +39,14 @@ pub struct Response {
 
 impl Response {
     fn ok<T: Serialize>(value: &T) -> Response {
-        Response {
-            status: 200,
-            body: serde_json::to_string(value).expect("serializable"),
+        match serde_json::to_string(value) {
+            Ok(body) => Response { status: 200, body },
+            // A body that cannot serialize is a server bug; answer 500
+            // rather than tearing down the API thread.
+            Err(_) => Response {
+                status: 500,
+                body: String::from(r#"{"error":"response serialization failed"}"#),
+            },
         }
     }
 
@@ -49,7 +54,7 @@ impl Response {
         Response {
             status,
             body: serde_json::to_string(&serde_json::json!({ "error": message }))
-                .expect("serializable"),
+                .unwrap_or_else(|_| String::from(r#"{"error":"unrenderable error"}"#)),
         }
     }
 
@@ -113,7 +118,7 @@ impl Router {
     fn get_metrics(query: &str) -> Response {
         let telemetry = imcf_telemetry::global();
         if query.split('&').any(|kv| kv == "format=json") {
-            Response::text(serde_json::to_string(&telemetry.json_snapshot()).expect("serializable"))
+            Response::text(telemetry.json_snapshot_string())
         } else {
             Response::text(telemetry.prometheus_text())
         }
@@ -163,7 +168,7 @@ impl Router {
                 cooling: false,
             },
             ItemKind::Dimmer => CommandPayload::SetLevel(value),
-            ItemKind::Switch => CommandPayload::Power(value != 0.0),
+            ItemKind::Switch => CommandPayload::Power(!imcf_core::metrics::approx_zero(value)),
             ItemKind::Contact => return Response::error(409, "contact items are read-only"),
         };
         match self.registry.dispatch(&Command::binding(channel, payload)) {
@@ -241,7 +246,7 @@ mod tests {
     fn router_with_zone() -> (LocalController, Router) {
         let mut c =
             LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
-        c.provision_zone("den");
+        c.provision_zone("den").unwrap();
         let router = Router::new(
             c.registry(),
             c.firewall(),

@@ -8,7 +8,7 @@
 //! construction. Between planning points the *last plan holds* — exactly
 //! how a cron-triggered planner behaves between invocations.
 
-use crate::controller::{ControllerConfig, LocalController, TickSummary};
+use crate::controller::{ControllerConfig, ControllerError, LocalController, TickSummary};
 use crate::scheduler::{CronSpec, Scheduler};
 use imcf_core::calendar::PaperCalendar;
 use imcf_core::candidate::PlanningSlot;
@@ -60,14 +60,20 @@ pub struct Campaign {
 
 impl Campaign {
     /// Creates a campaign; `zones` are provisioned on the controller.
-    pub fn new(config: CampaignConfig, calendar: PaperCalendar, zones: &[&str]) -> Self {
+    ///
+    /// Fails when two zones collide (e.g. a duplicate name in `zones`).
+    pub fn new(
+        config: CampaignConfig,
+        calendar: PaperCalendar,
+        zones: &[&str],
+    ) -> Result<Self, ControllerError> {
         let mut controller = LocalController::new(config.controller, calendar);
         for z in zones {
-            controller.provision_zone(z);
+            controller.provision_zone(z)?;
         }
         let mut scheduler = Scheduler::new();
         scheduler.register("imcf-ep", config.replan);
-        Campaign {
+        Ok(Campaign {
             controller,
             scheduler,
             calendar,
@@ -80,7 +86,7 @@ impl Campaign {
                 delivered: 0,
                 blocked: 0,
             },
-        }
+        })
     }
 
     /// The controller (for registry/firewall/bus access).
@@ -149,7 +155,8 @@ mod tests {
             CampaignConfig::default(),
             PaperCalendar::january_start(),
             &["den"],
-        );
+        )
+        .unwrap();
         for h in 0..12 {
             c.step(&slot(h, 0.3));
         }
@@ -166,7 +173,7 @@ mod tests {
             replan: CronSpec::EveryHours(6),
             ..Default::default()
         };
-        let mut c = Campaign::new(config, PaperCalendar::january_start(), &["den"]);
+        let mut c = Campaign::new(config, PaperCalendar::january_start(), &["den"]).unwrap();
         for h in 0..12 {
             c.step(&slot(h, 0.3));
         }
@@ -183,7 +190,7 @@ mod tests {
             replan: CronSpec::EveryHours(24),
             ..Default::default()
         };
-        let mut c = Campaign::new(config, PaperCalendar::january_start(), &["den"]);
+        let mut c = Campaign::new(config, PaperCalendar::january_start(), &["den"]).unwrap();
         c.step(&slot(0, 0.2));
         c.step(&slot(1, 0.5)); // same rule, pricier hour
         let r = c.report();
@@ -197,7 +204,7 @@ mod tests {
             replan: CronSpec::DailyAt(12),
             ..Default::default()
         };
-        let mut c = Campaign::new(config, PaperCalendar::january_start(), &["den"]);
+        let mut c = Campaign::new(config, PaperCalendar::january_start(), &["den"]).unwrap();
         // Hour 0 is not 12:00, but the campaign cannot hold a nonexistent
         // plan: the first step plans unconditionally.
         c.step(&slot(0, 0.3));

@@ -131,7 +131,7 @@ mod tests {
     fn lc_router(zone: &str) -> (LocalController, Router) {
         let mut lc =
             LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
-        lc.provision_zone(zone);
+        lc.provision_zone(zone).unwrap();
         let router = Router::new(
             lc.registry(),
             lc.firewall(),

@@ -20,7 +20,7 @@ use imcf_core::planner::{EnergyPlanner, PlannerConfig};
 use imcf_devices::channel::ChannelUid;
 use imcf_devices::command::{Command, CommandOutcome, CommandPayload};
 use imcf_devices::item::{Item, ItemKind};
-use imcf_devices::registry::DeviceRegistry;
+use imcf_devices::registry::{DeviceRegistry, RegistryError};
 use imcf_devices::thing::{Thing, ThingKind, ThingUid};
 use imcf_rules::action::DeviceClass;
 use imcf_rules::meta_rule::RuleId;
@@ -37,6 +37,31 @@ pub struct ControllerConfig {
     /// Energy Planner parameters.
     pub planner: PlannerConfig,
 }
+
+/// Errors from controller inventory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    /// Provisioning a zone collided with already-registered things or
+    /// items (the zone was provisioned twice, or an item name clashes).
+    Provision {
+        /// The zone being provisioned.
+        zone: String,
+        /// The underlying registry rejection.
+        source: RegistryError,
+    },
+}
+
+impl std::fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerError::Provision { zone, source } => {
+                write!(f, "provisioning zone `{zone}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
 
 /// The outcome of one orchestration tick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -115,7 +140,17 @@ impl LocalController {
 
     /// Provisions a zone: registers one HVAC unit and one dimmable light
     /// with their items, assigning sequential host addresses.
-    pub fn provision_zone(&mut self, zone: &str) {
+    ///
+    /// Fails with [`ControllerError::Provision`] when the zone's things or
+    /// items collide with already-registered inventory (e.g. the zone was
+    /// provisioned twice). A failed provisioning may leave the zone
+    /// partially registered; re-provisioning the same zone is not a
+    /// supported recovery — pick a fresh zone name.
+    pub fn provision_zone(&mut self, zone: &str) -> Result<(), ControllerError> {
+        let provision = |e: RegistryError| ControllerError::Provision {
+            zone: zone.to_string(),
+            source: e,
+        };
         let hvac_host = format!("192.168.0.{}", self.next_host);
         let light_host = format!("192.168.0.{}", self.next_host + 1);
         self.next_host = self.next_host.wrapping_add(2);
@@ -130,7 +165,7 @@ impl LocalController {
                 &hvac_host,
                 zone,
             ))
-            .expect("zone provisioned twice");
+            .map_err(provision)?;
         self.registry
             .add_thing(Thing::new(
                 light_uid.clone(),
@@ -139,19 +174,20 @@ impl LocalController {
                 &light_host,
                 zone,
             ))
-            .expect("zone provisioned twice");
+            .map_err(provision)?;
         self.registry
             .add_item(
                 Item::new(&format!("{zone}_SetPoint"), ItemKind::Number)
                     .linked_to(ChannelUid::new(hvac_uid, "settemp")),
             )
-            .expect("item exists");
+            .map_err(provision)?;
         self.registry
             .add_item(
                 Item::new(&format!("{zone}_Light"), ItemKind::Dimmer)
                     .linked_to(ChannelUid::new(light_uid, "brightness")),
             )
-            .expect("item exists");
+            .map_err(provision)?;
+        Ok(())
     }
 
     fn command_for(
@@ -293,7 +329,7 @@ mod tests {
     fn controller_with_zone(zone: &str) -> LocalController {
         let mut c =
             LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
-        c.provision_zone(zone);
+        c.provision_zone(zone).unwrap();
         c
     }
 
@@ -347,7 +383,7 @@ mod tests {
     #[test]
     fn mixed_plan_keeps_cheap_rules() {
         let mut c = controller_with_zone("a");
-        c.provision_zone("b");
+        c.provision_zone("b").unwrap();
         let slot = PlanningSlot::new(
             0,
             vec![

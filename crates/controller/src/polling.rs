@@ -50,7 +50,7 @@ pub fn thresholds_in(table: &IftttTable, sensor: PolledSensor) -> Vec<f64> {
     for rule in table.rules() {
         collect(&rule.trigger, sensor, &mut out);
     }
-    out.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+    out.sort_by(f64::total_cmp);
     out.dedup();
     out
 }

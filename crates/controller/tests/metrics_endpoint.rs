@@ -14,7 +14,7 @@ use std::sync::Arc;
 #[test]
 fn metrics_endpoint_reports_scenario_counters() {
     let mut c = LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
-    c.provision_zone("den");
+    c.provision_zone("den").unwrap();
 
     // One adopted rule (fits the budget) exercises the planner and the
     // firewall egress path; one over-budget tick exercises the DROP path.
@@ -64,6 +64,19 @@ fn metrics_endpoint_reports_scenario_counters() {
         assert!(
             names.contains(&needle),
             "JSON snapshot missing `{needle}`: {names:?}"
+        );
+    }
+
+    // Exposition-stability contract: every metric the driven scenario
+    // actually emitted is registered in the central catalog
+    // (`imcf_telemetry::catalog`). A name showing up here but not there is
+    // an uncataloged emission — the runtime counterpart of lint rule
+    // IMCF-L004.
+    for name in &names {
+        assert!(
+            imcf_telemetry::catalog::is_cataloged(name),
+            "scenario emitted uncataloged metric `{name}` — add it to \
+             crates/telemetry/src/catalog.rs"
         );
     }
 }

@@ -16,7 +16,7 @@ use crate::candidate::PlanningSlot;
 use crate::objective::{convenience_error_fraction, evaluate, evaluate_ifttt};
 use crate::planner::PlanReport;
 use crate::solution::Solution;
-use std::time::Instant;
+use imcf_telemetry::Stopwatch;
 
 fn empty_report() -> PlanReport {
     PlanReport {
@@ -35,7 +35,7 @@ pub fn run_nr<I>(slots: I) -> PlanReport
 where
     I: IntoIterator<Item = PlanningSlot>,
 {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut report = empty_report();
     for slot in slots {
         let bits = Solution::all_zeros(slot.len());
@@ -51,7 +51,7 @@ pub fn run_mr<I>(slots: I) -> PlanReport
 where
     I: IntoIterator<Item = PlanningSlot>,
 {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut report = empty_report();
     for slot in slots {
         let bits = Solution::all_ones(slot.len());
@@ -71,7 +71,7 @@ pub fn run_ifttt<I>(slots: I) -> PlanReport
 where
     I: IntoIterator<Item = PlanningSlot>,
 {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut report = empty_report();
     for slot in slots {
         let obj = evaluate_ifttt(&slot);

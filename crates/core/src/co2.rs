@@ -59,7 +59,7 @@ impl Co2Savings {
 
     /// Relative savings fraction (0 when the baseline is zero).
     pub fn saved_fraction(&self) -> f64 {
-        if self.baseline_kg == 0.0 {
+        if crate::metrics::approx_zero(self.baseline_kg) {
             0.0
         } else {
             self.saved_kg() / self.baseline_kg

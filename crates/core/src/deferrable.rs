@@ -185,10 +185,9 @@ pub fn schedule_loads(
             cost,
         });
     }
-    Ok(placements
-        .into_iter()
-        .map(|p| p.expect("every load placed"))
-        .collect())
+    // Every index was filled by the placement loop above; `flatten`
+    // expresses that without a panic path.
+    Ok(placements.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

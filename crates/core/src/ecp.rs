@@ -76,7 +76,7 @@ impl Ecp {
     /// `Σ w_i = 1`, which only the latter satisfies).
     pub fn weights(&self) -> Vec<f64> {
         let total = self.total_kwh();
-        if total == 0.0 {
+        if crate::metrics::approx_zero(total) {
             // A flat profile with zero history: uniform weights.
             return vec![1.0 / self.len() as f64; self.len()];
         }

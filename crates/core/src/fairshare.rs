@@ -29,11 +29,11 @@ use crate::objective::{convenience_error_fraction, evaluate};
 use crate::optimizer::{HillClimbing, Optimizer};
 use crate::planner::PlannerConfig;
 use crate::solution::Solution;
+use imcf_telemetry::Stopwatch;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// How the slot budget is divided across owners.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -132,7 +132,7 @@ impl FairSharePlanner {
             slots: 0,
         };
         let mut reserve = 0.0f64;
-        let start = Instant::now();
+        let start = Stopwatch::start();
         for slot in slots {
             let budget = slot.budget_kwh + if self.carry_over { reserve } else { 0.0 };
             let spent = self.plan_slot(&slot, budget, &optimizer, &mut rng, &mut report);
@@ -195,11 +195,7 @@ impl FairSharePlanner {
             .map(|o| (entitlement[o] - spent_by_owner[o]).max(0.0))
             .sum();
         let mut order: Vec<&str> = owners.clone();
-        order.sort_by(|a, b| {
-            entitlement[a]
-                .partial_cmp(&entitlement[b])
-                .expect("finite entitlements")
-        });
+        order.sort_by(|a, b| entitlement[a].total_cmp(&entitlement[b]));
         for owner in order {
             let (sub, bits) = &bits_by_owner[owner];
             let dropped = bits.iter().filter(|b| !b).count();

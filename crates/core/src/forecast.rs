@@ -39,7 +39,7 @@ impl HourlyProfile {
             "demands must be finite and non-negative"
         );
         let total: f64 = needs.iter().sum();
-        let weights = if total == 0.0 {
+        let weights = if crate::metrics::approx_zero(total) {
             vec![1.0 / needs.len() as f64; needs.len()]
         } else {
             needs.iter().map(|v| v / total).collect()

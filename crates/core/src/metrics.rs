@@ -7,6 +7,25 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The tolerance for [`approx_zero`] / [`approx_eq`]: quantities in this
+/// crate are kWh, fractions and percentages with magnitudes around 1, so
+/// anything below a nano-unit is accumulated rounding, not signal.
+pub const EPSILON: f64 = 1e-9;
+
+/// Is a computed quantity zero up to accumulated rounding error?
+///
+/// Use this instead of `x == 0.0` for denominators and normalization
+/// guards (imcf-lint rule IMCF-L003): sums like `Σ kwh` can land at
+/// ±1e-17 instead of exactly 0.0 depending on fold order.
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() < EPSILON
+}
+
+/// Are two computed quantities equal up to accumulated rounding error?
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_zero(a - b)
+}
+
 /// Running mean and standard deviation (Welford's algorithm).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct MeanStd {

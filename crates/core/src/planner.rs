@@ -12,10 +12,11 @@ use crate::init::InitStrategy;
 use crate::objective::convenience_error_fraction;
 use crate::optimizer::{HillClimbing, Optimizer};
 use crate::solution::Solution;
+use imcf_telemetry::Stopwatch;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the Energy Planner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -172,7 +173,7 @@ impl<O: Optimizer> EnergyPlanner<O> {
         I: IntoIterator<Item = PlanningSlot>,
     {
         // Handles are fetched once per horizon; the per-slot cost is two
-        // `Instant::now` calls and a few relaxed atomic ops.
+        // clock reads and a few relaxed atomic ops.
         let telemetry = imcf_telemetry::global();
         let slot_micros = telemetry.histogram_with(
             "planner.slot_micros",
@@ -182,15 +183,15 @@ impl<O: Optimizer> EnergyPlanner<O> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut report = PlanReport::empty();
         let mut reserve = 0.0f64;
-        let start = Instant::now();
+        let start = Stopwatch::start();
         for mut slot in slots {
             if self.carry_over {
                 slot.budget_kwh += reserve;
             }
             let init = self.init.generate(slot.len(), &mut rng);
-            let slot_start = Instant::now();
+            let slot_start = Stopwatch::start();
             let (bits, obj) = self.optimizer.optimize(&slot, init, &mut rng);
-            slot_micros.observe(slot_start.elapsed().as_micros() as f64);
+            slot_micros.observe(slot_start.elapsed_micros() as f64);
             slots_planned.inc();
             if self.carry_over {
                 reserve = (slot.budget_kwh - obj.energy_kwh).max(0.0);
@@ -208,9 +209,9 @@ impl<O: Optimizer> EnergyPlanner<O> {
             &[("optimizer", self.optimizer_name())],
         );
         let init = self.init.generate(slot.len(), rng);
-        let slot_start = Instant::now();
+        let slot_start = Stopwatch::start();
         let (bits, obj) = self.optimizer.optimize(slot, init, rng);
-        slot_micros.observe(slot_start.elapsed().as_micros() as f64);
+        slot_micros.observe(slot_start.elapsed_micros() as f64);
         imcf_telemetry::global()
             .counter("planner.slots_planned")
             .inc();

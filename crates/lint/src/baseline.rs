@@ -1,0 +1,157 @@
+//! The ratcheted baseline: `lint-baseline.toml` at the workspace root.
+//!
+//! The baseline records, per rule, the number of findings the workspace is
+//! allowed to contain. `--check` fails when any rule exceeds its baseline;
+//! `--update-baseline` rewrites the counts to the current state. Counts are
+//! expected to only ever go *down* — CI runs `--check`, so a change that
+//! raises a count cannot land without also raising the committed baseline,
+//! which review treats as a regression.
+//!
+//! The format is a deliberately minimal TOML subset (one `[counts]` table
+//! of `L00x = n` pairs) so no TOML dependency is needed.
+
+use crate::rules::{Rule, ALL_RULES};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Per-rule allowed finding counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<Rule, usize>,
+}
+
+impl Baseline {
+    /// The allowed count for a rule (0 when absent).
+    pub fn allowed(&self, rule: Rule) -> usize {
+        self.counts.get(&rule).copied().unwrap_or(0)
+    }
+
+    /// Parses the baseline file content. Unknown keys and malformed lines
+    /// are errors — a corrupt baseline must not silently allow findings.
+    pub fn parse(content: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        let mut in_counts = false;
+        for (lineno, raw) in content.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_counts = line == "[counts]";
+                if !in_counts {
+                    return Err(format!(
+                        "lint-baseline.toml:{}: unknown table `{line}`",
+                        lineno + 1
+                    ));
+                }
+                continue;
+            }
+            if !in_counts {
+                return Err(format!(
+                    "lint-baseline.toml:{}: entry outside [counts]",
+                    lineno + 1
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "lint-baseline.toml:{}: expected `L00x = n`",
+                    lineno + 1
+                ));
+            };
+            let Some(rule) = Rule::from_code(key.trim()) else {
+                return Err(format!(
+                    "lint-baseline.toml:{}: unknown rule `{}`",
+                    lineno + 1,
+                    key.trim()
+                ));
+            };
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("lint-baseline.toml:{}: bad count", lineno + 1))?;
+            counts.insert(rule, count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Loads the baseline from `<root>/lint-baseline.toml`. A missing file
+    /// is an empty (all-zero) baseline.
+    pub fn load(root: &Path) -> Result<Baseline, String> {
+        let path = root.join("lint-baseline.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(content) => Baseline::parse(&content),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Renders the baseline, preserving the header comment of the previous
+    /// content when present (lines before the `[counts]` table).
+    pub fn render(&self, previous_header: &str) -> String {
+        let mut out = String::new();
+        if previous_header.is_empty() {
+            out.push_str(
+                "# imcf-lint baseline — per-rule finding counts the workspace may contain.\n\
+                 # Counts only ratchet down: CI runs `cargo run -p imcf-lint -- --check`,\n\
+                 # so raising a count requires editing this file in the same change.\n",
+            );
+        } else {
+            out.push_str(previous_header);
+        }
+        out.push_str("\n[counts]\n");
+        for rule in ALL_RULES {
+            out.push_str(&format!("{} = {}\n", rule.code(), self.allowed(rule)));
+        }
+        out
+    }
+
+    /// Writes the baseline to `<root>/lint-baseline.toml`, keeping any
+    /// existing header comments.
+    pub fn store(&self, root: &Path) -> Result<(), String> {
+        let path = root.join("lint-baseline.toml");
+        let header = match std::fs::read_to_string(&path) {
+            Ok(existing) => existing
+                .lines()
+                .take_while(|l| l.trim().starts_with('#') || l.trim().is_empty())
+                .collect::<Vec<_>>()
+                .join("\n")
+                .trim_end()
+                .to_string(),
+            Err(_) => String::new(),
+        };
+        std::fs::write(&path, self.render(&header))
+            .map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let b = Baseline::parse("# header\n[counts]\nL001 = 12\nL003 = 0\n").unwrap();
+        assert_eq!(b.allowed(Rule::L001), 12);
+        assert_eq!(b.allowed(Rule::L003), 0);
+        assert_eq!(b.allowed(Rule::L005), 0);
+        let rendered = b.render("");
+        let again = Baseline::parse(&rendered).unwrap();
+        assert_eq!(b.allowed(Rule::L001), again.allowed(Rule::L001));
+    }
+
+    #[test]
+    fn malformed_baselines_error() {
+        assert!(Baseline::parse("[wrong]\nL001 = 1").is_err());
+        assert!(Baseline::parse("[counts]\nL999 = 1").is_err());
+        assert!(Baseline::parse("[counts]\nL001 = many").is_err());
+        assert!(Baseline::parse("L001 = 1").is_err());
+    }
+
+    #[test]
+    fn render_preserves_header() {
+        let b = Baseline::parse("[counts]\nL002 = 3\n").unwrap();
+        let out = b.render("# custom header\n# second line");
+        assert!(out.starts_with("# custom header\n# second line"));
+        assert!(out.contains("L002 = 3"));
+    }
+}

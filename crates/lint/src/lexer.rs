@@ -1,0 +1,682 @@
+//! A hand-rolled Rust lexer, sufficient for token-tree-level lints.
+//!
+//! The build environment is offline, so `syn`/`proc-macro2` are not
+//! available (the same constraint that produced the `compat/` shims). This
+//! lexer handles the parts of the grammar that matter for accurate
+//! scanning — string/char/byte/raw-string literals, nested block comments,
+//! lifetimes vs char literals, numeric literals with suffixes — and emits a
+//! flat token stream with line numbers, plus the comment list (comments
+//! carry `// SAFETY:` justifications and `// imcf-lint: allow(...)`
+//! suppressions).
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `Instant`, ...).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`).
+    Lifetime(String),
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int(String),
+    /// A float literal (`0.0`, `1e-9`, `2f64`).
+    Float(String),
+    /// A string literal's content (cooked, raw, byte or C string).
+    Str(String),
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// An operator or delimiter, multi-character forms pre-merged
+    /// (`==`, `::`, `=>`, `{`, ...).
+    Punct(&'static str),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment (line or block) with the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    /// Lines the comment spans, inclusive (equal to `line` for `//`).
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so the match is maximal.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes a whole source file. The lexer never fails: malformed input
+/// degrades to single-character punct tokens, which no lint matches.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.advance(2);
+                let mut depth = 1u32;
+                while depth > 0 {
+                    if cur.starts_with("/*") {
+                        depth += 1;
+                        cur.advance(2);
+                    } else if cur.starts_with("*/") {
+                        depth -= 1;
+                        cur.advance(2);
+                    } else if cur.bump().is_none() {
+                        break;
+                    }
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: cur.line,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                });
+            }
+            b'"' => {
+                let content = lex_cooked_string(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+            }
+            b'r' | b'b' | b'c' if starts_raw_or_byte_literal(&cur) => {
+                lex_prefixed_literal(&mut cur, &mut out, line);
+            }
+            b'\'' => {
+                lex_quote(&mut cur, &mut out, line);
+            }
+            _ if b.is_ascii_digit() => {
+                let tok = lex_number(&mut cur);
+                out.tokens.push(Token { tok, line });
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let ident = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.tokens.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            _ => {
+                let mut matched = false;
+                for p in PUNCTS {
+                    if cur.starts_with(p) {
+                        cur.advance(p.len());
+                        out.tokens.push(Token {
+                            tok: Tok::Punct(p),
+                            line,
+                        });
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    cur.bump();
+                    out.tokens.push(Token {
+                        tok: Tok::Punct(single_punct(b)),
+                        line,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Interns a single-byte punct as a `&'static str`.
+fn single_punct(b: u8) -> &'static str {
+    const TABLE: &[(u8, &str)] = &[
+        (b'{', "{"),
+        (b'}', "}"),
+        (b'(', "("),
+        (b')', ")"),
+        (b'[', "["),
+        (b']', "]"),
+        (b'<', "<"),
+        (b'>', ">"),
+        (b'=', "="),
+        (b'!', "!"),
+        (b'+', "+"),
+        (b'-', "-"),
+        (b'*', "*"),
+        (b'/', "/"),
+        (b'%', "%"),
+        (b'&', "&"),
+        (b'|', "|"),
+        (b'^', "^"),
+        (b'~', "~"),
+        (b'#', "#"),
+        (b'.', "."),
+        (b',', ","),
+        (b';', ";"),
+        (b':', ":"),
+        (b'?', "?"),
+        (b'@', "@"),
+        (b'$', "$"),
+    ];
+    for (byte, s) in TABLE {
+        if *byte == b {
+            return s;
+        }
+    }
+    "?"
+}
+
+/// Consumes a `"..."` literal (opening quote under the cursor) and returns
+/// its content with escapes left in place (backslash pairs skipped so an
+/// escaped quote cannot end the literal early).
+fn lex_cooked_string(cur: &mut Cursor) -> String {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+    let content = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+    cur.bump(); // closing quote
+    content
+}
+
+/// Is the cursor at `r"`, `r#`, `b"`, `b'`, `br`, `c"`, `cr` — i.e. a
+/// prefixed literal rather than an identifier starting with r/b/c?
+fn starts_raw_or_byte_literal(cur: &Cursor) -> bool {
+    let b0 = match cur.peek() {
+        Some(b) => b,
+        None => return false,
+    };
+    let b1 = cur.peek_at(1);
+    match (b0, b1) {
+        (b'r' | b'c', Some(b'"' | b'#')) => b0 == b'r' || b1 == Some(b'"'),
+        (b'b', Some(b'"' | b'\'')) => true,
+        (b'b' | b'c', Some(b'r')) => matches!(cur.peek_at(2), Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+/// Lexes `r"..."`, `r#"..."#`, `b"..."`, `b'x'`, `br#"..."#`, `c"..."`.
+fn lex_prefixed_literal(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    // Consume the prefix letters (r, b, c, br, cr).
+    while matches!(cur.peek(), Some(b'r' | b'b' | b'c')) {
+        if matches!(cur.peek(), Some(b'"' | b'\'' | b'#')) {
+            break;
+        }
+        // Only consume letters that are actually part of the prefix.
+        let is_prefix = matches!(
+            (cur.peek(), cur.peek_at(1)),
+            (Some(b'r' | b'b' | b'c'), Some(b'"' | b'#' | b'\''))
+        ) || matches!(
+            (cur.peek(), cur.peek_at(1), cur.peek_at(2)),
+            (Some(b'b' | b'c'), Some(b'r'), Some(b'"' | b'#'))
+        );
+        if !is_prefix {
+            break;
+        }
+        cur.bump();
+    }
+    match cur.peek() {
+        Some(b'\'') => {
+            // Byte char literal b'x'.
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                match c {
+                    b'\\' => {
+                        cur.bump();
+                        cur.bump();
+                    }
+                    b'\'' => break,
+                    _ => {
+                        cur.bump();
+                    }
+                }
+            }
+            cur.bump();
+            out.tokens.push(Token {
+                tok: Tok::Char,
+                line,
+            });
+        }
+        Some(b'#') => {
+            // Raw string with N hashes: r#"..."# etc. — unless this is a
+            // raw identifier (`r#fn`), which has an ident after the hash.
+            let mut hashes = 0usize;
+            while cur.peek() == Some(b'#') {
+                hashes += 1;
+                cur.bump();
+            }
+            if cur.peek() != Some(b'"') {
+                // Raw identifier: lex the ident and emit it.
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()),
+                    line,
+                });
+                return;
+            }
+            cur.bump(); // opening quote
+            let start = cur.pos;
+            let end;
+            loop {
+                match cur.peek() {
+                    None => {
+                        end = cur.pos;
+                        break;
+                    }
+                    Some(b'"') => {
+                        let mut closing = 0usize;
+                        while closing < hashes && cur.peek_at(1 + closing) == Some(b'#') {
+                            closing += 1;
+                        }
+                        if closing == hashes {
+                            end = cur.pos;
+                            cur.advance(1 + hashes);
+                            break;
+                        }
+                        cur.bump();
+                    }
+                    _ => {
+                        cur.bump();
+                    }
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Str(String::from_utf8_lossy(&cur.src[start..end]).into_owned()),
+                line,
+            });
+        }
+        Some(b'"') => {
+            let content = lex_cooked_string(cur);
+            out.tokens.push(Token {
+                tok: Tok::Str(content),
+                line,
+            });
+        }
+        _ => {
+            // Malformed; emit nothing and let the main loop continue.
+        }
+    }
+}
+
+/// Disambiguates a `'` between a lifetime and a char literal.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    // A lifetime is 'ident NOT followed by a closing quote ('a, 'static);
+    // a char literal is 'x' or an escape '\n'.
+    let next = cur.peek_at(1);
+    let after = cur.peek_at(2);
+    let is_lifetime = match next {
+        Some(n) if is_ident_start(n) => after != Some(b'\''),
+        _ => false,
+    };
+    if is_lifetime {
+        cur.bump(); // quote
+        let start = cur.pos;
+        while let Some(c) = cur.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            tok: Tok::Lifetime(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned()),
+            line,
+        });
+    } else {
+        cur.bump(); // quote
+        while let Some(c) = cur.peek() {
+            match c {
+                b'\\' => {
+                    cur.bump();
+                    cur.bump();
+                }
+                b'\'' => break,
+                _ => {
+                    cur.bump();
+                }
+            }
+        }
+        cur.bump(); // closing quote
+        out.tokens.push(Token {
+            tok: Tok::Char,
+            line,
+        });
+    }
+}
+
+/// Lexes a numeric literal, deciding Int vs Float.
+fn lex_number(cur: &mut Cursor) -> Tok {
+    let start = cur.pos;
+    let mut is_float = false;
+
+    if cur.starts_with("0x")
+        || cur.starts_with("0X")
+        || cur.starts_with("0b")
+        || cur.starts_with("0o")
+    {
+        cur.advance(2);
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Tok::Int(String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned());
+    }
+
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || c == b'_' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // A `.` is part of the number only when NOT followed by an identifier
+    // start (method call `1.max(2)`) or another `.` (range `0..10`).
+    if cur.peek() == Some(b'.') {
+        match cur.peek_at(1) {
+            Some(c) if c.is_ascii_digit() => {
+                is_float = true;
+                cur.bump();
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_digit() || c == b'_' {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Some(c) if is_ident_start(c) || c == b'.' => {}
+            _ => {
+                // Trailing dot float: `1.`
+                is_float = true;
+                cur.bump();
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some(b'e' | b'E')) {
+        let sign_skip = matches!(cur.peek_at(1), Some(b'+' | b'-'));
+        let digit_pos = if sign_skip { 2 } else { 1 };
+        if matches!(cur.peek_at(digit_pos), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            cur.advance(digit_pos + 1);
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_digit() || c == b'_' {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Suffix (u32, f64, ...).
+    let suffix_start = cur.pos;
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let suffix = &cur.src[suffix_start..cur.pos];
+    if suffix == b"f32" || suffix == b"f64" {
+        is_float = true;
+    }
+    let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+    if is_float {
+        Tok::Float(text)
+    } else {
+        Tok::Int(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("let x = 1;\nlet y = x.unwrap();\n");
+        assert_eq!(idents(&l), vec!["let", "x", "let", "y", "x", "unwrap"]);
+        let unwrap = l
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("unwrap".into()))
+            .unwrap();
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn cooked_strings_with_escapes() {
+        let l = lex(r#"let s = "a.b\"c"; x.unwrap();"#);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s.starts_with("a.b"))));
+        // The escaped quote must not end the string early: unwrap survives.
+        assert!(idents(&l).contains(&"unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_do_not_hide_following_tokens() {
+        let l = lex(r###"let s = r#"no "escape" herein"#; y.unwrap();"###);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s.contains("no \"escape\" herein"))));
+        assert!(idents(&l).contains(&"unwrap"));
+    }
+
+    #[test]
+    fn raw_string_contents_are_not_tokens() {
+        // `.unwrap()` inside a string literal must not produce tokens.
+        let l = lex(r#"let s = "x.unwrap()";"#);
+        assert!(!idents(&l).contains(&"unwrap"));
+        let l = lex(r##"let s = r"y.unwrap()";"##);
+        assert!(!idents(&l).contains(&"unwrap"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex(r#"let a = b"bytes"; let c = b'\n'; z.unwrap();"#);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Str(s) if s == "bytes")));
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Char));
+        assert!(idents(&l).contains(&"unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner .unwrap() */ still outer */ x.expect(\"m\");");
+        // The unwrap in the nested comment is invisible; expect survives.
+        assert!(!idents(&l).contains(&"unwrap"));
+        assert!(idents(&l).contains(&"expect"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn line_comments_are_recorded_with_lines() {
+        let l = lex("// SAFETY: fine\nunsafe { }\n");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("SAFETY:"));
+        assert!(idents(&l).contains(&"unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.tok, Tok::Lifetime(n) if n == "a"))
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(!l.tokens.iter().any(|t| t.tok == Tok::Char));
+    }
+
+    #[test]
+    fn char_literals_including_quote_escape() {
+        let l = lex(r"let c = 'x'; let q = '\''; let n = '\n';");
+        let chars = l.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let l = lex("let a = 1; let b = 2.5; let c = 1e-9; let d = 3f64; let e = 0xFF;");
+        let floats: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Float(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec!["2.5", "1e-9", "3f64"]);
+        let ints: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Int(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ints, vec!["1", "0xFF"]);
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_a_float() {
+        let l = lex("let m = 1.max(2); let r = 0..10;");
+        assert!(!l.tokens.iter().any(|t| matches!(t.tok, Tok::Float(_))));
+        assert!(idents(&l).contains(&"max"));
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Punct("..")));
+    }
+
+    #[test]
+    fn multichar_puncts_merge() {
+        let l = lex("a == b != c => d :: e <= f");
+        let puncts: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "=>", "::", "<="]);
+    }
+}

@@ -1,0 +1,126 @@
+//! `imcf-lint`: IMCF's in-tree static analysis.
+//!
+//! A firewall only earns trust when its enforcement logic is itself
+//! verifiable. This crate scans the workspace's library sources with a
+//! hand-rolled Rust lexer (no external dependencies — the registry is
+//! offline) and enforces five IMCF-specific rules, ratcheted against the
+//! checked-in `lint-baseline.toml`. See `DESIGN.md` §9 for the rules and
+//! workflow, and [`rules`] for the rule definitions.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use baseline::Baseline;
+use rules::{Finding, Rule, ALL_RULES};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The outcome of linting a workspace.
+#[derive(Debug)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings per rule.
+    pub fn counts(&self) -> BTreeMap<Rule, usize> {
+        let mut counts: BTreeMap<Rule, usize> = ALL_RULES.iter().map(|r| (*r, 0)).collect();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Rules whose finding count exceeds the baseline, with (actual,
+    /// allowed) pairs.
+    pub fn over_baseline(&self, baseline: &Baseline) -> Vec<(Rule, usize, usize)> {
+        self.counts()
+            .into_iter()
+            .filter(|(rule, n)| *n > baseline.allowed(*rule))
+            .map(|(rule, n)| (rule, n, baseline.allowed(rule)))
+            .collect()
+    }
+
+    /// Renders findings and a per-rule summary as human-readable text.
+    pub fn render_text(&self, baseline: &Baseline) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: IMCF-{} {} — {}\n",
+                f.file,
+                f.line,
+                f.rule.code(),
+                f.message,
+                f.rule.describe()
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        for (rule, n) in self.counts() {
+            let allowed = baseline.allowed(rule);
+            let status = if n > allowed { "OVER" } else { "ok" };
+            out.push_str(&format!(
+                "IMCF-{}: {n} finding(s), baseline {allowed} [{status}]\n",
+                rule.code()
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as machine-readable JSON.
+    pub fn render_json(&self, baseline: &Baseline) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"IMCF-{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+                f.rule.code(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"counts\": {");
+        let counts = self.counts();
+        let body: Vec<String> = counts
+            .iter()
+            .map(|(rule, n)| {
+                format!(
+                    "\"{}\": {{\"actual\": {n}, \"baseline\": {}}}",
+                    rule.code(),
+                    baseline.allowed(*rule)
+                )
+            })
+            .collect();
+        out.push_str(&body.join(", "));
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Lints every collected source file under `root`.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let files = workspace::collect_sources(root)?;
+    let mut findings = Vec::new();
+    for path in files {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        rules::lint_source(&workspace::relative(root, &path), &source, &mut findings);
+    }
+    Ok(Report { findings })
+}

@@ -1,0 +1,109 @@
+//! The `imcf-lint` command-line driver.
+//!
+//! ```text
+//! cargo run -p imcf-lint -- --check             # CI gate: fail above baseline
+//! cargo run -p imcf-lint -- --json              # machine-readable findings
+//! cargo run -p imcf-lint -- --update-baseline   # rewrite lint-baseline.toml
+//! ```
+//!
+//! With no flags the tool prints findings and the per-rule summary without
+//! failing, which is the ergonomic form while burning a baseline down.
+
+use imcf_lint::baseline::Baseline;
+use imcf_lint::{lint_workspace, workspace};
+use std::process::ExitCode;
+
+struct Options {
+    check: bool,
+    json: bool,
+    update_baseline: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        json: false,
+        update_baseline: false,
+    };
+    for arg in argv {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: imcf-lint [--check] [--json] [--update-baseline]\n\
+                     \n\
+                     --check            exit 1 when any rule exceeds lint-baseline.toml\n\
+                     --json             print findings and counts as JSON\n\
+                     --update-baseline  rewrite lint-baseline.toml with current counts",
+                ));
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&argv)?;
+
+    // `cargo run -p imcf-lint` keeps the invoker's cwd, which in CI and in
+    // normal use is somewhere inside the workspace; walk up from there.
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    let root = workspace::find_root(&cwd)?;
+    let report = lint_workspace(&root)?;
+    let baseline = Baseline::load(&root)?;
+
+    if opts.update_baseline {
+        let updated = Baseline {
+            counts: report.counts(),
+        };
+        updated.store(&root)?;
+        println!(
+            "lint-baseline.toml updated: {}",
+            updated
+                .counts
+                .iter()
+                .map(|(r, n)| format!("{} = {n}", r.code()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return Ok(true);
+    }
+
+    if opts.json {
+        print!("{}", report.render_json(&baseline));
+    } else {
+        print!("{}", report.render_text(&baseline));
+    }
+
+    let over = report.over_baseline(&baseline);
+    if opts.check && !over.is_empty() {
+        for (rule, actual, allowed) in &over {
+            eprintln!(
+                "imcf-lint: IMCF-{} has {actual} finding(s), baseline allows {allowed}",
+                rule.code()
+            );
+        }
+        eprintln!(
+            "imcf-lint: fix the findings above or (for a deliberate exception) add an\n\
+             `// imcf-lint: allow(L00x)` comment with a justification; the baseline\n\
+             only ratchets down."
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

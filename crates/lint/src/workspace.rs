@@ -1,0 +1,103 @@
+//! Workspace discovery and source-file collection.
+
+use std::path::{Path, PathBuf};
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(content) = std::fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace Cargo.toml found above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+/// Collects the `.rs` files imcf-lint scans: the `src/` trees of every
+/// workspace crate under `crates/` plus the root `src/`, sorted for
+/// deterministic output. `compat/` is excluded: those crates are in-tree
+/// stand-ins for *external* dependencies (the registry is offline), so they
+/// follow upstream idiom, not IMCF policy. Test directories (`tests/`,
+/// `benches/`, `examples/`) are whole-file test context and are skipped at
+/// collection time.
+pub fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = read_dir_sorted(&crates_dir)?;
+        members.retain(|p| p.is_dir());
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), String> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            walk_rs(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative path with forward slashes (lint rule scoping and
+/// report output both use this form).
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_and_collects_sources() {
+        let cwd = std::env::current_dir().unwrap();
+        let root = find_root(&cwd).unwrap();
+        assert!(root.join("Cargo.toml").is_file());
+        let files = collect_sources(&root).unwrap();
+        // The linter's own sources are in scope (self-check).
+        assert!(files
+            .iter()
+            .any(|f| relative(&root, f) == "crates/lint/src/lexer.rs"));
+        // compat shims are not.
+        assert!(!files
+            .iter()
+            .any(|f| relative(&root, f).starts_with("compat/")));
+        // crate tests/ directories are not collected.
+        assert!(!files.iter().any(|f| relative(&root, f).contains("/tests/")));
+    }
+}

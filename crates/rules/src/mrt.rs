@@ -111,7 +111,7 @@ impl Mrt {
             .min_by(|a, b| {
                 let ra = a.0 / a.1 as f64;
                 let rb = b.0 / b.1 as f64;
-                ra.partial_cmp(&rb).expect("budget rates are finite")
+                ra.total_cmp(&rb)
             })
     }
 

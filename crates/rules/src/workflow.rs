@@ -297,6 +297,9 @@ impl Interp<'_> {
                     ArithOp::Sub => a - b,
                     ArithOp::Mul => a * b,
                     ArithOp::Div => {
+                        // Exact-zero check is the workflow language's
+                        // documented semantics: `x / 0` raises, `x / 1e-30`
+                        // does not. imcf-lint: allow(L003)
                         if b == 0.0 {
                             return Err(WorkflowError::DivisionByZero);
                         }

@@ -63,8 +63,8 @@ impl Wal {
                 Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
                 Err(e) => return Err(e),
             }
-            let len = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice"));
-            let crc = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+            let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+            let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
             if len > MAX_RECORD_LEN {
                 break;
             }

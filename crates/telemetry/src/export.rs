@@ -1,6 +1,6 @@
 //! Exporters: Prometheus text exposition and JSON (snapshot + lines).
 
-use crate::registry::{Metric, MetricKey, Registry};
+use crate::registry::{locked, Metric, MetricKey, Registry};
 use crate::ring::TraceEvent;
 use serde::Serialize;
 use serde_json::Value;
@@ -93,14 +93,14 @@ fn snapshot_one(key: &MetricKey, metric: &Metric) -> MetricSnapshot {
 impl Registry {
     /// Every registered metric, flattened, sorted by name then labels.
     pub fn metric_snapshots(&self) -> Vec<MetricSnapshot> {
-        let map = self.metrics.lock().unwrap();
+        let map = locked(&self.metrics);
         map.iter().map(|(k, m)| snapshot_one(k, m)).collect()
     }
 
     /// Renders the registry in the Prometheus text exposition format.
     /// `# HELP` lines carry the original dotted name.
     pub fn prometheus_text(&self) -> String {
-        let map = self.metrics.lock().unwrap();
+        let map = locked(&self.metrics);
         let mut out = String::new();
         let mut last_name: Option<&str> = None;
         for (key, metric) in map.iter() {
@@ -158,20 +158,27 @@ impl Registry {
     /// that write the snapshot to a file or wire without depending on
     /// `serde_json` themselves.
     pub fn json_snapshot_string(&self) -> String {
-        serde_json::to_string(&self.json_snapshot()).expect("finite metric values")
+        // Snapshot values are finite by construction; if serialization
+        // still fails, an empty object beats panicking inside an exporter.
+        serde_json::to_string(&self.json_snapshot()).unwrap_or_else(|_| String::from("{}"))
     }
 
     /// JSON lines: one metric object per line, then one event object per
     /// line (events carry a `"event"` name field, metrics a `"kind"`).
+    /// Entries that fail to serialize are skipped.
     pub fn json_lines(&self) -> String {
         let mut out = String::new();
         for snap in self.metric_snapshots() {
-            out.push_str(&serde_json::to_string(&snap).expect("finite metric values"));
-            out.push('\n');
+            if let Ok(line) = serde_json::to_string(&snap) {
+                out.push_str(&line);
+                out.push('\n');
+            }
         }
         for event in self.events() {
-            out.push_str(&serde_json::to_string(&event).expect("events serialize"));
-            out.push('\n');
+            if let Ok(line) = serde_json::to_string(&event) {
+                out.push_str(&line);
+                out.push('\n');
+            }
         }
         out
     }

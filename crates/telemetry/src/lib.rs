@@ -29,11 +29,14 @@
 //! assert!(global().prometheus_text().contains("firewall_verdicts"));
 //! ```
 
+pub mod catalog;
+mod clock;
 mod export;
 mod registry;
 mod ring;
 mod span;
 
+pub use clock::Stopwatch;
 pub use registry::{global, Counter, Gauge, Histogram, Registry, DEFAULT_BUCKETS};
 pub use ring::TraceEvent;
 pub use span::{start_span, start_span_with, Span};

@@ -3,7 +3,15 @@
 use crate::ring::{EventRing, TraceEvent, DEFAULT_EVENT_CAPACITY};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a registry mutex, recovering from poison: the guarded state
+/// (metric maps, event rings) stays structurally valid even if a panic
+/// unwound mid-update, and observability must keep working after an
+/// unrelated thread died.
+pub(crate) fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default histogram bucket upper bounds, tuned for microsecond latencies:
 /// 5 µs through 100 ms, roughly geometric.
@@ -191,7 +199,7 @@ impl Registry {
     /// Registers (or finds) a counter with label pairs.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = locked(&self.metrics);
         match map
             .entry(key)
             .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
@@ -209,7 +217,7 @@ impl Registry {
     /// Registers (or finds) a gauge with label pairs.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = locked(&self.metrics);
         match map
             .entry(key)
             .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
@@ -241,7 +249,7 @@ impl Registry {
             "histogram buckets must be strictly ascending"
         );
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = locked(&self.metrics);
         match map.entry(key).or_insert_with(|| {
             Metric::Histogram(Histogram(Arc::new(HistogramCore {
                 bounds: buckets.to_vec(),
@@ -257,18 +265,18 @@ impl Registry {
 
     /// Appends a structured trace event, dropping the oldest at capacity.
     pub fn record_event(&self, event: TraceEvent) {
-        self.events.lock().unwrap().push(event);
+        locked(&self.events).push(event);
     }
 
     /// A snapshot of the buffered trace events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap().snapshot()
+        locked(&self.events).snapshot()
     }
 
     /// Zeroes every metric and clears the event buffer, keeping metric
     /// identities — handles cached by callers remain valid.
     pub fn reset(&self) {
-        let map = self.metrics.lock().unwrap();
+        let map = locked(&self.metrics);
         for metric in map.values() {
             match metric {
                 Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
@@ -283,7 +291,7 @@ impl Registry {
             }
         }
         drop(map);
-        self.events.lock().unwrap().clear();
+        locked(&self.events).clear();
     }
 }
 

@@ -29,7 +29,7 @@ fn main() {
     let mut controller =
         LocalController::new(ControllerConfig::default(), PaperCalendar::starting_in(10));
     for zone in &dataset.trace.zones {
-        controller.provision_zone(&zone.zone);
+        controller.provision_zone(&zone.zone).unwrap();
     }
     let events = controller.bus().subscribe();
 

@@ -57,7 +57,7 @@ fn controller_over_dataset_slots_with_persistence_and_recovery() {
 
     let mut controller = LocalController::new(ControllerConfig::default(), dataset.calendar());
     for zone in &dataset.trace.zones {
-        controller.provision_zone(&zone.zone);
+        controller.provision_zone(&zone.zone).unwrap();
     }
 
     let dir = tempfile::tempdir().unwrap();
@@ -98,7 +98,7 @@ fn controller_reserve_carries_budget_across_ticks() {
     let builder = SlotBuilder::new(&dataset, &plan);
 
     let mut controller = LocalController::new(ControllerConfig::default(), dataset.calendar());
-    controller.provision_zone("zone000");
+    controller.provision_zone("zone000").unwrap();
 
     // Hour 0 of the trace is midnight: no rules are active, so the whole
     // allowance banks into the reserve.
@@ -119,7 +119,7 @@ fn firewall_blocks_manual_overrides_of_dropped_zones() {
 
     let mut controller =
         LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
-    controller.provision_zone("den");
+    controller.provision_zone("den").unwrap();
     // A zero-budget slot forces the plan to drop the den's HVAC rule.
     let slot = PlanningSlot::new(
         0,

@@ -7,20 +7,28 @@
 //! allowance like the forecast demand). This experiment quantifies both on
 //! the flat dataset: a seasonal-naive demand forecast trained on the first
 //! year shapes the budget for the remaining horizon.
+//!
+//! The forecast-training probe is a shared sequential prefix; the four
+//! (plan × carry-over) evaluation cells then fan out over `--jobs N`
+//! workers (default: `IMCF_JOBS`, else all cores); results are
+//! byte-identical for every worker count.
 
-use imcf_bench::harness::DatasetBundle;
+use imcf_bench::harness::{build_bundles, jobs};
 use imcf_core::amortization::ApKind;
 use imcf_core::calendar::HOURS_PER_YEAR;
 use imcf_core::forecast::HourlyProfile;
 use imcf_core::init::InitStrategy;
 use imcf_core::optimizer::HillClimbing;
-use imcf_core::planner::EnergyPlanner;
+use imcf_core::planner::{EnergyPlanner, PlanReport};
 use imcf_sim::building::DatasetKind;
 use imcf_sim::slots::SlotBuilder;
 
 fn main() {
-    println!("=== Ablation: forecast-shaped hourly budgets (flat) ===\n");
-    let bundle = DatasetBundle::build(DatasetKind::Flat, 0);
+    let jobs = jobs();
+    imcf_telemetry::global().reset();
+    println!("=== Ablation: forecast-shaped hourly budgets (flat, jobs = {jobs}) ===\n");
+    let bundles = build_bundles(&[DatasetKind::Flat], 0, jobs);
+    let bundle = &bundles[0];
     let dataset = &bundle.dataset;
 
     // Train the demand forecaster on year one's MR needs (what the rules
@@ -41,15 +49,13 @@ fn main() {
     );
     let eaf_plan = bundle.plan(ApKind::Eaf, 0.0);
 
-    println!(
-        "{:<28} | {:>10} | {:>12} | {:>14}",
-        "budget shaping", "F_CE (%)", "F_E (kWh)", "carry-over"
-    );
-    for (name, plan) in [
-        ("EAF (monthly)", &eaf_plan),
-        ("forecast (hour-of-week)", &forecast_plan),
-    ] {
-        for carry in [true, false] {
+    let names = ["EAF (monthly)", "forecast (hour-of-week)"];
+    let cells: Vec<(usize, bool)> = (0..names.len())
+        .flat_map(|p| [(p, true), (p, false)])
+        .collect();
+    let reports: Vec<(usize, bool, PlanReport)> =
+        imcf_pool::map_indexed(jobs, cells, |_, (p, carry)| {
+            let plan = if p == 0 { &eaf_plan } else { &forecast_plan };
             let builder = SlotBuilder::new(dataset, plan);
             let planner =
                 EnergyPlanner::with_optimizer(HillClimbing::new(2, 100), InitStrategy::AllOnes, 0);
@@ -58,15 +64,21 @@ fn main() {
             } else {
                 planner.without_carry_over()
             };
-            let r = planner.plan(builder.iter());
-            println!(
-                "{:<28} | {:>10.3} | {:>12.1} | {:>14}",
-                name,
-                r.fce_percent(),
-                r.fe_kwh(),
-                if carry { "yes" } else { "no (strict)" }
-            );
-        }
+            (p, carry, planner.plan(builder.iter()))
+        });
+
+    println!(
+        "{:<28} | {:>10} | {:>12} | {:>14}",
+        "budget shaping", "F_CE (%)", "F_E (kWh)", "carry-over"
+    );
+    for (p, carry, r) in &reports {
+        println!(
+            "{:<28} | {:>10.3} | {:>12.1} | {:>14}",
+            names[*p],
+            r.fce_percent(),
+            r.fe_kwh(),
+            if *carry { "yes" } else { "no (strict)" }
+        );
     }
     println!("\nReading: under strict caps, forecast shaping recovers energy throughput");
     println!("(≈2.5× the monthly formula) but not convenience — rules are all-or-nothing");

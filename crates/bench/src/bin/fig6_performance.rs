@@ -5,12 +5,18 @@
 //! EP repeats `IMCF_REPS` times (default 10, as in the paper) with seeds
 //! 0..reps and reports mean ± stdev; the baselines are deterministic.
 //!
+//! Every (dataset × method × seed) cell is independent, so the grid fans
+//! out over `--jobs N` workers (default: `IMCF_JOBS`, else all cores);
+//! results and artifacts are byte-identical for every worker count
+//! (wall-clock F_T aside).
+//!
 //! Expected shape (paper): F_CE ordering MR (0 %) < EP (2–4 %) < IFTTT
 //! (26–39 %) < NR (≈62 %); F_E ordering NR (0) < EP (≤ budget) <
 //! IFTTT ≈ MR; F_T ordering NR ≈ MR ≪ EP.
 
 use imcf_bench::harness::{
-    ep_summary, repetitions, run_method, write_artifacts, DatasetBundle, Method,
+    build_bundles, ep_sweep, jobs, repetitions, run_grid, write_artifacts, GridCell, Method,
+    SweepPoint,
 };
 use imcf_core::amortization::ApKind;
 use imcf_core::planner::PlannerConfig;
@@ -18,10 +24,41 @@ use imcf_sim::building::DatasetKind;
 
 fn main() {
     let reps = repetitions();
+    let jobs = jobs();
+    imcf_telemetry::global().reset();
+    let kinds = DatasetKind::all();
+    println!("=== Fig. 6: Performance Evaluation (EP reps = {reps}, jobs = {jobs}) ===\n");
+    let bundles = build_bundles(&kinds, 0, jobs);
+
+    // Baseline cells (NR, IFTTT, MR per dataset) and EP sweep points (one
+    // per dataset, `reps` seeds each) all run concurrently.
+    let baseline_cells: Vec<GridCell> = (0..kinds.len())
+        .flat_map(|bundle| {
+            [Method::Nr, Method::Ifttt, Method::Mr]
+                .into_iter()
+                .map(move |method| GridCell { bundle, method })
+        })
+        .collect();
+    let baselines = run_grid(jobs, &bundles, baseline_cells);
+    let ep_points: Vec<SweepPoint> = (0..kinds.len())
+        .map(|bundle| SweepPoint {
+            bundle,
+            config: PlannerConfig::default(),
+            ap: ApKind::Eaf,
+            savings: 0.0,
+        })
+        .collect();
+    let ep_summaries = ep_sweep(jobs, &bundles, ep_points, reps);
+
     let mut results = Vec::new();
-    println!("=== Fig. 6: Performance Evaluation (EP reps = {reps}) ===\n");
-    for kind in DatasetKind::all() {
-        let bundle = DatasetBundle::build(kind, 0);
+    for (d, kind) in kinds.into_iter().enumerate() {
+        let bundle = &bundles[d];
+        let [nr, ifttt, mr] = [
+            &baselines[3 * d],
+            &baselines[3 * d + 1],
+            &baselines[3 * d + 2],
+        ];
+        let ep = &ep_summaries[d];
         println!(
             "--- {} (budget {:.0} kWh over 3 years, {} rules) ---",
             kind.label(),
@@ -32,24 +69,19 @@ fn main() {
             "{:<6} | {:>16} | {:>22} | {:>16}",
             "method", "F_CE (%)", "F_E (kWh)", "F_T (s)"
         );
-        for method in [Method::Nr, Method::Ifttt] {
-            let m = run_method(&bundle, method);
+        for (label, m) in [("NR", nr), ("IFTTT", ifttt)] {
             println!(
                 "{:<6} | {:>16.2} | {:>22.1} | {:>16.3}",
-                method.label(),
-                m.fce_percent,
-                m.fe_kwh,
-                m.ft_seconds
+                label, m.fce_percent, m.fe_kwh, m.ft_seconds
             );
             results.push(serde_json::json!({
                 "dataset": kind.label(),
-                "method": method.label(),
+                "method": label,
                 "fce_percent": m.fce_percent,
                 "fe_kwh": m.fe_kwh,
                 "ft_seconds": m.ft_seconds,
             }));
         }
-        let ep = ep_summary(&bundle, PlannerConfig::default(), ApKind::Eaf, 0.0, reps);
         println!(
             "{:<6} | {:>16} | {:>22} | {:>16}",
             "EP",
@@ -68,7 +100,6 @@ fn main() {
             "ft_seconds_mean": ep.ft.mean(),
             "ft_seconds_std": ep.ft.std(),
         }));
-        let mr = run_method(&bundle, Method::Mr);
         println!(
             "{:<6} | {:>16.2} | {:>22.1} | {:>16.3}",
             "MR", mr.fce_percent, mr.fe_kwh, mr.ft_seconds

@@ -3,38 +3,55 @@
 //! 40 %, on all three datasets. The study is inspired by the SAVES
 //! inter-dormitory competition (8 % target savings).
 //!
+//! The full (dataset × savings × seed) grid fans out over `--jobs N`
+//! workers (default: `IMCF_JOBS`, else all cores); results are
+//! byte-identical for every worker count.
+//!
 //! Expected shape (paper): increasing savings tightens the amortized budget
 //! proportionally, trading a steady F_E decrease for a modest (1–3 point)
 //! F_CE increase.
 
-use imcf_bench::harness::{ep_summary, repetitions, write_artifacts, DatasetBundle};
+use imcf_bench::harness::{
+    build_bundles, ep_sweep, jobs, repetitions, write_artifacts, SweepPoint,
+};
 use imcf_core::amortization::ApKind;
 use imcf_core::planner::PlannerConfig;
 use imcf_sim::building::DatasetKind;
 
+const SAVINGS_PCT: [f64; 6] = [0.0, 5.0, 10.0, 20.0, 30.0, 40.0];
+
 fn main() {
     let reps = repetitions();
+    let jobs = jobs();
+    imcf_telemetry::global().reset();
+    let kinds = DatasetKind::all();
+    println!("=== Fig. 9: Energy Conservation Study (EP reps = {reps}, jobs = {jobs}) ===\n");
+    let bundles = build_bundles(&kinds, 0, jobs);
+    let points: Vec<SweepPoint> = (0..kinds.len())
+        .flat_map(|bundle| {
+            SAVINGS_PCT.into_iter().map(move |savings_pct| SweepPoint {
+                bundle,
+                config: PlannerConfig::default(),
+                ap: ApKind::Eaf,
+                savings: savings_pct / 100.0,
+            })
+        })
+        .collect();
+    let summaries = ep_sweep(jobs, &bundles, points, reps);
+
     let mut results = Vec::new();
-    println!("=== Fig. 9: Energy Conservation Study (EP reps = {reps}) ===\n");
-    for kind in DatasetKind::all() {
-        let bundle = DatasetBundle::build(kind, 0);
+    for (d, kind) in kinds.into_iter().enumerate() {
         println!(
             "--- {} (base budget {:.0} kWh) ---",
             kind.label(),
-            bundle.dataset.budget_kwh
+            bundles[d].dataset.budget_kwh
         );
         println!(
             "{:<10} | {:>16} | {:>22}",
             "savings", "F_CE (%)", "F_E (kWh)"
         );
-        for savings_pct in [0.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
-            let s = ep_summary(
-                &bundle,
-                PlannerConfig::default(),
-                ApKind::Eaf,
-                savings_pct / 100.0,
-                reps,
-            );
+        for (i, savings_pct) in SAVINGS_PCT.into_iter().enumerate() {
+            let s = &summaries[d * SAVINGS_PCT.len() + i];
             println!(
                 "{:<10} | {:>16} | {:>22}",
                 format!("{savings_pct:.0} %"),

@@ -3,6 +3,19 @@
 //! Builds datasets once, streams planning slots, runs a method and returns
 //! the paper's three metrics. All experiment binaries funnel through
 //! [`run_method`] so methods are compared on identical slot streams.
+//!
+//! ## Parallel grids
+//!
+//! Every (method × dataset × seed × grid-point) cell of the evaluation is
+//! an independent deterministic computation, so the grid runners —
+//! [`build_bundles`], [`run_grid`], [`ep_sweep`] — fan cells out over an
+//! `imcf-pool` scope. Worker count comes from [`jobs`] (`--jobs N` flag →
+//! `IMCF_JOBS` env var → available cores); results always come back in
+//! cell order, so experiment output and JSON artifacts are **byte-identical
+//! for every worker count** (wall-clock `F_T` fields aside, which measure
+//! real elapsed time). Unlike [`run_method`], the grid runners never reset
+//! the global telemetry registry — concurrent cells share it, so the
+//! `<name>.telemetry.json` artifact covers the whole grid run.
 
 use imcf_core::amortization::{AmortizationPlan, ApKind};
 use imcf_core::baselines::{run_ifttt, run_mr, run_nr};
@@ -147,6 +160,88 @@ fn run_method_inner(bundle: &DatasetBundle, method: Method) -> RunMetrics {
         }
         Method::Ep { config, savings } => metrics_of(&ep_run(bundle, config, ApKind::Eaf, savings)),
     }
+}
+
+/// Worker count for experiment fan-out: the binary's `--jobs N` flag,
+/// else the `IMCF_JOBS` environment variable, else the available cores.
+pub fn jobs() -> usize {
+    imcf_pool::jobs_from_args(std::env::args())
+}
+
+/// Builds one [`DatasetBundle`] per kind (all seeded identically),
+/// concurrently on `jobs` workers; bundles come back in `kinds` order.
+pub fn build_bundles(kinds: &[DatasetKind], seed: u64, jobs: usize) -> Vec<DatasetBundle> {
+    imcf_pool::map_indexed(jobs, kinds.to_vec(), |_, kind| {
+        DatasetBundle::build(kind, seed)
+    })
+}
+
+/// One cell of an experiment grid: a method over a prebuilt bundle
+/// (indexed into the slice handed to [`run_grid`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GridCell {
+    /// Index into the bundle slice.
+    pub bundle: usize,
+    /// The method to run.
+    pub method: Method,
+}
+
+/// Evaluates every grid cell concurrently on `jobs` workers. Results come
+/// back in cell order and are bit-identical to a sequential run: each
+/// cell is a pure function of `(bundle, method)`. The global telemetry
+/// registry is *not* reset per cell (cells run concurrently) — reset it
+/// once before the grid if a per-run snapshot is wanted.
+pub fn run_grid(jobs: usize, bundles: &[DatasetBundle], cells: Vec<GridCell>) -> Vec<RunMetrics> {
+    imcf_pool::map_indexed(jobs, cells, |_, cell| {
+        run_method_inner(&bundles[cell.bundle], cell.method)
+    })
+}
+
+/// One point of an EP parameter sweep: a planner configuration over a
+/// prebuilt bundle. [`ep_sweep`] evaluates `reps` seeds per point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Index into the bundle slice.
+    pub bundle: usize,
+    /// Base planner configuration (the seed field is overridden per rep).
+    pub config: PlannerConfig,
+    /// Amortization formula.
+    pub ap: ApKind,
+    /// Savings fraction.
+    pub savings: f64,
+}
+
+/// Runs EP over every `(point, seed)` cell — seeds `0..reps` per point, as
+/// in the paper — concurrently on `jobs` workers, and aggregates each
+/// point's repetitions. Summaries come back in point order and are
+/// bit-identical to the sequential [`ep_summary`] loop: every cell derives
+/// its planner RNG from its own explicit seed, and Welford aggregation
+/// folds repetitions in seed order.
+pub fn ep_sweep(
+    jobs: usize,
+    bundles: &[DatasetBundle],
+    points: Vec<SweepPoint>,
+    reps: u64,
+) -> Vec<MetricsSummary> {
+    let cells: Vec<(SweepPoint, u64)> = points
+        .into_iter()
+        .flat_map(|p| (0..reps).map(move |seed| (p.clone(), seed)))
+        .collect();
+    let runs = imcf_pool::map_indexed(jobs, cells, |_, (point, seed)| {
+        let config = PlannerConfig {
+            seed,
+            ..point.config
+        };
+        metrics_of(&ep_run(
+            &bundles[point.bundle],
+            config,
+            point.ap.clone(),
+            point.savings,
+        ))
+    });
+    runs.chunks(reps.max(1) as usize)
+        .map(MetricsSummary::from_runs)
+        .collect()
 }
 
 /// Number of repetitions: `IMCF_REPS` env override, else the paper's 10.

@@ -152,7 +152,7 @@ fn build_slots(
 /// `imcf plan <mrt-file>` — plan a horizon under the table's budget row.
 pub fn plan(argv: &[String]) -> Result<(), String> {
     let spec = ArgSpec {
-        options: &["days", "climate", "seed", "k", "tau", "savings"],
+        options: &["days", "climate", "seed", "k", "tau", "savings", "jobs"],
         min_positional: 1,
         max_positional: 1,
     };
@@ -195,7 +195,23 @@ pub fn plan(argv: &[String]) -> Result<(), String> {
         init: InitStrategy::AllOnes,
         seed,
     });
-    let report = planner.plan(slots);
+    // `--jobs` selects the deterministic parallel path, which plans each
+    // slot independently and therefore cannot bank unspent budget between
+    // hours — equivalent to `without_carry_over()`. Without the flag the
+    // legacy sequential planner (with carry-over) runs unchanged.
+    let report = match parsed.get("jobs") {
+        Some(_) => {
+            let n = parsed.get_u64("jobs", 0)? as usize;
+            if n == 0 {
+                return Err("--jobs must be at least 1".to_string());
+            }
+            println!(
+                "note: --jobs plans slots independently (strict per-slot budgets, no carry-over)"
+            );
+            planner.without_carry_over().plan_slots_parallel(slots, n)
+        }
+        None => planner.plan(slots),
+    };
     println!(
         "planned {days} day(s) under a {budget_share:.1} kWh share of the {budget:.0} kWh budget"
     );

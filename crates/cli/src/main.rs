@@ -23,6 +23,8 @@ USAGE:
   imcf validate <mrt-file>
   imcf plan <mrt-file> [--days N] [--climate mediterranean|continental]
                        [--seed N] [--k N] [--tau N] [--savings PCT]
+                       [--jobs N]  (parallel slot planning; implies strict
+                                    per-slot budgets — no carry-over)
   imcf simulate --dataset <flat|house|dorms> [--months N] [--seed N]
   imcf ecp --dataset <flat|house|dorms> [--seed N]
   imcf workflow <wf-file> [--temperature C] [--light L] [--hour H] [--month M]

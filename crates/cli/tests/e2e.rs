@@ -88,6 +88,43 @@ fn plan_a_short_horizon() {
 }
 
 #[test]
+fn plan_with_jobs_is_deterministic_across_worker_counts() {
+    let (_dir, path) = write_temp(MRT, "family.mrt");
+    let run = |jobs: &str| {
+        let out = imcf()
+            .args([
+                "plan", &path, "--days", "3", "--tau", "40", "--seed", "1", "--jobs", jobs,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(text.contains("no carry-over"));
+        // Strip the wall-clock F_T line; everything else must match.
+        text.lines()
+            .filter(|l| !l.contains("F_T"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(run("1"), run("4"));
+}
+
+#[test]
+fn plan_rejects_zero_jobs() {
+    let (_dir, path) = write_temp(MRT, "family.mrt");
+    let out = imcf()
+        .args(["plan", &path, "--days", "1", "--jobs", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs must be at least 1"));
+}
+
+#[test]
 fn workflow_dry_run() {
     let (_dir, path) = write_temp(
         "workflow \"w\"\n  if env.temperature < 18\n    actuate temperature 21\n  end\nend\n",

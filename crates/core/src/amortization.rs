@@ -198,8 +198,13 @@ impl AmortizationPlan {
                 monthly / HOURS_PER_MONTH as f64
             }
             ApKind::Eaf => {
+                // Month indexing routes through `Ecp::month_index` (the
+                // workspace's single 1-based-month contract) instead of a
+                // local `month - 1`, which underflow-panicked on month 0
+                // in debug builds while `Ecp::month_kwh` silently aliased
+                // the same input onto January.
                 let weights = self.ecp.weights();
-                let idx = ((month as usize) - 1) % weights.len();
+                let idx = self.ecp.month_index(month);
                 // Eq. (5): E_p = w_i · E / (t / |ECP|) with t one year.
                 weights[idx] * self.yearly_budget() / HOURS_PER_MONTH as f64
             }
@@ -374,6 +379,64 @@ mod tests {
         let w = Ecp::flat_table1().weights();
         let want = w[9] * 3500.0 / 744.0;
         assert!((plan.hourly_budget(0) - want).abs() < 1e-12);
+    }
+
+    /// Regression: the EAF branch computed `(month as usize) - 1` locally,
+    /// which underflow-panicked on month 0 in debug builds while
+    /// `Ecp::month_kwh` silently aliased month 0 onto January. Both now
+    /// route through `Ecp::month_index`, so the EAF budget for every month
+    /// the calendar can produce — including the 12→13 wrap into a second
+    /// year — must match the profile's own lookup exactly.
+    #[test]
+    fn eaf_indexing_agrees_with_ecp_month_lookup() {
+        let ecp = Ecp::flat_table1();
+        let plan = AmortizationPlan::new(
+            ApKind::Eaf,
+            ecp.clone(),
+            3.0 * 3500.0,
+            3 * HOURS_PER_YEAR,
+            PaperCalendar::january_start(),
+        );
+        let w = ecp.weights();
+        for month in 1..=36u64 {
+            let hour = (month - 1) * HOURS_PER_MONTH;
+            let calendar_month = PaperCalendar::january_start().month_of(hour);
+            let want = w[ecp.month_index(calendar_month)] * 3500.0 / HOURS_PER_MONTH as f64;
+            let got = plan.hourly_budget(hour);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "month {month} (calendar {calendar_month}): got {got}, want {want}"
+            );
+        }
+    }
+
+    /// Regression: the 12→13 month wrap into a second horizon year keeps
+    /// every formula's budget periodic — LAF, BLAF and EAF alike.
+    #[test]
+    fn month_13_wraps_to_january_for_all_three_formulas() {
+        for kind in [ApKind::Laf, ApKind::blaf_april_to_october(0.3), ApKind::Eaf] {
+            let plan = AmortizationPlan::new(
+                kind.clone(),
+                Ecp::flat_table1(),
+                2.0 * 3666.0,
+                2 * HOURS_PER_YEAR,
+                PaperCalendar::january_start(),
+            );
+            // First hour of month 13 (year 2) == first hour of month 1.
+            let january = plan.hourly_budget(0);
+            let month_13 = plan.hourly_budget(HOURS_PER_YEAR);
+            assert!(
+                (january - month_13).abs() < 1e-12,
+                "{kind:?}: january {january} vs month 13 {month_13}"
+            );
+            // And mid-year months wrap too (month 18 == month 6).
+            let june = plan.hourly_budget(5 * HOURS_PER_MONTH);
+            let month_18 = plan.hourly_budget(HOURS_PER_YEAR + 5 * HOURS_PER_MONTH);
+            assert!(
+                (june - month_18).abs() < 1e-12,
+                "{kind:?}: june {june} vs month 18 {month_18}"
+            );
+        }
     }
 
     #[test]

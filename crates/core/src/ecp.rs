@@ -57,10 +57,29 @@ impl Ecp {
         self.monthly_kwh.is_empty()
     }
 
-    /// Consumption of the 1-based month (wraps for multi-year horizons).
+    /// Index of a **1-based** month into this profile, wrapping for
+    /// profiles shorter than the month span (multi-year horizons, short
+    /// synthetic profiles).
+    ///
+    /// This is the single month-indexing path for the workspace: both
+    /// [`Ecp::month_kwh`] and the EAF branch of
+    /// [`crate::amortization::AmortizationPlan::hourly_budget`] route
+    /// through it, so the two call sites can never disagree about what
+    /// month 0 means. Months are 1-based by contract (January = 1, as
+    /// everywhere in the paper); month 0 is a caller bug and trips the
+    /// debug assertion rather than silently aliasing onto January.
+    pub fn month_index(&self, month: u32) -> usize {
+        debug_assert!(
+            month >= 1,
+            "months are 1-based (January = 1); got month {month}"
+        );
+        (month.saturating_sub(1) as usize) % self.monthly_kwh.len()
+    }
+
+    /// Consumption of the **1-based** month (wraps for multi-year
+    /// horizons). See [`Ecp::month_index`] for the indexing contract.
     pub fn month_kwh(&self, month: u32) -> f64 {
-        let idx = ((month as usize).saturating_sub(1)) % self.monthly_kwh.len();
-        self.monthly_kwh[idx]
+        self.monthly_kwh[self.month_index(month)]
     }
 
     /// Total energy TE across the profile.
@@ -144,6 +163,28 @@ mod tests {
         let ecp = Ecp::flat_table1();
         assert_eq!(ecp.month_kwh(1), ecp.month_kwh(13));
         assert_eq!(ecp.month_kwh(12), ecp.month_kwh(24));
+    }
+
+    /// Regression: month 0 used to silently alias onto January via
+    /// `saturating_sub(1)` while the EAF amortization branch panicked on
+    /// the identical input. The contract is now explicit — months are
+    /// 1-based and month 0 trips the debug assertion.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "months are 1-based")]
+    fn month_zero_is_a_contract_violation() {
+        Ecp::flat_table1().month_kwh(0);
+    }
+
+    #[test]
+    fn month_index_wraps_short_profiles() {
+        // Profiles shorter than a year (synthetic fair-share budgets use a
+        // single entry) wrap by length, keeping 1-based semantics.
+        let ecp = Ecp::new(vec![10.0, 20.0, 30.0]);
+        assert_eq!(ecp.month_index(1), 0);
+        assert_eq!(ecp.month_index(3), 2);
+        assert_eq!(ecp.month_index(4), 0);
+        assert_eq!(ecp.month_index(13), 0);
     }
 
     #[test]

@@ -202,6 +202,66 @@ impl<O: Optimizer> EnergyPlanner<O> {
         report
     }
 
+    /// Plans a horizon of **independent** slots, fanning the per-slot
+    /// optimization out over `jobs` pool workers.
+    ///
+    /// Determinism contract: the resulting [`PlanReport`] is byte-equal
+    /// for every `jobs` value (timing fields aside — `planning_time` is
+    /// wall-clock and excluded from the contract). Two mechanisms make
+    /// that true:
+    ///
+    /// * every slot draws from its **own** RNG, seeded with
+    ///   `imcf_pool::derive_seed(self.seed, slot_index)` — the stream a
+    ///   slot consumes depends only on which slot it is, never on which
+    ///   worker ran it or when;
+    /// * slot outcomes are collected **by index** and folded into the
+    ///   report in slot order, so floating-point accumulation order is
+    ///   fixed.
+    ///
+    /// Note the RNG derivation differs from [`EnergyPlanner::plan`], which
+    /// threads a single sequential RNG through the horizon (slot *n*'s
+    /// stream there depends on how much entropy slots `0..n` consumed);
+    /// `plan_slots_parallel(slots, 1)` is the sequential twin of this
+    /// path, not of `plan`.
+    ///
+    /// # Panics
+    /// Panics when budget carry-over is enabled: the reserve banked by
+    /// slot *n* feeds slot *n + 1*, so a carry-over horizon is inherently
+    /// sequential. Call [`EnergyPlanner::without_carry_over`] first.
+    pub fn plan_slots_parallel(&self, slots: Vec<PlanningSlot>, jobs: usize) -> PlanReport
+    where
+        O: Sync,
+    {
+        assert!(
+            !self.carry_over,
+            "plan_slots_parallel requires without_carry_over(): \
+             budget carry-over couples consecutive slots sequentially"
+        );
+        let telemetry = imcf_telemetry::global();
+        let slot_micros = telemetry.histogram_with(
+            "planner.slot_micros",
+            &[("optimizer", self.optimizer_name())],
+        );
+        let slots_planned = telemetry.counter("planner.slots_planned");
+        let start = Stopwatch::start();
+        let outcomes = imcf_pool::map_indexed(jobs, slots, |index, slot| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(imcf_pool::derive_seed(self.seed, index as u64));
+            let init = self.init.generate(slot.len(), &mut rng);
+            let slot_start = Stopwatch::start();
+            let (bits, obj) = self.optimizer.optimize(&slot, init, &mut rng);
+            slot_micros.observe(slot_start.elapsed_micros() as f64);
+            slots_planned.inc();
+            (slot, bits, obj.energy_kwh)
+        });
+        let mut report = PlanReport::empty();
+        for (slot, bits, energy_kwh) in &outcomes {
+            report.absorb_slot(slot, bits, *energy_kwh);
+        }
+        report.planning_time = start.elapsed();
+        report
+    }
+
     /// Plans a single slot (used by the live controller loop).
     pub fn plan_slot(&self, slot: &PlanningSlot, rng: &mut ChaCha8Rng) -> (Solution, f64) {
         let slot_micros = imcf_telemetry::global().histogram_with(
@@ -324,6 +384,55 @@ mod tests {
         for r in [&r1, &r2] {
             assert!(r.energy_kwh <= 0.6 * 24.0 + 1e-9);
         }
+    }
+
+    /// The parallel path's determinism contract: every `jobs` value yields
+    /// a byte-equal report (wall-clock planning_time aside).
+    #[test]
+    fn parallel_plan_is_byte_equal_across_job_counts() {
+        let planner = EnergyPlanner::from_config(PlannerConfig {
+            seed: 7,
+            init: InitStrategy::Random, // exercise the per-slot RNG
+            ..Default::default()
+        })
+        .without_carry_over();
+        let mut baseline = planner.plan_slots_parallel(day_slots(), 1);
+        baseline.planning_time = Duration::ZERO;
+        for jobs in [2, 4, 7] {
+            let mut report = planner.plan_slots_parallel(day_slots(), jobs);
+            report.planning_time = Duration::ZERO;
+            assert_eq!(baseline, report, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_plan_respects_strict_caps() {
+        let planner = EnergyPlanner::from_config(PlannerConfig::default()).without_carry_over();
+        let report = planner.plan_slots_parallel(day_slots(), 4);
+        assert_eq!(report.slots, 24);
+        assert_eq!(report.instances, 48);
+        assert!(report.energy_kwh <= 0.6 * 24.0 + 1e-9);
+        // Same tightness as the sequential strict-cap path: one rule per
+        // slot must drop.
+        assert!(
+            report.dropped_instances >= 24,
+            "dropped {}",
+            report.dropped_instances
+        );
+    }
+
+    #[test]
+    fn parallel_plan_handles_empty_horizon() {
+        let planner = EnergyPlanner::from_config(PlannerConfig::default()).without_carry_over();
+        let report = planner.plan_slots_parallel(Vec::new(), 4);
+        assert_eq!(report.slots, 0);
+        assert_eq!(report.fe_kwh(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without_carry_over")]
+    fn parallel_plan_rejects_carry_over() {
+        EnergyPlanner::from_config(PlannerConfig::default()).plan_slots_parallel(day_slots(), 2);
     }
 
     #[test]

@@ -95,6 +95,24 @@ pub const METRICS: &[MetricDef] = &[
         help: "planning slots processed by the Energy Planner",
     },
     MetricDef {
+        name: "pool.queue_depth",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "work chunks queued in the active imcf-pool scope",
+    },
+    MetricDef {
+        name: "pool.tasks",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "tasks executed by imcf-pool scopes",
+    },
+    MetricDef {
+        name: "pool.workers",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "worker threads of the most recent imcf-pool scope",
+    },
+    MetricDef {
         name: "rules.conflicts",
         kind: MetricKind::Counter,
         labels: &[],

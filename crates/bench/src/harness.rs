@@ -223,6 +223,14 @@ pub fn ep_sweep(
     points: Vec<SweepPoint>,
     reps: u64,
 ) -> Vec<MetricsSummary> {
+    if reps == 0 {
+        // Mirror the sequential ep_summary contract: one (empty) summary
+        // per point, never an empty vector.
+        return points
+            .iter()
+            .map(|_| MetricsSummary::from_runs(&[] as &[RunMetrics]))
+            .collect();
+    }
     let cells: Vec<(SweepPoint, u64)> = points
         .into_iter()
         .flat_map(|p| (0..reps).map(move |seed| (p.clone(), seed)))
@@ -239,7 +247,7 @@ pub fn ep_sweep(
             point.savings,
         ))
     });
-    runs.chunks(reps.max(1) as usize)
+    runs.chunks(reps as usize)
         .map(MetricsSummary::from_runs)
         .collect()
 }

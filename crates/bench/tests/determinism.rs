@@ -85,3 +85,28 @@ fn jobs_1_and_jobs_4_produce_byte_identical_result_json() {
 fn repeated_parallel_runs_are_stable() {
     assert_eq!(grid_json(4), grid_json(4));
 }
+
+/// `ep_sweep` with zero repetitions must still return one (empty) summary
+/// per point, matching the sequential `ep_summary` contract — callers
+/// index `summaries[point]`.
+#[test]
+fn ep_sweep_zero_reps_yields_one_summary_per_point() {
+    let bundles = build_bundles(&[DatasetKind::Flat], 0, 1);
+    let points = vec![
+        SweepPoint {
+            bundle: 0,
+            config: PlannerConfig::default(),
+            ap: ApKind::Eaf,
+            savings: 0.0,
+        },
+        SweepPoint {
+            bundle: 0,
+            config: PlannerConfig::default(),
+            ap: ApKind::Eaf,
+            savings: 0.2,
+        },
+    ];
+    let summaries = ep_sweep(1, &bundles, points, 0);
+    assert_eq!(summaries.len(), 2);
+    assert!(summaries.iter().all(|s| s.fce.count() == 0));
+}

@@ -26,9 +26,10 @@
 //! cores. `jobs = 1` degenerates to an inline loop on the caller thread —
 //! no threads are spawned at all.
 //!
-//! Telemetry: `pool.workers` (gauge), `pool.tasks` (counter) and
-//! `pool.queue_depth` (gauge) are registered in the `imcf-telemetry`
-//! catalog and updated as scopes run.
+//! Telemetry: `pool.workers` (gauge), `pool.tasks` (counter — work
+//! *items* submitted to [`map_indexed`], independent of worker count or
+//! chunking) and `pool.queue_depth` (gauge) are registered in the
+//! `imcf-telemetry` catalog and updated as scopes run.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -67,7 +68,15 @@ impl<'env> Shared<'env> {
     }
 
     fn close(&self) {
+        // The flag must flip while holding the condvar's mutex: a worker
+        // that found the queue empty and read `closed == false` under the
+        // lock, but has not yet parked in `Condvar::wait`, still holds the
+        // mutex — so taking it here orders the store (and the wakeup)
+        // after that worker parks. Storing outside the lock loses the
+        // notification and deadlocks the scope join.
+        let guard = lock(&self.queue);
         self.closed.store(true, Ordering::SeqCst);
+        drop(guard);
         self.ready.notify_all();
     }
 
@@ -85,15 +94,19 @@ impl<'env> Spawner<'_, 'env> {
     /// Submits a task to the scope's work queue. Tasks run on the scope's
     /// workers in FIFO submission order (with one worker this is exactly
     /// sequential execution); all tasks complete before [`scope`] returns.
+    ///
+    /// Jobs are not counted in `pool.tasks` — that counter's unit is *work
+    /// items*, accounted by [`map_indexed`], which may pack many items
+    /// into one spawned job.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
         let depth = {
             let mut q = lock(&self.shared.queue);
             q.push_back(Box::new(job));
             q.len()
         };
-        let telemetry = imcf_telemetry::global();
-        telemetry.counter("pool.tasks").inc();
-        telemetry.gauge("pool.queue_depth").set(depth as f64);
+        imcf_telemetry::global()
+            .gauge("pool.queue_depth")
+            .set(depth as f64);
         self.shared.ready.notify_one();
     }
 }
@@ -178,9 +191,10 @@ where
 {
     let n = items.len();
     let jobs = jobs.max(1).min(n.max(1));
+    // `pool.tasks` counts *work items* at submission, the same unit on
+    // both paths — its value must not change meaning with worker count.
+    imcf_telemetry::global().counter("pool.tasks").add(n as u64);
     if jobs == 1 {
-        let tasks = imcf_telemetry::global().counter("pool.tasks");
-        tasks.add(n as u64);
         return items
             .into_iter()
             .enumerate()
@@ -265,17 +279,19 @@ pub fn resolve_jobs(flag: Option<usize>) -> usize {
         .unwrap_or_else(available_jobs)
 }
 
-/// Scans an argv-style iterator for `--jobs N` and resolves the worker
-/// count via [`resolve_jobs`]. Malformed values fall through to the
-/// environment/core default. Bench binaries call this with
+/// Scans an argv-style iterator for `--jobs N` or `--jobs=N` and resolves
+/// the worker count via [`resolve_jobs`]. Malformed values fall through
+/// to the environment/core default. Bench binaries call this with
 /// `std::env::args()`.
 pub fn jobs_from_args<I: IntoIterator<Item = String>>(args: I) -> usize {
     let args: Vec<String> = args.into_iter().collect();
-    let flag = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok());
+    let flag = args.iter().enumerate().find_map(|(i, a)| {
+        if a == "--jobs" {
+            args.get(i + 1).and_then(|v| v.parse().ok())
+        } else {
+            a.strip_prefix("--jobs=").and_then(|v| v.parse().ok())
+        }
+    });
     resolve_jobs(flag)
 }
 
@@ -397,9 +413,11 @@ mod tests {
         assert_eq!(resolve_jobs(Some(3)), 3);
         // Zero flag is "unset".
         assert!(resolve_jobs(Some(0)) >= 1);
-        // argv scan.
+        // argv scan, both accepted spellings.
         let argv = ["bench", "--jobs", "5"].map(String::from);
         assert_eq!(jobs_from_args(argv), 5);
+        let argv = ["bench", "--jobs=6"].map(String::from);
+        assert_eq!(jobs_from_args(argv), 6);
         let argv = ["bench"].map(String::from);
         assert!(jobs_from_args(argv) >= 1);
     }

@@ -104,7 +104,7 @@ pub const METRICS: &[MetricDef] = &[
         name: "pool.tasks",
         kind: MetricKind::Counter,
         labels: &[],
-        help: "tasks executed by imcf-pool scopes",
+        help: "work items submitted to imcf-pool map_indexed (unit independent of worker count)",
     },
     MetricDef {
         name: "pool.workers",

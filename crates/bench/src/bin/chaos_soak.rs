@@ -1,0 +1,66 @@
+//! The chaos soak: survivability of the resilient actuation pipeline
+//! under injected faults (extension beyond the paper's evaluation).
+//!
+//! Sweeps command-fault rates 0 %, 5 %, 10 %, 20 % and 40 % (store faults
+//! ride along at half the command rate), `IMCF_REPS` seeds each, 120
+//! ticks × 2 zones per cell, fanned out over `--jobs N` workers. Every
+//! cell is deterministic, so the result JSON is byte-identical for every
+//! worker count — the `chaos_determinism` test pins that.
+//!
+//! Expected shape: convenience error grows with the fault rate while the
+//! controller keeps ticking — no panics, breakers open and recover, and
+//! energy stays under budget because undelivered commands re-attribute
+//! their energy to the reserve.
+
+use imcf_bench::chaos::{chaos_cells, chaos_sweep, sweep_json};
+use imcf_bench::harness::{jobs, repetitions, write_artifacts};
+
+const RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.4];
+
+fn main() {
+    let reps = repetitions();
+    let jobs = jobs();
+    imcf_telemetry::global().reset();
+    println!("=== Chaos soak: fault-rate sweep (reps = {reps}, jobs = {jobs}) ===\n");
+
+    let cells = chaos_cells(&RATES, reps);
+    let outcomes = chaos_sweep(jobs, cells);
+
+    println!(
+        "{:>6} | {:>9} | {:>8} | {:>7} | {:>7} | {:>11} | {:>8} | {:>9} | {:>8}",
+        "rate",
+        "delivered",
+        "failed",
+        "retried",
+        "quarant",
+        "injected",
+        "breaker",
+        "F_CE (%)",
+        "F_E kWh"
+    );
+    for (ri, rate) in RATES.into_iter().enumerate() {
+        let rows = &outcomes[ri * reps as usize..(ri + 1) * reps as usize];
+        let n = rows.len().max(1) as f64;
+        let mean =
+            |f: &dyn Fn(&imcf_controller::SoakOutcome) -> f64| rows.iter().map(f).sum::<f64>() / n;
+        println!(
+            "{:>5.0}% | {:>9.1} | {:>8.1} | {:>7.1} | {:>7.1} | {:>11.1} | {:>8.1} | {:>9.2} | {:>8.2}",
+            rate * 100.0,
+            mean(&|r| r.delivered as f64),
+            mean(&|r| r.failed as f64),
+            mean(&|r| r.retried as f64),
+            mean(&|r| r.quarantined as f64),
+            mean(&|r| r.faults_injected as f64),
+            mean(&|r| r.breaker_opens as f64),
+            mean(&|r| r.fce_percent),
+            mean(&|r| r.energy_kwh),
+        );
+    }
+
+    let json = sweep_json(&RATES, &outcomes, reps);
+    let rows: serde_json::Value =
+        serde_json::from_str(&json).unwrap_or_else(|e| panic!("sweep JSON invalid: {e}"));
+    if let Err(e) = write_artifacts("chaos_soak", &rows) {
+        eprintln!("warning: could not write artifacts: {e}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared sweep logic for the `chaos_soak` bench binary and the chaos
+//! determinism test.
+//!
+//! A sweep runs [`imcf_controller::run_soak`] over a grid of command-fault
+//! rates × repetition seeds, fanned out with `imcf_pool::map_indexed`.
+//! Every cell is independent and every [`SoakOutcome`] is pure data, so
+//! the sweep is byte-identical for every worker count — the same contract
+//! the fig6 grid proves for the planner.
+
+use imcf_chaos::FaultPlan;
+use imcf_controller::soak::{run_soak, SoakConfig, SoakOutcome};
+
+/// One sweep cell: a fault rate and a repetition seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosCell {
+    /// Command-fault probability per dispatch.
+    pub rate: f64,
+    /// The repetition's run seed (also seeds the fault plan).
+    pub seed: u64,
+}
+
+/// The soak configuration a cell expands to: command faults at `rate`
+/// with store faults at `rate / 2`, 120 ticks, two zones.
+pub fn cell_config(cell: ChaosCell) -> SoakConfig {
+    SoakConfig {
+        seed: cell.seed,
+        ticks: 120,
+        zones: 2,
+        plan: FaultPlan::commands(cell.seed, cell.rate).with_store_faults(cell.rate / 2.0),
+        ..SoakConfig::default()
+    }
+}
+
+/// The sweep grid: every `rate` × seeds `0..reps`.
+pub fn chaos_cells(rates: &[f64], reps: u64) -> Vec<ChaosCell> {
+    rates
+        .iter()
+        .flat_map(|&rate| (0..reps).map(move |seed| ChaosCell { rate, seed }))
+        .collect()
+}
+
+/// Runs the sweep over `jobs` workers. No journal — the parallel cells
+/// share no filesystem state, which keeps the map side-effect-free.
+pub fn chaos_sweep(jobs: usize, cells: Vec<ChaosCell>) -> Vec<SoakOutcome> {
+    imcf_pool::map_indexed(jobs, cells, |_, cell| run_soak(&cell_config(cell), None))
+}
+
+/// Serializes sweep rows (rate + outcome) to pretty JSON — the byte
+/// string the determinism contract compares across worker counts.
+pub fn sweep_json(rates: &[f64], outcomes: &[SoakOutcome], reps: u64) -> String {
+    let rows: Vec<serde_json::Value> = rates
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, &rate)| {
+            outcomes[ri * reps as usize..(ri + 1) * reps as usize]
+                .iter()
+                .map(move |out| {
+                    serde_json::json!({
+                        "rate": rate,
+                        "outcome": out,
+                    })
+                })
+        })
+        .collect();
+    serde_json::to_string_pretty(&rows).unwrap_or_else(|e| panic!("serialize failed: {e}"))
+}

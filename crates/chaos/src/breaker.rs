@@ -1,0 +1,305 @@
+//! Per-device circuit breaker: closed → open → half-open.
+//!
+//! The breaker sees every actuation outcome for its device. Consecutive
+//! failures trip it **open** (the device is quarantined; the planner
+//! drops its candidates). After a cooldown measured in ticks the breaker
+//! turns **half-open** and admits exactly one probe command: success
+//! closes it, failure re-opens it with a fresh cooldown.
+//!
+//! All clocks are scheduler ticks — there is no wall-clock state, so the
+//! machine is deterministic and serializable mid-flight.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Ticks the breaker stays open before probing (half-open).
+    pub cooldown_ticks: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ticks: 4,
+        }
+    }
+}
+
+/// The breaker state machine's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Traffic flows; failures are being counted.
+    Closed,
+    /// Device quarantined until the cooldown elapses.
+    Open,
+    /// One probe command is admitted to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for exposition.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// One device's circuit breaker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Tick at which an open breaker may go half-open.
+    reopen_at: u64,
+    /// Lifetime open transitions.
+    times_opened: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            reopen_at: 0,
+            times_opened: 0,
+        }
+    }
+
+    /// Current position, advancing open → half-open if the cooldown has
+    /// elapsed by `tick`.
+    pub fn state_at(&mut self, tick: u64) -> BreakerState {
+        if self.state == BreakerState::Open && tick >= self.reopen_at {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// True when a command may be sent at `tick` (closed, or the one
+    /// half-open probe).
+    pub fn allows(&mut self, tick: u64) -> bool {
+        self.state_at(tick) != BreakerState::Open
+    }
+
+    /// Records a successful actuation.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed actuation at `tick`. Returns `true` when this
+    /// failure *transitioned* the breaker to open (for telemetry — each
+    /// open is counted once).
+    pub fn record_failure(&mut self, tick: u64) -> bool {
+        match self.state_at(tick) {
+            BreakerState::HalfOpen => {
+                // Failed probe: straight back to open.
+                self.open_at(tick);
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.open_at(tick);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    fn open_at(&mut self, tick: u64) {
+        self.state = BreakerState::Open;
+        self.consecutive_failures = 0;
+        self.reopen_at = tick + self.config.cooldown_ticks.max(1);
+        self.times_opened += 1;
+        imcf_telemetry::global().counter("breaker.open").inc();
+    }
+
+    /// Lifetime count of closed/half-open → open transitions.
+    pub fn times_opened(&self) -> u64 {
+        self.times_opened
+    }
+}
+
+/// Point-in-time view of one breaker, for the REST surface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerSnapshot {
+    /// Thing UID the breaker guards.
+    pub thing: String,
+    /// Position at snapshot time.
+    pub state: BreakerState,
+    /// Failures counted toward the next trip.
+    pub consecutive_failures: u32,
+    /// Lifetime open transitions.
+    pub times_opened: u64,
+}
+
+/// All breakers for one controller, keyed by thing UID.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerBank {
+    config: BreakerConfig,
+    breakers: BTreeMap<String, CircuitBreaker>,
+}
+
+impl BreakerBank {
+    /// An empty bank creating breakers with `config`.
+    pub fn new(config: BreakerConfig) -> Self {
+        BreakerBank {
+            config,
+            breakers: BTreeMap::new(),
+        }
+    }
+
+    /// The breaker for `thing`, created closed on first sight.
+    pub fn breaker(&mut self, thing: &str) -> &mut CircuitBreaker {
+        self.breakers
+            .entry(thing.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.config))
+    }
+
+    /// True when `thing` may receive a command at `tick`.
+    pub fn allows(&mut self, thing: &str, tick: u64) -> bool {
+        self.breaker(thing).allows(tick)
+    }
+
+    /// Number of breakers currently open at `tick` (also pushed to the
+    /// `breaker.open_now` gauge).
+    pub fn open_now(&mut self, tick: u64) -> usize {
+        let open = self
+            .breakers
+            .values_mut()
+            .map(|b| b.state_at(tick))
+            .filter(|s| *s == BreakerState::Open)
+            .count();
+        imcf_telemetry::global()
+            .gauge("breaker.open_now")
+            .set(open as f64);
+        open
+    }
+
+    /// Snapshots of every breaker, ordered by thing UID.
+    pub fn snapshots(&mut self, tick: u64) -> Vec<BreakerSnapshot> {
+        let mut out = Vec::with_capacity(self.breakers.len());
+        for (thing, b) in self.breakers.iter_mut() {
+            let state = b.state_at(tick);
+            out.push(BreakerSnapshot {
+                thing: thing.clone(),
+                state,
+                consecutive_failures: b.consecutive_failures,
+                times_opened: b.times_opened,
+            });
+        }
+        out
+    }
+
+    /// Number of devices with a breaker.
+    pub fn len(&self) -> usize {
+        self.breakers.len()
+    }
+
+    /// True when no device has failed (or succeeded) yet.
+    pub fn is_empty(&self) -> bool {
+        self.breakers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ticks: 4,
+        });
+        assert!(!b.record_failure(0));
+        assert!(!b.record_failure(1));
+        assert_eq!(b.state_at(1), BreakerState::Closed);
+        assert!(b.record_failure(2), "third consecutive failure trips");
+        assert_eq!(b.state_at(2), BreakerState::Open);
+        assert!(!b.allows(3));
+        assert_eq!(b.times_opened(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default());
+        b.record_failure(0);
+        b.record_failure(1);
+        b.record_success();
+        assert!(!b.record_failure(2), "run restarted after success");
+        assert_eq!(b.state_at(2), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 4,
+        });
+        assert!(b.record_failure(10));
+        assert!(!b.allows(13), "still cooling down");
+        assert!(b.allows(14), "cooldown elapsed: half-open probe admitted");
+        assert_eq!(b.state_at(14), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state_at(14), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 4,
+        });
+        assert!(b.record_failure(0));
+        assert!(b.allows(4));
+        assert!(b.record_failure(4), "failed probe re-opens");
+        assert_eq!(b.state_at(4), BreakerState::Open);
+        assert!(!b.allows(7));
+        assert!(b.allows(8));
+        assert_eq!(b.times_opened(), 2);
+    }
+
+    #[test]
+    fn bank_tracks_devices_independently() {
+        let mut bank = BreakerBank::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ticks: 3,
+        });
+        bank.breaker("imcf:hvac:kitchen").record_failure(0);
+        bank.breaker("imcf:hvac:kitchen").record_failure(1);
+        bank.breaker("imcf:light:porch").record_failure(1);
+        assert!(!bank.allows("imcf:hvac:kitchen", 2));
+        assert!(bank.allows("imcf:light:porch", 2));
+        assert_eq!(bank.open_now(2), 1);
+        let snaps = bank.snapshots(2);
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].thing, "imcf:hvac:kitchen");
+        assert_eq!(snaps[0].state, BreakerState::Open);
+        assert_eq!(snaps[1].state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_serde() {
+        let mut bank = BreakerBank::new(BreakerConfig::default());
+        bank.breaker("imcf:hvac:hall").record_failure(0);
+        let snaps = bank.snapshots(1);
+        let json = serde_json::to_string(&snaps).unwrap();
+        let back: Vec<BreakerSnapshot> = serde_json::from_str(&json).unwrap();
+        assert_eq!(snaps, back);
+    }
+}

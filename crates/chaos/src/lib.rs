@@ -1,0 +1,44 @@
+//! # imcf-chaos — the deterministic fault-injection plane
+//!
+//! Sensor outages already have a seeded injector
+//! (`imcf_traces::outage::OutagePlan`); this crate covers the other two
+//! legs of the failure triangle — **actuation** and **storage** — plus the
+//! resilience primitives that let the Local Controller survive them.
+//!
+//! * [`FaultPlan`] — a seeded, serde round-trippable schedule of injected
+//!   faults: device-command faults (drop / delay / stuck actuator), store
+//!   faults (WAL write/fsync errors, torn tail on reopen) and bus faults
+//!   (stalled subscriber windows). Every decision is a pure function of
+//!   `(seed, coordinates)`: a ChaCha8 stream is derived per query, so the
+//!   answer does not depend on query order, thread interleaving or worker
+//!   count — the same determinism contract as `imcf-pool`.
+//! * [`RetryPolicy`] — bounded attempts with deterministic sim-time
+//!   exponential backoff and seeded jitter (ticks, not wall clock).
+//! * [`CircuitBreaker`] — the classic closed → open → half-open state
+//!   machine, per device, quarantining flapping actuators.
+//!
+//! Fault *decisions* live here; fault *wiring* lives at the injection
+//! points (`DeviceRegistry::set_fault_injector`, `Wal::set_fault_hook`) so
+//! that `imcf-devices` and `imcf-store` stay free of chaos types.
+//!
+//! Telemetry: injections are counted under `chaos.faults_injected` (by
+//! `kind` label) and breaker open transitions under `breaker.open`, both
+//! registered in the `imcf-telemetry` catalog.
+
+mod breaker;
+mod plan;
+mod retry;
+
+pub use breaker::{BreakerBank, BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
+pub use plan::{CommandFault, FaultPlan, StoreFault, StoreOp};
+pub use retry::RetryPolicy;
+
+/// Records one injected fault in the global telemetry registry.
+///
+/// Central so every injection site (registry hook, WAL hook, scenario
+/// drivers) counts through the same cataloged metric.
+pub fn record_injection(kind: &str) {
+    imcf_telemetry::global()
+        .counter_with("chaos.faults_injected", &[("kind", kind)])
+        .inc();
+}

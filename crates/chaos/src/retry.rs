@@ -1,0 +1,142 @@
+//! Bounded retry with deterministic sim-time backoff.
+//!
+//! Backoff is measured in scheduler *ticks*, never wall clock, so a retry
+//! schedule is reproducible for a given `(policy, key)` pair. Jitter is
+//! drawn from a ChaCha8 stream derived from the policy seed and the retry
+//! key — the same per-coordinate derivation [`crate::FaultPlan`] uses —
+//! which decorrelates retry storms across devices without sacrificing
+//! determinism.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bounded-attempt retry policy with exponential, jittered tick backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total delivery attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in ticks.
+    pub base_backoff_ticks: u64,
+    /// Ceiling on any single backoff, in ticks.
+    pub max_backoff_ticks: u64,
+    /// Fraction of the backoff drawn as additive jitter (0.0 = none,
+    /// 0.5 = up to +50%).
+    pub jitter: f64,
+    /// Seed for the jitter streams.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ticks: 1,
+            max_backoff_ticks: 8,
+            jitter: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// True when `attempt` (1-based, the attempt that just failed) has a
+    /// retry budget left.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// Ticks to wait before the retry *after* failed attempt `attempt`
+    /// (1-based). Pure in `(self, attempt, key)`; `key` is any stable
+    /// identifier for the retried operation (the controller uses the
+    /// thing UID).
+    pub fn backoff_ticks(&self, attempt: u32, key: &str) -> u64 {
+        let exp = attempt.saturating_sub(1).min(16);
+        let base = self
+            .base_backoff_ticks
+            .max(1)
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_ticks.max(1));
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        let mut h: u64 = 0xCBF29CE484222325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ h ^ (u64::from(attempt) << 48));
+        let extra =
+            (base as f64 * self.jitter.clamp(0.0, 1.0) * rng.gen_range(0.0..1.0)).round() as u64;
+        (base + extra).min(self.max_backoff_ticks.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempts_are_bounded() {
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(2));
+        assert!(!p.should_retry(3));
+        assert!(!RetryPolicy::none().should_retry(1));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ticks: 1,
+            max_backoff_ticks: 8,
+            jitter: 0.5,
+            seed: 42,
+        };
+        for attempt in 1..6 {
+            let a = p.backoff_ticks(attempt, "imcf:hvac:kitchen");
+            let b = p.backoff_ticks(attempt, "imcf:hvac:kitchen");
+            assert_eq!(a, b, "attempt {attempt}");
+            assert!((1..=8).contains(&a), "attempt {attempt} backoff {a}");
+        }
+        // Exponential shape without jitter.
+        let flat = RetryPolicy { jitter: 0.0, ..p };
+        assert_eq!(flat.backoff_ticks(1, "k"), 1);
+        assert_eq!(flat.backoff_ticks(2, "k"), 2);
+        assert_eq!(flat.backoff_ticks(3, "k"), 4);
+        assert_eq!(flat.backoff_ticks(4, "k"), 8);
+        assert_eq!(flat.backoff_ticks(5, "k"), 8, "capped at max");
+    }
+
+    #[test]
+    fn jitter_decorrelates_keys() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 4,
+            max_backoff_ticks: 64,
+            jitter: 1.0,
+            seed: 9,
+        };
+        let spread: std::collections::BTreeSet<u64> = (0..32)
+            .map(|i| p.backoff_ticks(2, &format!("dev-{i}")))
+            .collect();
+        assert!(spread.len() > 1, "jitter must vary across keys: {spread:?}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = RetryPolicy::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: RetryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -591,3 +591,93 @@ mod schedule_tests {
         assert!(err.contains("EV"));
     }
 }
+
+/// `imcf chaos` — run a deterministic fault-injection soak and print the
+/// outcome as JSON. The same engine backs the `chaos_soak` bench; this
+/// entry point runs a single cell so operators can probe survivability
+/// at a chosen fault rate (and optionally keep the journal on disk to
+/// inspect the torn-tail recovery path).
+pub fn chaos(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &[
+            "rate",
+            "store-rate",
+            "ticks",
+            "seed",
+            "zones",
+            "outage-rate",
+            "journal",
+        ],
+        min_positional: 0,
+        max_positional: 0,
+    };
+    let parsed = spec.parse(argv)?;
+    let rate = parsed.get_f64("rate", 0.1)?;
+    let store_rate = parsed.get_f64("store-rate", rate / 2.0)?;
+    let ticks = parsed.get_u64("ticks", 168)?;
+    let seed = parsed.get_u64("seed", 0)?;
+    let zones = parsed.get_u64("zones", 2)? as usize;
+    let outage_rate = parsed.get_f64("outage-rate", 0.0)?;
+    let journal = parsed.get("journal").map(std::path::PathBuf::from);
+    if !(0.0..=1.0).contains(&rate) || !(0.0..=1.0).contains(&store_rate) {
+        return Err(String::from("fault rates must be within 0.0..=1.0"));
+    }
+    if ticks == 0 || zones == 0 {
+        return Err(String::from("--ticks and --zones must be at least 1"));
+    }
+
+    let config = imcf_controller::SoakConfig {
+        seed,
+        ticks,
+        zones,
+        plan: imcf_chaos::FaultPlan::commands(seed, rate).with_store_faults(store_rate),
+        outage_rate_per_week: outage_rate,
+        ..imcf_controller::SoakConfig::default()
+    };
+    let outcome = imcf_controller::run_soak(&config, journal.as_deref());
+    let json = serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn runs_a_default_soak() {
+        chaos(&argv(&["--ticks", "24", "--zones", "1"])).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_rates() {
+        assert!(chaos(&argv(&["--rate", "1.5"]))
+            .unwrap_err()
+            .contains("0.0..=1.0"));
+        assert!(chaos(&argv(&["--ticks", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn writes_a_journal_when_asked() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("chaos");
+        chaos(&argv(&[
+            "--ticks",
+            "24",
+            "--zones",
+            "1",
+            "--rate",
+            "0.2",
+            "--journal",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(path.join("soak_journal.snap").exists() || path.join("soak_journal.wal").exists());
+    }
+}

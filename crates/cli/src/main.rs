@@ -29,6 +29,8 @@ USAGE:
   imcf ecp --dataset <flat|house|dorms> [--seed N]
   imcf workflow <wf-file> [--temperature C] [--light L] [--hour H] [--month M]
   imcf schedule <loads-file> [--horizon H] [--headroom KWH]
+  imcf chaos [--rate R] [--store-rate R] [--ticks N] [--seed N] [--zones N]
+             [--outage-rate R] [--journal DIR]  (fault-injection soak run)
 
 GLOBAL OPTIONS:
   --telemetry <path>    dump a JSON telemetry snapshot to <path> on exit
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
         "ecp" => commands::ecp(rest),
         "workflow" => commands::workflow(rest),
         "schedule" => commands::schedule(rest),
+        "chaos" => commands::chaos(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

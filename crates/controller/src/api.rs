@@ -12,6 +12,7 @@
 //! GET  /rest/things
 //! GET  /rest/firewall
 //! GET  /rest/meter
+//! GET  /rest/breakers           (per-device circuit-breaker states)
 //! GET  /rest/metrics            (Prometheus text; `?format=json` for JSON)
 //! ```
 //!
@@ -19,6 +20,7 @@
 //! the controller without linking against its types.
 
 use crate::firewall::Chain;
+use imcf_chaos::{BreakerBank, BreakerSnapshot};
 use imcf_devices::channel::ChannelUid;
 use imcf_devices::command::{Command, CommandOutcome, CommandPayload};
 use imcf_devices::item::{ItemKind, ItemState};
@@ -26,6 +28,7 @@ use imcf_devices::registry::DeviceRegistry;
 use imcf_sim::meter::EnergyMeter;
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An API response: HTTP-ish status plus a JSON body.
@@ -68,6 +71,7 @@ pub struct Router {
     registry: DeviceRegistry,
     firewall: Arc<Mutex<Chain>>,
     meter: Arc<Mutex<EnergyMeter>>,
+    breakers: Option<(Arc<Mutex<BreakerBank>>, Arc<AtomicU64>)>,
 }
 
 impl Router {
@@ -81,7 +85,17 @@ impl Router {
             registry,
             firewall,
             meter,
+            breakers: None,
         }
+    }
+
+    /// Attaches the controller's circuit breakers (and its virtual chaos
+    /// clock, used as the snapshot tick) so `GET /rest/breakers` can
+    /// report them. Unattached routers answer the route with an empty
+    /// list.
+    pub fn with_breakers(mut self, bank: Arc<Mutex<BreakerBank>>, clock: Arc<AtomicU64>) -> Self {
+        self.breakers = Some((bank, clock));
+        self
     }
 
     /// Handles one request line.
@@ -105,6 +119,7 @@ impl Router {
             ("GET", "/rest/things") => self.get_things(),
             ("GET", "/rest/firewall") => self.get_firewall(),
             ("GET", "/rest/meter") => self.get_meter(),
+            ("GET", "/rest/breakers") => self.get_breakers(),
             ("GET", "/rest/metrics") => Self::get_metrics(query),
             ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
             _ => Response::error(400, "expected `GET <path>` or `POST <path> <value>`"),
@@ -179,6 +194,9 @@ impl Router {
                 Response::error(409, "blocked by the meta-control firewall")
             }
             Ok(CommandOutcome::Offline) => Response::error(409, "thing offline"),
+            Ok(CommandOutcome::Failed { reason }) => {
+                Response::error(409, &format!("delivery failed: {reason}"))
+            }
             Err(e) => Response::error(400, &e.to_string()),
         }
     }
@@ -211,6 +229,24 @@ impl Router {
             "rules": chain.rules().len(),
             "evaluated": evaluated,
             "dropped": dropped,
+        }))
+    }
+
+    fn get_breakers(&self) -> Response {
+        let Some((bank, clock)) = &self.breakers else {
+            return Response::ok(&serde_json::json!({
+                "tick": 0,
+                "open": 0,
+                "breakers": Vec::<BreakerSnapshot>::new(),
+            }));
+        };
+        let tick = clock.load(Ordering::SeqCst);
+        let mut bank = bank.lock();
+        let open = bank.open_now(tick);
+        Response::ok(&serde_json::json!({
+            "tick": tick,
+            "open": open,
+            "breakers": bank.snapshots(tick),
         }))
     }
 
@@ -301,6 +337,47 @@ mod tests {
         let r = router.handle("GET /rest/meter");
         assert_eq!(r.status, 200);
         assert!(r.body.contains("total_kwh"));
+    }
+
+    #[test]
+    fn breakers_endpoint_reports_quarantine() {
+        use imcf_chaos::FaultPlan;
+        use imcf_core::candidate::{CandidateRule, PlanningSlot};
+        use imcf_rules::meta_rule::RuleId;
+
+        let (mut c, _plain) = router_with_zone();
+        let router = Router::new(
+            c.registry(),
+            c.firewall(),
+            Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
+        )
+        .with_breakers(c.breakers(), c.chaos_clock());
+
+        // Unattached router answers the route too.
+        let plain = Router::new(
+            c.registry(),
+            c.firewall(),
+            Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
+        );
+        let r = plain.handle("GET /rest/breakers");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"breakers\":[]"), "body: {}", r.body);
+
+        // Drive the device into quarantine with an always-fault plan.
+        c.attach_chaos(FaultPlan::commands(2, 1.0));
+        for h in 0..4 {
+            let slot = PlanningSlot::new(
+                h,
+                vec![CandidateRule::convenience(RuleId(0), 22.0, 15.0, 0.1).in_zone("den")],
+                1.0,
+            );
+            c.tick(&slot);
+        }
+        let r = router.handle("GET /rest/breakers");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("imcf:hvac:den"), "body: {}", r.body);
+        assert!(r.body.contains("Open"), "body: {}", r.body);
+        assert!(r.body.contains("\"open\":1"), "body: {}", r.body);
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub enum Event {
         /// Destination host.
         host: String,
     },
+    /// A command exhausted its retry budget without delivery.
+    CommandFailed {
+        /// UID of the thing the command targeted.
+        thing: String,
+        /// Delivery attempts made (first try included).
+        attempts: u32,
+        /// Final failure reason (e.g. `cmd_drop`, `cmd_stuck`).
+        reason: String,
+    },
     /// The controller finished an orchestration tick.
     TickCompleted {
         /// The hour ticked.
@@ -59,15 +68,22 @@ impl Event {
             Event::PlanComputed { .. } => "plan_computed",
             Event::CommandDelivered { .. } => "command_delivered",
             Event::CommandBlocked { .. } => "command_blocked",
+            Event::CommandFailed { .. } => "command_failed",
             Event::TickCompleted { .. } => "tick_completed",
         }
     }
 }
 
+/// One delivery target: a channel receiver or an in-process callback.
+enum Subscriber {
+    Channel(Sender<Event>),
+    Callback(Box<dyn Fn(&Event) + Send>),
+}
+
 /// A broadcast event bus.
 #[derive(Clone, Default)]
 pub struct EventBus {
-    subscribers: Arc<Mutex<Vec<Sender<Event>>>>,
+    subscribers: Arc<Mutex<Vec<Subscriber>>>,
 }
 
 impl EventBus {
@@ -80,14 +96,32 @@ impl EventBus {
     pub fn subscribe(&self) -> Receiver<Event> {
         let (tx, rx) = unbounded();
         let mut subs = self.subscribers.lock();
-        subs.push(tx);
+        subs.push(Subscriber::Channel(tx));
         imcf_telemetry::global()
             .gauge("bus.subscribers")
             .set(subs.len() as f64);
         rx
     }
 
-    /// Publishes an event to every live subscriber, pruning closed ones.
+    /// Subscribes a callback invoked inline on every future publish.
+    ///
+    /// A panicking callback is isolated: the panic is caught, counted
+    /// under `bus.subscriber_panics`, the callback is unsubscribed, and
+    /// delivery to the remaining subscribers continues. Callbacks run
+    /// under the bus lock — keep them short and never publish from one.
+    pub fn subscribe_fn<F>(&self, callback: F)
+    where
+        F: Fn(&Event) + Send + 'static,
+    {
+        let mut subs = self.subscribers.lock();
+        subs.push(Subscriber::Callback(Box::new(callback)));
+        imcf_telemetry::global()
+            .gauge("bus.subscribers")
+            .set(subs.len() as f64);
+    }
+
+    /// Publishes an event to every live subscriber, pruning closed
+    /// channels and panicked callbacks.
     ///
     /// Telemetry is deliberately touched **after** the subscriber lock is
     /// released: the lag scan and gauge updates used to run under the
@@ -96,19 +130,42 @@ impl EventBus {
     /// of per-subscriber backlog and the live count need the lock.
     pub fn publish(&self, event: Event) {
         let kind = event.kind();
+        let mut panics: u64 = 0;
         let (lag, live) = {
             let mut subs = self.subscribers.lock();
-            subs.retain(|tx| tx.send(event.clone()).is_ok());
+            subs.retain(|sub| match sub {
+                Subscriber::Channel(tx) => tx.send(event.clone()).is_ok(),
+                Subscriber::Callback(cb) => {
+                    // A subscriber that panics must not poison the bus or
+                    // starve the subscribers after it in the list.
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(&event)));
+                    if outcome.is_err() {
+                        panics += 1;
+                    }
+                    outcome.is_ok()
+                }
+            });
             // Worst undelivered backlog across subscribers: a growing
             // value means some consumer is falling behind the publish
             // rate. Snapshot it here; report it after the lock drops.
-            let lag = subs.iter().map(|tx| tx.len()).max().unwrap_or(0);
+            let lag = subs
+                .iter()
+                .filter_map(|sub| match sub {
+                    Subscriber::Channel(tx) => Some(tx.len()),
+                    Subscriber::Callback(_) => None,
+                })
+                .max()
+                .unwrap_or(0);
             (lag, subs.len())
         };
         let telemetry = imcf_telemetry::global();
         telemetry
             .counter_with("bus.published", &[("event", kind)])
             .inc();
+        if panics > 0 {
+            telemetry.counter("bus.subscriber_panics").add(panics);
+        }
         telemetry.gauge("bus.subscriber_lag").set(lag as f64);
         telemetry.gauge("bus.subscribers").set(live as f64);
     }
@@ -207,6 +264,41 @@ mod tests {
             }
         }
         assert!(gauges_observed, "gauges never reflected the publish");
+    }
+
+    /// A panicking subscriber must not poison the bus nor steal delivery
+    /// from subscribers registered before *or* after it.
+    #[test]
+    fn panicking_callback_is_isolated_and_unsubscribed() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let bus = EventBus::new();
+        let before = bus.subscribe();
+        bus.subscribe_fn(|_| panic!("subscriber bug"));
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen_in_cb = Arc::clone(&seen);
+        bus.subscribe_fn(move |_| {
+            seen_in_cb.fetch_add(1, Ordering::SeqCst);
+        });
+        let after = bus.subscribe();
+        assert_eq!(bus.subscriber_count(), 4);
+
+        // Silence the expected panic's backtrace while it unwinds.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        bus.publish(Event::TickCompleted { hour_index: 1 });
+        std::panic::set_hook(hook);
+
+        // The panicker is gone; everyone else got the event.
+        assert_eq!(bus.subscriber_count(), 3);
+        assert_eq!(before.try_iter().count(), 1);
+        assert_eq!(after.try_iter().count(), 1);
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+
+        // The bus is not poisoned: publishing keeps working.
+        bus.publish(Event::TickCompleted { hour_index: 2 });
+        assert_eq!(seen.load(Ordering::SeqCst), 2);
+        assert_eq!(bus.subscriber_count(), 3);
     }
 
     #[test]

@@ -6,8 +6,15 @@
 //! the public Internet that communicates and controls LC remotely"
 //! (§II-A). [`CloudController`] implements that relay in-process: homes
 //! register their Local Controller's REST [`crate::api::Router`] under a
-//! home id and a bearer token; remote requests are authenticated, rate
-//! counted, and forwarded; the LC's response travels back verbatim.
+//! home id and a bearer token; remote requests are authenticated,
+//! rate limited, and forwarded; the LC's response travels back verbatim.
+//!
+//! Rate limiting is a per-home token bucket over *relay ticks* (the CC's
+//! scheduler beat, advanced by [`CloudController::advance`]) — no wall
+//! clock, so relay behaviour is as deterministic as the rest of the
+//! system. A drained bucket answers [`RelayError::RateLimited`] without
+//! touching the LC, which is the CC's defence against a compromised or
+//! runaway APP hammering someone's home.
 //!
 //! The CC never interprets payloads — it is a dumb, authenticated pipe,
 //! which is exactly the trust model the paper sketches (the *meta-control*
@@ -23,20 +30,48 @@ use std::sync::Arc;
 pub struct RelayStats {
     /// Requests forwarded to the LC.
     pub forwarded: u64,
-    /// Requests rejected before reaching the LC.
+    /// Requests rejected before reaching the LC (bad token).
     pub rejected: u64,
+    /// Requests refused by the rate limiter.
+    pub rate_limited: u64,
+}
+
+/// Per-home token-bucket rate limit, measured in relay ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket capacity: requests a home may burst in one tick.
+    pub burst: u32,
+    /// Tokens refilled per [`CloudController::advance`]d tick.
+    pub refill_per_tick: f64,
+}
+
+impl RateLimit {
+    /// The default limit: 30-request burst, 10 requests/tick sustained.
+    pub fn default_limit() -> Self {
+        RateLimit {
+            burst: 30,
+            refill_per_tick: 10.0,
+        }
+    }
 }
 
 struct HomeLink {
     token: String,
     router: Arc<Router>,
     stats: RelayStats,
+    tokens: f64,
 }
 
 /// The cloud relay.
-#[derive(Default)]
 pub struct CloudController {
     homes: Mutex<BTreeMap<String, HomeLink>>,
+    limit: Option<RateLimit>,
+}
+
+impl Default for CloudController {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Relay-level failures (never reach the LC).
@@ -48,6 +83,8 @@ pub enum RelayError {
     Unauthorized,
     /// A home id was registered twice.
     DuplicateHome(String),
+    /// The home's token bucket is drained; retry after the next tick.
+    RateLimited,
 }
 
 impl std::fmt::Display for RelayError {
@@ -56,6 +93,7 @@ impl std::fmt::Display for RelayError {
             RelayError::UnknownHome(h) => write!(f, "unknown home `{h}`"),
             RelayError::Unauthorized => write!(f, "unauthorized"),
             RelayError::DuplicateHome(h) => write!(f, "home `{h}` already registered"),
+            RelayError::RateLimited => write!(f, "rate limited"),
         }
     }
 }
@@ -63,9 +101,20 @@ impl std::fmt::Display for RelayError {
 impl std::error::Error for RelayError {}
 
 impl CloudController {
-    /// Creates an empty relay.
+    /// Creates a relay without rate limiting.
     pub fn new() -> Self {
-        Self::default()
+        CloudController {
+            homes: Mutex::new(BTreeMap::new()),
+            limit: None,
+        }
+    }
+
+    /// Creates a relay enforcing `limit` per home.
+    pub fn with_rate_limit(limit: RateLimit) -> Self {
+        CloudController {
+            homes: Mutex::new(BTreeMap::new()),
+            limit: Some(limit),
+        }
     }
 
     /// Registers a home's LC router under a bearer token.
@@ -80,6 +129,7 @@ impl CloudController {
                 token: token.to_string(),
                 router: Arc::new(router),
                 stats: RelayStats::default(),
+                tokens: self.limit.map_or(0.0, |l| f64::from(l.burst)),
             },
         );
         Ok(())
@@ -88,6 +138,17 @@ impl CloudController {
     /// Removes a home (the LC going offline).
     pub fn unregister_home(&self, home: &str) -> bool {
         self.homes.lock().remove(home).is_some()
+    }
+
+    /// Advances the relay clock by `ticks`, refilling every home's token
+    /// bucket (capped at the burst size). A no-op without a rate limit.
+    pub fn advance(&self, ticks: u64) {
+        let Some(limit) = self.limit else { return };
+        let refill = limit.refill_per_tick * ticks as f64;
+        let cap = f64::from(limit.burst);
+        for link in self.homes.lock().values_mut() {
+            link.tokens = (link.tokens + refill).min(cap);
+        }
     }
 
     /// Relays one authenticated request line to a home's LC.
@@ -103,6 +164,16 @@ impl CloudController {
             if link.token != token {
                 link.stats.rejected += 1;
                 return Err(RelayError::Unauthorized);
+            }
+            // Authenticated traffic spends the bucket; auth failures above
+            // do not (they are free to reject and already counted).
+            if self.limit.is_some() {
+                if link.tokens < 1.0 {
+                    link.stats.rate_limited += 1;
+                    imcf_telemetry::global().counter("relay.rate_limited").inc();
+                    return Err(RelayError::RateLimited);
+                }
+                link.tokens -= 1.0;
             }
             link.stats.forwarded += 1;
             Arc::clone(&link.router)
@@ -217,6 +288,91 @@ mod tests {
             cc.relay("home-1", "t", "GET /rest/items"),
             Err(RelayError::UnknownHome(_))
         ));
+    }
+
+    #[test]
+    fn rate_limit_drains_and_refills() {
+        let cc = CloudController::with_rate_limit(RateLimit {
+            burst: 3,
+            refill_per_tick: 2.0,
+        });
+        let (_lc, router) = lc_router("den");
+        cc.register_home("home-1", "t", router).unwrap();
+
+        // The burst is honoured, then the bucket is dry.
+        for _ in 0..3 {
+            assert!(cc.relay("home-1", "t", "GET /rest/items").is_ok());
+        }
+        assert_eq!(
+            cc.relay("home-1", "t", "GET /rest/items"),
+            Err(RelayError::RateLimited)
+        );
+        let stats = cc.stats("home-1").unwrap();
+        assert_eq!((stats.forwarded, stats.rate_limited), (3, 1));
+
+        // One tick refills two tokens — capped at the burst thereafter.
+        cc.advance(1);
+        assert!(cc.relay("home-1", "t", "GET /rest/items").is_ok());
+        assert!(cc.relay("home-1", "t", "GET /rest/items").is_ok());
+        assert_eq!(
+            cc.relay("home-1", "t", "GET /rest/items"),
+            Err(RelayError::RateLimited)
+        );
+        cc.advance(1000);
+        for _ in 0..3 {
+            assert!(cc.relay("home-1", "t", "GET /rest/items").is_ok());
+        }
+        assert_eq!(
+            cc.relay("home-1", "t", "GET /rest/items"),
+            Err(RelayError::RateLimited),
+            "refill must cap at the burst size"
+        );
+    }
+
+    #[test]
+    fn rate_limit_is_per_home_and_auth_failures_do_not_spend_it() {
+        let cc = CloudController::with_rate_limit(RateLimit {
+            burst: 2,
+            refill_per_tick: 0.0,
+        });
+        let (_lc1, r1) = lc_router("kitchen");
+        let (_lc2, r2) = lc_router("garage");
+        cc.register_home("alpha", "ta", r1).unwrap();
+        cc.register_home("beta", "tb", r2).unwrap();
+
+        // Drain alpha entirely; beta is untouched.
+        assert!(cc.relay("alpha", "ta", "GET /rest/items").is_ok());
+        assert!(cc.relay("alpha", "ta", "GET /rest/items").is_ok());
+        assert_eq!(
+            cc.relay("alpha", "ta", "GET /rest/items"),
+            Err(RelayError::RateLimited)
+        );
+        assert!(cc.relay("beta", "tb", "GET /rest/items").is_ok());
+
+        // Bad-token spam against beta spends nothing.
+        for _ in 0..10 {
+            assert_eq!(
+                cc.relay("beta", "wrong", "GET /rest/items"),
+                Err(RelayError::Unauthorized)
+            );
+        }
+        assert!(cc.relay("beta", "tb", "GET /rest/items").is_ok());
+        let beta = cc.stats("beta").unwrap();
+        assert_eq!(
+            (beta.forwarded, beta.rejected, beta.rate_limited),
+            (2, 10, 0)
+        );
+    }
+
+    #[test]
+    fn unlimited_relay_never_rate_limits() {
+        let cc = CloudController::new();
+        let (_lc, router) = lc_router("den");
+        cc.register_home("home-1", "t", router).unwrap();
+        for _ in 0..100 {
+            assert!(cc.relay("home-1", "t", "GET /rest/items").is_ok());
+        }
+        assert_eq!(cc.stats("home-1").unwrap().rate_limited, 0);
     }
 
     #[test]

@@ -11,9 +11,32 @@
 //! 3. issues the adopted rules' actuation commands through the registry
 //!    (which consults the firewall on egress), and
 //! 4. meters the consumed energy and publishes events.
+//!
+//! ## Resilient actuation
+//!
+//! Real actuators drop commands, wedge, and flap. The actuation path
+//! therefore runs through three layers of resilience (all sim-time
+//! deterministic, see `imcf-chaos`):
+//!
+//! * a [`RetryPolicy`] retries failed deliveries with exponential,
+//!   seeded-jitter backoff measured in *virtual ticks* (the fault plan is
+//!   re-consulted at the backed-off coordinate, so a transient drop heals
+//!   and a wedged actuator keeps failing);
+//! * a per-device [`CircuitBreaker`](imcf_chaos::CircuitBreaker)
+//!   quarantines devices that keep failing: their candidates are removed
+//!   from the slot *before* planning (the plan re-allocates the freed
+//!   budget to healthy devices) and the breaker half-opens after a
+//!   cooldown to probe recovery;
+//! * energy that was planned but never delivered (a command that failed
+//!   every attempt) is re-attributed to the carry-over reserve, so the
+//!   budget is never charged for actuations that did not happen.
+//!
+//! A quarantined or failed device keeps its last-known item state — the
+//! registry only mutates state on delivery.
 
 use crate::bus::{Event, EventBus};
 use crate::firewall::{Chain, FirewallRule, Match, Verdict};
+use imcf_chaos::{BreakerBank, BreakerConfig, BreakerSnapshot, FaultPlan, RetryPolicy};
 use imcf_core::calendar::PaperCalendar;
 use imcf_core::candidate::PlanningSlot;
 use imcf_core::planner::{EnergyPlanner, PlannerConfig};
@@ -29,6 +52,7 @@ use parking_lot::Mutex;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Controller configuration.
@@ -36,9 +60,13 @@ use std::sync::Arc;
 pub struct ControllerConfig {
     /// Energy Planner parameters.
     pub planner: PlannerConfig,
+    /// Actuation retry policy (default: 3 attempts, jittered backoff).
+    pub retry: RetryPolicy,
+    /// Per-device circuit-breaker tuning.
+    pub breaker: BreakerConfig,
 }
 
-/// Errors from controller inventory operations.
+/// Errors from controller operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControllerError {
     /// Provisioning a zone collided with already-registered things or
@@ -49,6 +77,20 @@ pub enum ControllerError {
         /// The underlying registry rejection.
         source: RegistryError,
     },
+    /// A command exhausted its retry budget without being delivered.
+    Actuation {
+        /// UID of the thing the command targeted.
+        thing: String,
+        /// Delivery attempts made (first try included).
+        attempts: u32,
+        /// The final failure reason (e.g. `cmd_drop`, `cmd_stuck`).
+        source: String,
+    },
+    /// The persistence layer failed (WAL write/fsync error).
+    Storage {
+        /// The underlying storage failure, rendered.
+        source: String,
+    },
 }
 
 impl std::fmt::Display for ControllerError {
@@ -57,11 +99,41 @@ impl std::fmt::Display for ControllerError {
             ControllerError::Provision { zone, source } => {
                 write!(f, "provisioning zone `{zone}`: {source}")
             }
+            ControllerError::Actuation {
+                thing,
+                attempts,
+                source,
+            } => {
+                write!(
+                    f,
+                    "actuating `{thing}`: {source} after {attempts} attempt(s)"
+                )
+            }
+            ControllerError::Storage { source } => write!(f, "storage: {source}"),
         }
     }
 }
 
 impl std::error::Error for ControllerError {}
+
+impl From<imcf_store::table::TableError> for ControllerError {
+    fn from(e: imcf_store::table::TableError) -> Self {
+        ControllerError::Storage {
+            source: e.to_string(),
+        }
+    }
+}
+
+/// Appends a tick summary to a WAL-backed journal table, surfacing WAL
+/// failures as [`ControllerError::Storage`]. The journal is how a
+/// production deployment audits what the planner actually did; under
+/// injected store faults the caller keeps ticking and counts the error.
+pub fn journal_tick(
+    table: &mut imcf_store::Table<TickSummary>,
+    summary: &TickSummary,
+) -> Result<u64, ControllerError> {
+    Ok(table.insert(summary.clone())?)
+}
 
 /// The outcome of one orchestration tick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,6 +150,12 @@ pub struct TickSummary {
     pub delivered: u64,
     /// Commands blocked by the firewall.
     pub blocked: u64,
+    /// Commands that exhausted their retry budget.
+    pub failed: u64,
+    /// Retry attempts made beyond first tries.
+    pub retried: u64,
+    /// Candidates excluded pre-plan because their device's breaker was open.
+    pub quarantined: u64,
 }
 
 /// The Local Controller with the IMCF extension.
@@ -92,6 +170,12 @@ pub struct LocalController {
     /// Unspent budget carried across ticks (the planner-side amortization
     /// reserve; see `imcf_core::planner::EnergyPlanner`).
     reserve_kwh: f64,
+    retry: RetryPolicy,
+    breakers: Arc<Mutex<BreakerBank>>,
+    /// The *virtual* tick the fault plane sees. Advanced past the real
+    /// hour index by retry backoff so a re-attempt re-draws the fault
+    /// plan at a later coordinate (sim-time passing, not wall clock).
+    chaos_tick: Arc<AtomicU64>,
 }
 
 impl LocalController {
@@ -115,7 +199,46 @@ impl LocalController {
             meter: EnergyMeter::new(calendar),
             next_host: 2,
             reserve_kwh: 0.0,
+            retry: config.retry,
+            breakers: Arc::new(Mutex::new(BreakerBank::new(config.breaker))),
+            chaos_tick: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Installs `plan` as the registry's fault injector. Command faults are
+    /// drawn at the controller's current *virtual* tick (advanced by retry
+    /// backoff), keyed by the target thing's UID. Each injection is counted
+    /// under `chaos.faults_injected`.
+    pub fn attach_chaos(&self, plan: FaultPlan) {
+        let tick = Arc::clone(&self.chaos_tick);
+        self.registry.set_fault_injector(move |thing, _cmd| {
+            let t = tick.load(Ordering::SeqCst);
+            let reason = plan.fault_reason(t, &thing.uid.to_string())?;
+            imcf_chaos::record_injection(reason);
+            Some(reason.to_string())
+        });
+    }
+
+    /// Removes any installed fault injector.
+    pub fn detach_chaos(&self) {
+        self.registry.clear_fault_injector();
+    }
+
+    /// Shared handle to the per-device circuit breakers (for the REST
+    /// surface).
+    pub fn breakers(&self) -> Arc<Mutex<BreakerBank>> {
+        Arc::clone(&self.breakers)
+    }
+
+    /// Shared handle to the virtual chaos clock (for the REST surface).
+    pub fn chaos_clock(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.chaos_tick)
+    }
+
+    /// Point-in-time breaker views at the controller's current tick.
+    pub fn breaker_snapshots(&self) -> Vec<BreakerSnapshot> {
+        let tick = self.chaos_tick.load(Ordering::SeqCst);
+        self.breakers.lock().snapshots(tick)
     }
 
     /// The device registry (shared handle).
@@ -218,18 +341,63 @@ impl LocalController {
         self.reserve_kwh
     }
 
+    /// The thing UID that would actuate a `(zone, class)` candidate, or
+    /// `None` for classes without an actuator (meters).
+    fn thing_uid_for(zone: &str, class: DeviceClass) -> Option<String> {
+        match class {
+            DeviceClass::Hvac => Some(format!("imcf:hvac:{zone}")),
+            DeviceClass::Light => Some(format!("imcf:light:{zone}")),
+            DeviceClass::Meter => None,
+        }
+    }
+
     /// Runs one orchestration tick over a planning slot.
     pub fn tick(&mut self, slot: &PlanningSlot) -> TickSummary {
+        self.tick_with_errors(slot).0
+    }
+
+    /// Runs one orchestration tick, also surfacing per-command failures.
+    ///
+    /// Like [`tick`](Self::tick), plus the list of
+    /// [`ControllerError::Actuation`] values for commands that exhausted
+    /// their retry budget. The summary's `failed`/`retried`/`quarantined`
+    /// counters aggregate the same information.
+    pub fn tick_with_errors(&mut self, slot: &PlanningSlot) -> (TickSummary, Vec<ControllerError>) {
         let _tick_span = imcf_telemetry::span!("scheduler.tick_micros");
-        // 1. Plan, letting the slot draw on the carry-over reserve.
+        let hour = slot.hour_index;
+        self.chaos_tick.store(hour, Ordering::SeqCst);
+
+        // 0. Quarantine: candidates whose device breaker is open are pulled
+        //    from the slot *before* planning, so the EP re-allocates their
+        //    budget to healthy devices. Their state is whatever the last
+        //    delivered command left behind.
         let mut slot = slot.clone();
         slot.budget_kwh += self.reserve_kwh;
+        let mut quarantined_rules = Vec::new();
+        let mut quarantined_pairs = BTreeSet::new();
+        {
+            let mut bank = self.breakers.lock();
+            slot.candidates.retain(|candidate| {
+                match Self::thing_uid_for(&candidate.zone, candidate.device_class) {
+                    Some(uid) if !bank.allows(&uid, hour) => {
+                        quarantined_rules.push(candidate.rule_id);
+                        quarantined_pairs.insert((candidate.zone.clone(), candidate.device_class));
+                        false
+                    }
+                    _ => true,
+                }
+            });
+            bank.open_now(hour);
+        }
+        let quarantined = quarantined_rules.len() as u64;
         let slot = &slot;
+
+        // 1. Plan, letting the slot draw on the carry-over reserve.
         let (bits, spent) = self.planner.plan_slot(slot, &mut self.rng);
-        self.reserve_kwh = (slot.budget_kwh - spent).max(0.0);
 
         // 2. Translate the plan into firewall state. ACCEPT rules go first
-        //    (first match wins), then DROPs for dropped pairs.
+        //    (first match wins), then DROPs for dropped and quarantined
+        //    pairs.
         let mut adopted_pairs = BTreeSet::new();
         let mut dropped_pairs = BTreeSet::new();
         let mut adopted = Vec::new();
@@ -244,6 +412,8 @@ impl LocalController {
                 dropped.push(candidate.rule_id);
             }
         }
+        dropped.extend(quarantined_rules.iter().copied());
+        dropped_pairs.extend(quarantined_pairs.iter().cloned());
         {
             let mut chain = self.firewall.lock();
             chain.flush();
@@ -258,18 +428,32 @@ impl LocalController {
                 if adopted_pairs.contains(&(zone.clone(), *class)) {
                     continue;
                 }
+                let why = if quarantined_pairs.contains(&(zone.clone(), *class)) {
+                    "breaker quarantined"
+                } else {
+                    "plan dropped"
+                };
                 chain.append(FirewallRule {
                     matcher: Match::ZoneClass(zone.clone(), *class),
                     verdict: Verdict::Drop,
-                    comment: format!("imcf: plan dropped {class} rules in {zone}"),
+                    comment: format!("imcf: {why} {class} rules in {zone}"),
                 });
             }
         }
 
-        // 3. Actuate adopted rules; meter energy.
+        // 3. Actuate adopted rules; meter energy. A `Failed` outcome is
+        //    retried under the policy — each retry advances the virtual
+        //    chaos clock by the backoff, so the fault plan is re-drawn at a
+        //    later sim-time coordinate. Exhausted commands feed the
+        //    device's breaker and their planned energy is re-attributed to
+        //    the carry-over reserve (it was never consumed).
         let mut energy = 0.0;
         let mut delivered = 0;
         let mut blocked = 0;
+        let mut failed = 0;
+        let mut retried = 0;
+        let mut undelivered_kwh = 0.0;
+        let mut errors = Vec::new();
         for (candidate, keep) in slot.candidates.iter().zip(bits.iter()) {
             if !keep {
                 continue;
@@ -280,44 +464,87 @@ impl LocalController {
             else {
                 continue;
             };
-            match self.registry.dispatch(&cmd) {
-                Ok(CommandOutcome::Delivered(wire)) => {
-                    delivered += 1;
-                    energy += candidate.exec_kwh;
-                    self.meter
-                        .record(slot.hour_index, &candidate.zone, class, candidate.exec_kwh);
-                    self.bus.publish(Event::CommandDelivered { wire });
-                }
-                Ok(CommandOutcome::Blocked) => {
-                    blocked += 1;
-                    self.bus.publish(Event::CommandBlocked {
-                        host: candidate.zone.clone(),
-                    });
-                }
-                Ok(CommandOutcome::Offline) | Err(_) => {
-                    blocked += 1;
+            let uid = Self::thing_uid_for(&candidate.zone, class)
+                .unwrap_or_else(|| candidate.zone.clone());
+            self.chaos_tick.store(hour, Ordering::SeqCst);
+            let mut attempt: u32 = 1;
+            loop {
+                match self.registry.dispatch(&cmd) {
+                    Ok(CommandOutcome::Delivered(wire)) => {
+                        delivered += 1;
+                        energy += candidate.exec_kwh;
+                        self.meter
+                            .record(hour, &candidate.zone, class, candidate.exec_kwh);
+                        self.breakers.lock().breaker(&uid).record_success();
+                        self.bus.publish(Event::CommandDelivered { wire });
+                        break;
+                    }
+                    Ok(CommandOutcome::Blocked) => {
+                        blocked += 1;
+                        self.bus.publish(Event::CommandBlocked {
+                            host: candidate.zone.clone(),
+                        });
+                        break;
+                    }
+                    Ok(CommandOutcome::Offline) | Err(_) => {
+                        blocked += 1;
+                        break;
+                    }
+                    Ok(CommandOutcome::Failed { reason }) => {
+                        if self.retry.should_retry(attempt) {
+                            retried += 1;
+                            imcf_telemetry::global().counter("actuation.retries").inc();
+                            let backoff = self.retry.backoff_ticks(attempt, &uid);
+                            self.chaos_tick.fetch_add(backoff, Ordering::SeqCst);
+                            attempt += 1;
+                        } else {
+                            failed += 1;
+                            imcf_telemetry::global().counter("actuation.gave_up").inc();
+                            self.breakers.lock().breaker(&uid).record_failure(hour);
+                            undelivered_kwh += candidate.exec_kwh;
+                            self.bus.publish(Event::CommandFailed {
+                                thing: uid.clone(),
+                                attempts: attempt,
+                                reason: reason.clone(),
+                            });
+                            errors.push(ControllerError::Actuation {
+                                thing: uid.clone(),
+                                attempts: attempt,
+                                source: reason,
+                            });
+                            break;
+                        }
+                    }
                 }
             }
         }
+        self.chaos_tick.store(hour, Ordering::SeqCst);
+        // Re-attribute the energy of commands that never landed: the plan
+        // charged it, no device consumed it, so it rejoins the reserve.
+        self.reserve_kwh = (slot.budget_kwh - spent).max(0.0) + undelivered_kwh;
 
         self.bus.publish(Event::PlanComputed {
-            hour_index: slot.hour_index,
+            hour_index: hour,
             adopted: adopted.clone(),
             dropped: dropped.clone(),
             energy_kwh: energy,
         });
-        self.bus.publish(Event::TickCompleted {
-            hour_index: slot.hour_index,
-        });
+        self.bus.publish(Event::TickCompleted { hour_index: hour });
 
-        TickSummary {
-            hour_index: slot.hour_index,
-            adopted,
-            dropped,
-            energy_kwh: energy,
-            delivered,
-            blocked,
-        }
+        (
+            TickSummary {
+                hour_index: hour,
+                adopted,
+                dropped,
+                energy_kwh: energy,
+                delivered,
+                blocked,
+                failed,
+                retried,
+                quarantined,
+            },
+            errors,
+        )
     }
 }
 
@@ -438,5 +665,152 @@ mod tests {
         let summary = c.tick(&slot);
         assert_eq!(summary.delivered, 0);
         assert_eq!(summary.blocked, 1);
+    }
+
+    #[test]
+    fn faulted_commands_retry_then_give_up_with_energy_reattributed() {
+        use imcf_chaos::FaultPlan;
+
+        let mut c = controller_with_zone("living");
+        let rx = c.bus().subscribe();
+        // Rate 1.0: every dispatch faults, so all 3 attempts burn out.
+        c.attach_chaos(FaultPlan::commands(5, 1.0));
+        let slot = PlanningSlot::new(0, vec![hvac_candidate("living", 22.0, 15.0, 0.6)], 1.0);
+        let (summary, errors) = c.tick_with_errors(&slot);
+        assert_eq!(summary.adopted.len(), 1, "plan still adopts the rule");
+        assert_eq!(summary.delivered, 0);
+        assert_eq!(summary.failed, 1);
+        assert_eq!(summary.retried, 2, "two retries after the first try");
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(
+            &errors[0],
+            ControllerError::Actuation { thing, attempts: 3, .. }
+                if thing == "imcf:hvac:living"
+        ));
+        // The undelivered 0.6 kWh rejoins the reserve: nothing was consumed.
+        assert!(
+            (c.reserve_kwh() - 1.0).abs() < 1e-9,
+            "reserve = {}",
+            c.reserve_kwh()
+        );
+        assert!((c.meter().total_kwh()).abs() < 1e-12);
+        // The failure is announced on the bus.
+        assert!(rx
+            .try_iter()
+            .any(|e| matches!(e, Event::CommandFailed { attempts: 3, .. })));
+        // Item state is untouched: last-known state survives the fault.
+        let item = c.registry().item("living_SetPoint").unwrap();
+        assert_eq!(item.state, imcf_devices::item::ItemState::Undefined);
+    }
+
+    #[test]
+    fn breaker_quarantines_flapping_device_then_recovers_half_open() {
+        use imcf_chaos::{BreakerState, FaultPlan};
+
+        let mut c = controller_with_zone("living");
+        c.attach_chaos(FaultPlan::commands(9, 1.0));
+        // Three consecutive failing ticks trip the default breaker.
+        for h in 0..3 {
+            let slot = PlanningSlot::new(h, vec![hvac_candidate("living", 22.0, 15.0, 0.1)], 1.0);
+            let (summary, _) = c.tick_with_errors(&slot);
+            assert_eq!(summary.failed, 1, "hour {h}");
+        }
+        // Open breaker: the candidate is quarantined before planning and
+        // the zone is firewalled off.
+        let slot = PlanningSlot::new(3, vec![hvac_candidate("living", 22.0, 15.0, 0.1)], 1.0);
+        let (summary, errors) = c.tick_with_errors(&slot);
+        assert_eq!(summary.quarantined, 1);
+        assert!(summary.adopted.is_empty());
+        assert_eq!(summary.failed, 0, "no dispatch while quarantined");
+        assert!(errors.is_empty());
+        assert!(c
+            .firewall()
+            .lock()
+            .render_script()
+            .contains("breaker quarantined"));
+        let snaps = c.breaker_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].state, BreakerState::Open);
+        assert_eq!(snaps[0].times_opened, 1);
+
+        // The fault clears; after the cooldown the half-open probe lands
+        // and the breaker closes again.
+        c.detach_chaos();
+        let slot = PlanningSlot::new(6, vec![hvac_candidate("living", 22.0, 15.0, 0.1)], 1.0);
+        let (summary, _) = c.tick_with_errors(&slot);
+        assert_eq!(summary.quarantined, 0, "cooldown elapsed: probe admitted");
+        assert_eq!(summary.delivered, 1);
+        let snaps = c.breaker_snapshots();
+        assert_eq!(snaps[0].state, BreakerState::Closed);
+        assert_eq!(snaps[0].times_opened, 1);
+    }
+
+    #[test]
+    fn transient_faults_heal_through_retry() {
+        use imcf_chaos::FaultPlan;
+
+        // A moderate fault rate over many ticks: some first tries fail but
+        // a later retry (at a backed-off virtual tick) succeeds, so
+        // retried > 0 while failed stays below the injected fault count.
+        let mut c = controller_with_zone("living");
+        c.attach_chaos(FaultPlan::commands(3, 0.4));
+        let mut retried = 0;
+        let mut failed = 0;
+        let mut delivered = 0;
+        for h in 0..60 {
+            let slot = PlanningSlot::new(h, vec![hvac_candidate("living", 22.0, 15.0, 0.1)], 1.0);
+            let (summary, _) = c.tick_with_errors(&slot);
+            retried += summary.retried;
+            failed += summary.failed;
+            delivered += summary.delivered;
+        }
+        let injected = c.registry().failed_count();
+        assert!(retried > 0, "some faults should trigger retries");
+        assert!(delivered > 0, "some commands should land");
+        assert!(
+            failed < injected,
+            "retries must heal some faults: failed={failed} injected={injected}"
+        );
+    }
+
+    #[test]
+    fn journal_surfaces_wal_faults_as_storage_errors() {
+        use imcf_chaos::{FaultPlan, StoreOp};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let dir = tempfile::tempdir().unwrap();
+        let mut table: imcf_store::Table<TickSummary> =
+            imcf_store::Table::open(dir.path(), "journal").unwrap();
+        let plan = FaultPlan::disabled(1).with_store_faults(1.0);
+        let op_index = Arc::new(AtomicU64::new(0));
+        table.set_wal_fault_hook(move |op| {
+            let i = op_index.fetch_add(1, Ordering::SeqCst);
+            let op = match op {
+                imcf_store::WalOp::Append => StoreOp::Append,
+                imcf_store::WalOp::Sync => StoreOp::Sync,
+            };
+            plan.store_fault(op, i)
+                .map(|f| std::io::Error::other(f.kind()))
+        });
+        let summary = TickSummary {
+            hour_index: 0,
+            adopted: vec![],
+            dropped: vec![],
+            energy_kwh: 0.0,
+            delivered: 0,
+            blocked: 0,
+            failed: 0,
+            retried: 0,
+            quarantined: 0,
+        };
+        let err = journal_tick(&mut table, &summary).unwrap_err();
+        assert!(matches!(err, ControllerError::Storage { .. }));
+        assert!(err.to_string().contains("storage"));
+        // The index never saw the failed insert.
+        assert_eq!(table.len(), 0);
+        // Clearing the hook restores service.
+        table.clear_wal_fault_hook();
+        assert!(journal_tick(&mut table, &summary).is_ok());
+        assert_eq!(table.len(), 1);
     }
 }

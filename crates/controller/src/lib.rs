@@ -23,7 +23,10 @@
 //! * [`polling`] — trigger-condition-aware adaptive sensor polling (after
 //!   RT-IFTTT, the paper's related work [29]);
 //! * [`prototype`] — the week-long three-resident prototype deployment
-//!   (paper §III-F, Tables IV and V).
+//!   (paper §III-F, Tables IV and V);
+//! * [`soak`] — the chaos soak harness driving the controller under an
+//!   `imcf-chaos` fault plan (device faults, store faults, sensor
+//!   outages, bus stalls) to measure survivability.
 
 pub mod api;
 pub mod bus;
@@ -35,9 +38,12 @@ pub mod firewall;
 pub mod polling;
 pub mod prototype;
 pub mod scheduler;
+pub mod soak;
 
 pub use bus::{Event, EventBus};
-pub use controller::{ControllerConfig, LocalController, TickSummary};
+pub use cloud::{CloudController, RateLimit, RelayError, RelayStats};
+pub use controller::{ControllerConfig, ControllerError, LocalController, TickSummary};
 pub use firewall::{Chain, FirewallRule, Verdict};
 pub use prototype::{PrototypeConfig, PrototypeOutcome};
 pub use scheduler::{CronSpec, Scheduler};
+pub use soak::{run_soak, SoakConfig, SoakOutcome};

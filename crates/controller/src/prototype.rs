@@ -201,6 +201,7 @@ pub fn run_prototype(config: PrototypeConfig) -> PrototypeOutcome {
     let mut controller = LocalController::new(
         ControllerConfig {
             planner: config.planner,
+            ..ControllerConfig::default()
         },
         calendar,
     );

@@ -1,0 +1,410 @@
+//! The chaos soak harness: a controller deployment ticked for days under
+//! an [`imcf_chaos::FaultPlan`].
+//!
+//! The soak wires every injection point at once — device-command faults
+//! through the registry injector, WAL write/fsync faults and a torn tail
+//! through the store hook, sensor freezes through an
+//! [`imcf_traces::outage::OutagePlan`], and a periodically stalled bus
+//! subscriber — then drives [`LocalController::tick_with_errors`] and
+//! reports what survived. Everything is sim-time deterministic: the same
+//! [`SoakConfig`] produces a byte-identical [`SoakOutcome`] regardless of
+//! process, thread count or query order, which is what lets the
+//! `chaos_soak` bench sweep fault rates under `imcf-pool` and still
+//! compare results exactly.
+
+use crate::controller::{journal_tick, ControllerConfig, LocalController, TickSummary};
+use imcf_chaos::{BreakerConfig, FaultPlan, RetryPolicy, StoreOp};
+use imcf_core::calendar::PaperCalendar;
+use imcf_core::candidate::{CandidateRule, PlanningSlot};
+use imcf_core::objective::convenience_error_fraction;
+use imcf_core::planner::PlannerConfig;
+use imcf_devices::energy::{DeviceEnergyModel, HvacModel, LightModel};
+use imcf_rules::action::DeviceClass;
+use imcf_rules::meta_rule::RuleId;
+use imcf_sim::illuminance::RoomLight;
+use imcf_sim::thermal::RoomThermalModel;
+use imcf_sim::weather::WeatherApi;
+use imcf_store::{Table, WalOp};
+use imcf_traces::outage::OutagePlan;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Soak scenario configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoakConfig {
+    /// Run seed (weather, planner jitter and — unless overridden — the
+    /// fault plan's own seed is expected to match).
+    pub seed: u64,
+    /// Ticks (hours) to run.
+    pub ticks: u64,
+    /// Zones provisioned (`zone0`, `zone1`, …), two devices each.
+    pub zones: usize,
+    /// The fault schedule.
+    pub plan: FaultPlan,
+    /// Actuation retry policy.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Expected sensor outages per week (0 disables the outage plan).
+    pub outage_rate_per_week: f64,
+    /// Weekly energy budget per zone, kWh.
+    pub weekly_budget_kwh: f64,
+    /// 1-based month the soak starts in.
+    pub month: u32,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            seed: 0,
+            ticks: 168,
+            zones: 3,
+            plan: FaultPlan::disabled(0),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            outage_rate_per_week: 0.0,
+            weekly_budget_kwh: 165.0,
+            month: 1,
+        }
+    }
+}
+
+/// What a soak run survived. Plain data, no wall-clock fields — byte
+/// identical for identical configs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoakOutcome {
+    /// The run seed.
+    pub seed: u64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Candidate rule instances planned.
+    pub instances: u64,
+    /// Commands delivered.
+    pub delivered: u64,
+    /// Commands blocked (firewall, offline, unprovisioned).
+    pub blocked: u64,
+    /// Commands that exhausted their retry budget.
+    pub failed: u64,
+    /// Retry attempts beyond first tries.
+    pub retried: u64,
+    /// Candidates excluded pre-plan by open breakers.
+    pub quarantined: u64,
+    /// Command faults the registry injector surfaced (includes faults
+    /// healed by a later retry).
+    pub faults_injected: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
+    /// Breakers that opened at least once and ended the run closed (the
+    /// half-open probe succeeded).
+    pub breakers_recovered: u64,
+    /// Journal inserts that failed with a storage error.
+    pub storage_errors: u64,
+    /// Rows readable from the journal after the final (possibly torn)
+    /// reopen; 0 without a journal.
+    pub journal_rows: u64,
+    /// Whether the final reopen was handed a torn WAL tail.
+    pub torn_reopen: bool,
+    /// Ticks during which the chaos subscriber stalled (did not drain).
+    pub stalled_ticks: u64,
+    /// Worst bus backlog observed at a drain point.
+    pub max_bus_backlog: u64,
+    /// Energy delivered over the run, kWh.
+    pub energy_kwh: f64,
+    /// Aggregate convenience error, percent (prototype-style attribution:
+    /// adopted rules cost nothing, dropped/quarantined/failed slots cost
+    /// their ambient deficiency).
+    pub fce_percent: f64,
+}
+
+/// Runs a soak scenario. With `journal_dir`, every tick summary is
+/// journaled to a WAL-backed table wired with the plan's store faults,
+/// and the journal is torn + reopened at the end per the plan.
+pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome {
+    let calendar = PaperCalendar::starting_in(config.month);
+    let weather = WeatherApi::new(
+        imcf_traces::generator::ClimateModel::mediterranean(),
+        calendar,
+        config.seed,
+    );
+    let hvac = HvacModel::split_unit_flat();
+    let light_model = LightModel::led_array();
+
+    let mut controller = LocalController::new(
+        ControllerConfig {
+            planner: PlannerConfig::default(),
+            retry: config.retry,
+            breaker: config.breaker,
+        },
+        calendar,
+    );
+    let zones: Vec<String> = (0..config.zones).map(|z| format!("zone{z}")).collect();
+    for zone in &zones {
+        // Fresh controller, fresh zone names: collisions are unreachable.
+        controller
+            .provision_zone(zone)
+            .expect("fresh controller has no zones"); // imcf-lint: allow(L001)
+    }
+    controller.attach_chaos(config.plan.clone());
+
+    // The chaos subscriber: drains the bus except on stalled ticks, so
+    // backlog builds and must be absorbed without blocking publishers.
+    let rx = controller.bus().subscribe();
+
+    let outage = (config.outage_rate_per_week > 0.0)
+        .then(|| OutagePlan::sample(config.ticks, config.outage_rate_per_week, 6, config.seed));
+
+    // Optional WAL-backed journal with injected store faults.
+    let mut journal: Option<Table<TickSummary>> = journal_dir.map(|dir| {
+        let mut table = Table::open(dir, "soak_journal").expect("journal dir must be creatable"); // imcf-lint: allow(L001)
+        let plan = config.plan.clone();
+        let op_index = Arc::new(AtomicU64::new(0));
+        table.set_wal_fault_hook(move |op| {
+            let i = op_index.fetch_add(1, Ordering::SeqCst);
+            let op = match op {
+                WalOp::Append => StoreOp::Append,
+                WalOp::Sync => StoreOp::Sync,
+            };
+            plan.store_fault(op, i).map(|fault| {
+                imcf_chaos::record_injection(fault.kind());
+                std::io::Error::other(fault.kind())
+            })
+        });
+        table
+    });
+
+    // One free-running thermal twin and light model per zone; outage
+    // windows freeze the *sensor reading* at its last healthy value while
+    // the twin keeps evolving underneath.
+    let mut twins: Vec<RoomThermalModel> =
+        zones.iter().map(|_| RoomThermalModel::flat(18.0)).collect();
+    let room_light = RoomLight::typical();
+    let mut frozen_temp: Vec<f64> = vec![18.0; zones.len()];
+    let mut frozen_light: f64 = 0.0;
+
+    let hourly_budget = config.weekly_budget_kwh * config.zones as f64 / (7.0 * 24.0);
+
+    let mut out = SoakOutcome {
+        seed: config.seed,
+        ticks: config.ticks,
+        instances: 0,
+        delivered: 0,
+        blocked: 0,
+        failed: 0,
+        retried: 0,
+        quarantined: 0,
+        faults_injected: 0,
+        breaker_opens: 0,
+        breakers_recovered: 0,
+        storage_errors: 0,
+        journal_rows: 0,
+        torn_reopen: false,
+        stalled_ticks: 0,
+        max_bus_backlog: 0,
+        energy_kwh: 0.0,
+        fce_percent: 0.0,
+    };
+    let mut ce_sum = 0.0;
+
+    for h in 0..config.ticks {
+        let sample = weather.sample(h);
+        let frozen = outage.as_ref().is_some_and(|o| o.covers(h));
+        for (zi, twin) in twins.iter_mut().enumerate() {
+            twin.step_free(sample.outdoor_c);
+            if !frozen {
+                frozen_temp[zi] = twin.indoor_c;
+            }
+        }
+        if !frozen {
+            frozen_light = room_light.perceived(sample.daylight);
+        }
+
+        let mut candidates = Vec::new();
+        for (zi, zone) in zones.iter().enumerate() {
+            let ambient_temp = frozen_temp[zi];
+            candidates.push(
+                CandidateRule::convenience(
+                    RuleId((zi * 2) as u32),
+                    22.0,
+                    ambient_temp,
+                    hvac.hourly_kwh(22.0, ambient_temp),
+                )
+                .in_zone(zone),
+            );
+            candidates.push(
+                CandidateRule::convenience(
+                    RuleId((zi * 2 + 1) as u32),
+                    50.0,
+                    frozen_light,
+                    light_model.hourly_kwh(50.0, frozen_light),
+                )
+                .in_zone(zone)
+                .for_class(DeviceClass::Light),
+            );
+        }
+        let slot = PlanningSlot::new(h, candidates, hourly_budget);
+        let (summary, errors) = controller.tick_with_errors(&slot);
+
+        out.delivered += summary.delivered;
+        out.blocked += summary.blocked;
+        out.failed += summary.failed;
+        out.retried += summary.retried;
+        out.quarantined += summary.quarantined;
+        debug_assert_eq!(errors.len() as u64, summary.failed);
+
+        // Convenience attribution over the *original* slot: a candidate
+        // the device never honoured (dropped, quarantined or failed)
+        // costs its ambient deficiency.
+        let failed_things: std::collections::BTreeSet<&str> = errors
+            .iter()
+            .filter_map(|e| match e {
+                crate::controller::ControllerError::Actuation { thing, .. } => Some(thing.as_str()),
+                _ => None,
+            })
+            .collect();
+        for candidate in &slot.candidates {
+            out.instances += 1;
+            let uid = match candidate.device_class {
+                DeviceClass::Hvac => format!("imcf:hvac:{}", candidate.zone),
+                DeviceClass::Light => format!("imcf:light:{}", candidate.zone),
+                DeviceClass::Meter => String::new(),
+            };
+            let honoured = summary.adopted.contains(&candidate.rule_id)
+                && !failed_things.contains(uid.as_str());
+            if !honoured {
+                ce_sum += convenience_error_fraction(candidate.desired, candidate.ambient);
+            }
+        }
+
+        if let Some(table) = journal.as_mut() {
+            if journal_tick(table, &summary).is_err() {
+                out.storage_errors += 1;
+            }
+        }
+
+        if config.plan.bus_stalled(h) {
+            out.stalled_ticks += 1;
+        } else {
+            out.max_bus_backlog = out.max_bus_backlog.max(rx.len() as u64);
+            for _ in rx.try_iter() {}
+        }
+    }
+
+    out.faults_injected = controller.registry().failed_count();
+    for snap in controller.breaker_snapshots() {
+        out.breaker_opens += snap.times_opened;
+        if snap.times_opened > 0 && snap.state == imcf_chaos::BreakerState::Closed {
+            out.breakers_recovered += 1;
+        }
+    }
+    out.energy_kwh = controller.meter().total_kwh();
+    out.fce_percent = if out.instances == 0 {
+        0.0
+    } else {
+        100.0 * ce_sum / out.instances as f64
+    };
+
+    // Tear the journal's WAL tail per the plan and prove a clean reopen.
+    drop(journal);
+    if let Some(dir) = journal_dir {
+        if let Some(bytes) = config.plan.torn_tail_bytes(0) {
+            let wal_path = dir.join("soak_journal.wal");
+            if let Ok(meta) = std::fs::metadata(&wal_path) {
+                let new_len = meta.len().saturating_sub(bytes);
+                if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&wal_path) {
+                    if file.set_len(new_len).is_ok() {
+                        out.torn_reopen = true;
+                    }
+                }
+            }
+        }
+        let reopened: Table<TickSummary> =
+            Table::open(dir, "soak_journal").expect("journal must reopen after a torn tail"); // imcf-lint: allow(L001)
+        out.journal_rows = reopened.len() as u64;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_soak_is_clean_and_deterministic() {
+        let config = SoakConfig {
+            ticks: 48,
+            zones: 2,
+            ..SoakConfig::default()
+        };
+        let a = run_soak(&config, None);
+        let b = run_soak(&config, None);
+        assert_eq!(a, b);
+        assert_eq!(a.failed, 0);
+        assert_eq!(a.retried, 0);
+        assert_eq!(a.quarantined, 0);
+        assert_eq!(a.faults_injected, 0);
+        assert_eq!(a.storage_errors, 0);
+        assert!(a.delivered > 0);
+    }
+
+    #[test]
+    fn faulty_soak_injects_retries_and_survives() {
+        let config = SoakConfig {
+            seed: 7,
+            ticks: 120,
+            zones: 2,
+            plan: FaultPlan::commands(7, 0.2),
+            ..SoakConfig::default()
+        };
+        let out = run_soak(&config, None);
+        assert!(out.faults_injected > 0, "{out:?}");
+        assert!(out.retried > 0, "{out:?}");
+        assert!(out.delivered > 0, "{out:?}");
+        // Byte-identical reproduction.
+        let json_a = serde_json::to_string(&out).unwrap();
+        let json_b = serde_json::to_string(&run_soak(&config, None)).unwrap();
+        assert_eq!(json_a, json_b);
+    }
+
+    #[test]
+    fn fault_rate_monotonically_degrades_convenience() {
+        let base = SoakConfig {
+            seed: 3,
+            ticks: 96,
+            zones: 2,
+            ..SoakConfig::default()
+        };
+        let clean = run_soak(&base, None);
+        let noisy = run_soak(
+            &SoakConfig {
+                plan: FaultPlan::commands(3, 0.4),
+                ..base.clone()
+            },
+            None,
+        );
+        assert!(
+            noisy.fce_percent >= clean.fce_percent,
+            "clean {} vs noisy {}",
+            clean.fce_percent,
+            noisy.fce_percent
+        );
+        assert!(noisy.failed > 0 || noisy.retried > 0);
+    }
+
+    #[test]
+    fn outage_and_faults_compose() {
+        let config = SoakConfig {
+            seed: 11,
+            ticks: 96,
+            zones: 2,
+            plan: FaultPlan::commands(11, 0.15),
+            outage_rate_per_week: 3.0,
+            ..SoakConfig::default()
+        };
+        let out = run_soak(&config, None);
+        assert_eq!(out.ticks, 96);
+        assert!(out.delivered > 0);
+    }
+}

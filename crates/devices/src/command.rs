@@ -113,6 +113,13 @@ pub enum CommandOutcome {
     Blocked,
     /// The destination thing is offline.
     Offline,
+    /// Lost or rejected in flight (dropped on the wire, wedged actuator,
+    /// injected fault). Carries the failure reason; the device state is
+    /// left untouched.
+    Failed {
+        /// Why delivery failed (e.g. `cmd_drop`, `cmd_stuck`).
+        reason: String,
+    },
 }
 
 impl fmt::Display for CommandOutcome {
@@ -121,6 +128,7 @@ impl fmt::Display for CommandOutcome {
             CommandOutcome::Delivered(wire) => write!(f, "delivered: {wire}"),
             CommandOutcome::Blocked => write!(f, "blocked by firewall"),
             CommandOutcome::Offline => write!(f, "thing offline"),
+            CommandOutcome::Failed { reason } => write!(f, "delivery failed: {reason}"),
         }
     }
 }
@@ -202,5 +210,12 @@ mod tests {
     fn outcome_display() {
         assert_eq!(CommandOutcome::Blocked.to_string(), "blocked by firewall");
         assert_eq!(CommandOutcome::Offline.to_string(), "thing offline");
+        assert_eq!(
+            CommandOutcome::Failed {
+                reason: "cmd_drop".into()
+            }
+            .to_string(),
+            "delivery failed: cmd_drop"
+        );
     }
 }

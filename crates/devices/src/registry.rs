@@ -49,6 +49,11 @@ impl std::error::Error for RegistryError {}
 /// Egress filter verdict for a command about to leave the controller.
 pub type EgressFilter = dyn Fn(&Thing, &Command) -> bool + Send + Sync;
 
+/// Fault injector consulted after the egress filter: `Some(reason)` fails
+/// the delivery with [`CommandOutcome::Failed`]. Installed by the chaos
+/// plane; the registry itself knows nothing about fault *schedules*.
+pub type FaultInjector = dyn Fn(&Thing, &Command) -> Option<String> + Send + Sync;
+
 /// The Local Controller's device inventory.
 ///
 /// Interior mutability (`parking_lot::RwLock`) lets the controller share one
@@ -64,8 +69,10 @@ struct Inner {
     things: BTreeMap<ThingUid, Thing>,
     items: BTreeMap<String, Item>,
     egress: Option<Arc<EgressFilter>>,
+    faults: Option<Arc<FaultInjector>>,
     delivered: u64,
     blocked: u64,
+    failed: u64,
 }
 
 impl DeviceRegistry {
@@ -156,11 +163,27 @@ impl DeviceRegistry {
         self.inner.write().egress = None;
     }
 
+    /// Installs a fault injector. It runs *after* the egress filter (a
+    /// firewall DROP wins over an in-flight fault); returning
+    /// `Some(reason)` fails the delivery with [`CommandOutcome::Failed`]
+    /// and leaves item state untouched.
+    pub fn set_fault_injector<F>(&self, injector: F)
+    where
+        F: Fn(&Thing, &Command) -> Option<String> + Send + Sync + 'static,
+    {
+        self.inner.write().faults = Some(Arc::new(injector));
+    }
+
+    /// Removes the fault injector.
+    pub fn clear_fault_injector(&self) {
+        self.inner.write().faults = None;
+    }
+
     /// Dispatches a command: resolves the destination thing, consults the
     /// egress filter, renders the wire form and reflects the new state into
     /// linked items.
     pub fn dispatch(&self, cmd: &Command) -> Result<CommandOutcome, RegistryError> {
-        let filter = {
+        let (filter, injector, thing) = {
             let inner = self.inner.read();
             let thing = inner
                 .things
@@ -169,12 +192,18 @@ impl DeviceRegistry {
             if !thing.online {
                 return Ok(CommandOutcome::Offline);
             }
-            inner.egress.clone().map(|f| (f, thing.clone()))
+            (inner.egress.clone(), inner.faults.clone(), thing.clone())
         };
-        if let Some((f, thing)) = filter {
+        if let Some(f) = filter {
             if !f(&thing, cmd) {
                 self.inner.write().blocked += 1;
                 return Ok(CommandOutcome::Blocked);
+            }
+        }
+        if let Some(inject) = injector {
+            if let Some(reason) = inject(&thing, cmd) {
+                self.inner.write().failed += 1;
+                return Ok(CommandOutcome::Failed { reason });
             }
         }
         let mut inner = self.inner.write();
@@ -204,6 +233,11 @@ impl DeviceRegistry {
     pub fn counters(&self) -> (u64, u64) {
         let inner = self.inner.read();
         (inner.delivered, inner.blocked)
+    }
+
+    /// Number of dispatches failed by the fault injector.
+    pub fn failed_count(&self) -> u64 {
+        self.inner.read().failed
     }
 }
 
@@ -262,6 +296,50 @@ mod tests {
             reg.dispatch(&cmd).unwrap(),
             CommandOutcome::Delivered(_)
         ));
+    }
+
+    #[test]
+    fn fault_injector_fails_delivery_without_touching_state() {
+        let (reg, ch) = setup();
+        reg.set_fault_injector(|thing, _| {
+            (thing.host == "192.168.0.5").then(|| "cmd_drop".to_string())
+        });
+        let cmd = Command::binding(
+            ch,
+            CommandPayload::SetTemperature {
+                celsius: 24.0,
+                cooling: true,
+            },
+        );
+        assert_eq!(
+            reg.dispatch(&cmd).unwrap(),
+            CommandOutcome::Failed {
+                reason: "cmd_drop".into()
+            }
+        );
+        // Neither delivered nor blocked; the failure has its own counter.
+        assert_eq!(reg.counters(), (0, 0));
+        assert_eq!(reg.failed_count(), 1);
+        assert_eq!(
+            reg.item("DaikinACUnit_SetPoint").unwrap().state,
+            ItemState::Undefined
+        );
+        reg.clear_fault_injector();
+        assert!(matches!(
+            reg.dispatch(&cmd).unwrap(),
+            CommandOutcome::Delivered(_)
+        ));
+        assert_eq!(reg.failed_count(), 1);
+    }
+
+    #[test]
+    fn firewall_drop_wins_over_fault_injection() {
+        let (reg, ch) = setup();
+        reg.set_egress_filter(|_, _| false);
+        reg.set_fault_injector(|_, _| Some("cmd_drop".into()));
+        let cmd = Command::binding(ch, CommandPayload::Power(true));
+        assert_eq!(reg.dispatch(&cmd).unwrap(), CommandOutcome::Blocked);
+        assert_eq!(reg.failed_count(), 0);
     }
 
     #[test]

@@ -85,6 +85,7 @@ proptest! {
                 }
                 CommandOutcome::Blocked => blocked += 1,
                 CommandOutcome::Offline => prop_assert!(false, "thing is online"),
+                CommandOutcome::Failed { .. } => prop_assert!(false, "no fault injector installed"),
             }
         }
         prop_assert_eq!(registry.counters(), (delivered, blocked));

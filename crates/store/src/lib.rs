@@ -32,4 +32,4 @@ pub mod wal;
 
 pub use store::{Store, StoreError};
 pub use table::Table;
-pub use wal::Wal;
+pub use wal::{Wal, WalOp};

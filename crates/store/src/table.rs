@@ -206,6 +206,22 @@ impl<T: Serialize + DeserializeOwned + Clone> Table<T> {
     pub fn wal_bytes(&self) -> u64 {
         self.wal.len_bytes()
     }
+
+    /// Installs a fault hook on the underlying WAL (see
+    /// [`Wal::set_fault_hook`]). Injected errors surface from `insert` /
+    /// `update` / `delete` / `sync` as [`TableError::Io`]; the in-memory
+    /// index is not mutated when the log write fails.
+    pub fn set_wal_fault_hook<F>(&mut self, hook: F)
+    where
+        F: Fn(crate::wal::WalOp) -> Option<io::Error> + Send + Sync + 'static,
+    {
+        self.wal.set_fault_hook(hook);
+    }
+
+    /// Removes the WAL fault hook.
+    pub fn clear_wal_fault_hook(&mut self) {
+        self.wal.clear_fault_hook();
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +339,41 @@ mod tests {
         let t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.scan().next().unwrap().1.user, "keep");
+    }
+
+    #[test]
+    fn injected_wal_fault_leaves_index_consistent() {
+        use crate::wal::WalOp;
+        let dir = tempfile::tempdir().unwrap();
+        let mut t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+        let id = t.insert(pref("stable", 1.0)).unwrap();
+        t.set_wal_fault_hook(|op| {
+            matches!(op, WalOp::Append).then(|| io::Error::other("injected: wal_write"))
+        });
+        assert!(matches!(
+            t.insert(pref("ghost", 2.0)),
+            Err(TableError::Io(_))
+        ));
+        assert!(matches!(
+            t.update(id, pref("stable", 9.0)),
+            Err(TableError::Io(_))
+        ));
+        assert!(matches!(t.delete(id), Err(TableError::Io(_))));
+        // The failed ops never touched the in-memory index.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id).unwrap().kwh_limit, 1.0);
+        // Sync-only faults: appends work again, sync fails.
+        t.set_wal_fault_hook(|op| {
+            matches!(op, WalOp::Sync).then(|| io::Error::other("injected: wal_sync"))
+        });
+        t.insert(pref("landed", 3.0)).unwrap();
+        assert!(matches!(t.sync(), Err(TableError::Io(_))));
+        t.clear_wal_fault_hook();
+        t.sync().unwrap();
+        // Everything that reported success is durable across reopen.
+        drop(t);
+        let t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

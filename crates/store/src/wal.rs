@@ -26,12 +26,27 @@ pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
 
 const HEADER_LEN: usize = 8;
 
+/// Fault hook consulted before each append / sync: `Some(err)` fails the
+/// operation with that error before any bytes reach the file. Installed by
+/// the chaos plane; the WAL knows nothing about fault *schedules*.
+pub type WalFaultHook = dyn Fn(WalOp) -> Option<io::Error> + Send + Sync;
+
+/// The WAL operation a fault hook is being consulted about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// A record append.
+    Append,
+    /// An fsync durability point.
+    Sync,
+}
+
 /// An append-only CRC-checked log file.
 pub struct Wal {
     path: PathBuf,
     file: File,
     /// Byte offset of the end of the last valid record.
     valid_len: u64,
+    faults: Option<std::sync::Arc<WalFaultHook>>,
 }
 
 impl Wal {
@@ -49,7 +64,25 @@ impl Wal {
             path,
             file,
             valid_len,
+            faults: None,
         })
+    }
+
+    /// Installs a fault hook consulted before every append and sync.
+    pub fn set_fault_hook<F>(&mut self, hook: F)
+    where
+        F: Fn(WalOp) -> Option<io::Error> + Send + Sync + 'static,
+    {
+        self.faults = Some(std::sync::Arc::new(hook));
+    }
+
+    /// Removes the fault hook.
+    pub fn clear_fault_hook(&mut self) {
+        self.faults = None;
+    }
+
+    fn injected_fault(&self, op: WalOp) -> Option<io::Error> {
+        self.faults.as_ref().and_then(|hook| hook(op))
     }
 
     fn scan_valid_prefix(file: &mut File) -> io::Result<u64> {
@@ -99,6 +132,9 @@ impl Wal {
             payload.len() as u64 <= MAX_RECORD_LEN as u64,
             "record too large"
         );
+        if let Some(err) = self.injected_fault(WalOp::Append) {
+            return Err(err);
+        }
         let file_len = self.file.metadata()?.len();
         if file_len != self.valid_len {
             self.file.set_len(self.valid_len)?;
@@ -115,6 +151,9 @@ impl Wal {
 
     /// Forces an fsync of the log file.
     pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(err) = self.injected_fault(WalOp::Sync) {
+            return Err(err);
+        }
         self.file.sync_data()
     }
 
@@ -261,6 +300,39 @@ mod tests {
         assert!(wal.read_all().unwrap().is_empty());
         wal.append(b"y").unwrap();
         assert_eq!(wal.read_all().unwrap(), vec![b"y".to_vec()]);
+    }
+
+    #[test]
+    fn fault_hook_fails_append_and_sync_then_recovers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let (_dir, mut wal) = temp_wal();
+        wal.append(b"before").unwrap();
+        let arm = Arc::new(AtomicBool::new(true));
+        let armed = arm.clone();
+        wal.set_fault_hook(move |op| {
+            armed.load(Ordering::SeqCst).then(|| {
+                io::Error::other(match op {
+                    WalOp::Append => "injected: wal_write",
+                    WalOp::Sync => "injected: wal_sync",
+                })
+            })
+        });
+        assert!(wal.append(b"lost").is_err());
+        assert!(wal.sync().is_err());
+        // The failed append wrote nothing.
+        assert_eq!(wal.read_all().unwrap(), vec![b"before".to_vec()]);
+        // Disarm: the log keeps working.
+        arm.store(false, Ordering::SeqCst);
+        wal.append(b"after").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(
+            wal.read_all().unwrap(),
+            vec![b"before".to_vec(), b"after".to_vec()]
+        );
+        wal.clear_fault_hook();
+        wal.append(b"clean").unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), 3);
     }
 
     #[test]

@@ -35,6 +35,18 @@ pub struct MetricDef {
 /// Every metric the workspace emits, sorted by name.
 pub const METRICS: &[MetricDef] = &[
     MetricDef {
+        name: "actuation.gave_up",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "commands that exhausted their retry budget undelivered",
+    },
+    MetricDef {
+        name: "actuation.retries",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "actuation retry attempts beyond first tries",
+    },
+    MetricDef {
         name: "amortization.recomputes",
         kind: MetricKind::Counter,
         labels: &[],
@@ -45,6 +57,18 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Counter,
         labels: &["status"],
         help: "REST API requests by response status",
+    },
+    MetricDef {
+        name: "breaker.open",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "circuit-breaker transitions to open (device quarantined)",
+    },
+    MetricDef {
+        name: "breaker.open_now",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "circuit breakers currently open",
     },
     MetricDef {
         name: "bus.published",
@@ -59,10 +83,22 @@ pub const METRICS: &[MetricDef] = &[
         help: "depth of the most backlogged bus subscriber queue",
     },
     MetricDef {
+        name: "bus.subscriber_panics",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "callback subscribers unsubscribed after panicking",
+    },
+    MetricDef {
         name: "bus.subscribers",
         kind: MetricKind::Gauge,
         labels: &[],
         help: "live bus subscriber count",
+    },
+    MetricDef {
+        name: "chaos.faults_injected",
+        kind: MetricKind::Counter,
+        labels: &["kind"],
+        help: "faults injected by the chaos plane, by kind",
     },
     MetricDef {
         name: "firewall.rule_hits",
@@ -111,6 +147,12 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Gauge,
         labels: &[],
         help: "worker threads of the most recent imcf-pool scope",
+    },
+    MetricDef {
+        name: "relay.rate_limited",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "cloud relay requests rejected by per-home rate limiting",
     },
     MetricDef {
         name: "rules.conflicts",

@@ -33,8 +33,11 @@ fn main() {
     }
     let events = controller.bus().subscribe();
 
-    // Persist tick summaries like the paper's MariaDB layer would.
+    // Persist tick summaries like the paper's MariaDB layer would. Start
+    // from a clean slate: a `ticks` table left by an older build may use
+    // a previous TickSummary schema.
     let dir = std::env::temp_dir().join("imcf-firewall-inspector");
+    let _ = std::fs::remove_dir_all(&dir);
     let store = Store::open(&dir).expect("store opens");
     let mut ticks = store
         .table::<imcf::controller::TickSummary>("ticks")

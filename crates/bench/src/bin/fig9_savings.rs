@@ -77,4 +77,10 @@ fn main() {
         ),
         Err(e) => eprintln!("warning: could not write artifacts: {e}"),
     }
+    if imcf_bench::harness::trace_artifact_requested() {
+        match imcf_bench::harness::write_trace_artifact("fig9_savings", &bundles[0], jobs) {
+            Ok(path) => println!("trace artifact: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write trace artifact: {e}"),
+        }
+    }
 }

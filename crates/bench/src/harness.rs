@@ -307,6 +307,60 @@ pub fn write_artifacts<T: serde::Serialize>(name: &str, results: &T) -> std::io:
     )
 }
 
+/// True when the operator asked experiments to emit trace artifacts
+/// (`IMCF_TRACE` set to anything but `0`).
+pub fn trace_artifact_requested() -> bool {
+    std::env::var("IMCF_TRACE").is_ok_and(|v| v != "0")
+}
+
+/// Captures the Chrome-trace JSON of a short parallel planning run over
+/// `bundle`: arms the flight recorder, plans the first `hours` slots on
+/// `jobs` workers, and exports the per-slot trace trees in slot order.
+///
+/// Trace identity is a pure function of `(seed, hour, index)` and span
+/// timestamps are the per-trace virtual clock, so the returned JSON is
+/// **byte-identical for every `jobs` value** — the tracing counterpart of
+/// the imcf-pool determinism contract (pinned by
+/// `tests/trace_determinism.rs`).
+pub fn capture_trace_json(bundle: &DatasetBundle, hours: usize, jobs: usize) -> String {
+    use imcf_telemetry::trace;
+
+    let plan = bundle.plan(ApKind::Eaf, 0.0);
+    let builder = SlotBuilder::new(&bundle.dataset, &plan);
+    let slots: Vec<_> = builder.iter().take(hours).collect();
+    let config = PlannerConfig::default();
+    let ids: Vec<trace::TraceId> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| trace::TraceId::derive(config.seed, s.hour_index, i as u64))
+        .collect();
+
+    let recorder = trace::recorder();
+    let was_enabled = recorder.is_enabled();
+    recorder.set_enabled(true);
+    let planner = EnergyPlanner::from_config(config).without_carry_over();
+    planner.plan_slots_parallel(slots, jobs);
+    let json = recorder.chrome_trace_json_for(&ids);
+    recorder.set_enabled(was_enabled);
+    json
+}
+
+/// Writes `<name>.trace.json` — the Chrome-trace capture of a short
+/// parallel planning run over `bundle` — into [`artifact_dir`]. Load the
+/// file in Chrome `about:tracing` or Perfetto to see per-slot spans and
+/// decision points.
+pub fn write_trace_artifact(
+    name: &str,
+    bundle: &DatasetBundle,
+    jobs: usize,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.trace.json"));
+    std::fs::write(&path, capture_trace_json(bundle, 48, jobs))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,43 @@
+//! Proves the tracing counterpart of the parallel evaluation contract:
+//! the Chrome-trace JSON captured from a parallel planning run is
+//! **byte-identical** at `--jobs 1` and `--jobs 4`.
+//!
+//! Trace ids derive from `(seed, hour, index)` and timestamps are the
+//! per-trace virtual clock, so neither worker count nor scheduling order
+//! can leak into the artifact. This is the file `IMCF_TRACE=1` attaches
+//! beside `<name>.telemetry.json`.
+
+use imcf_bench::harness::{capture_trace_json, DatasetBundle};
+use imcf_sim::building::DatasetKind;
+
+#[test]
+fn trace_artifact_is_byte_identical_across_worker_counts() {
+    let bundle = DatasetBundle::build(DatasetKind::Flat, 0);
+    let sequential = capture_trace_json(&bundle, 48, 1);
+    let parallel = capture_trace_json(&bundle, 48, 4);
+    assert_eq!(
+        sequential, parallel,
+        "trace JSON must not depend on worker count"
+    );
+
+    // The artifact is a loadable Chrome-trace envelope carrying the
+    // planner's spans and decision points for every captured slot.
+    let value: serde_json::Value =
+        serde_json::from_str(&sequential).expect("trace artifact is valid JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents envelope");
+    assert!(!events.is_empty());
+    for event in events {
+        let obj = event.as_object().expect("event is an object");
+        for field in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(
+                obj.iter().any(|(k, _)| k == field),
+                "event missing `{field}`: {event:?}"
+            );
+        }
+    }
+    assert!(sequential.contains("planner.plan_slot"));
+    assert!(sequential.contains("planner.decision"));
+}

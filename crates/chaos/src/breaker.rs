@@ -126,6 +126,17 @@ impl CircuitBreaker {
         self.reopen_at = tick + self.config.cooldown_ticks.max(1);
         self.times_opened += 1;
         imcf_telemetry::global().counter("breaker.open").inc();
+        if imcf_telemetry::trace::active() {
+            imcf_telemetry::trace::point(
+                "breaker.open",
+                &[
+                    ("tick", &tick.to_string()),
+                    ("reopen_at", &self.reopen_at.to_string()),
+                ],
+            );
+        }
+        // A device entering quarantine is an anomaly worth a flight dump.
+        imcf_telemetry::trace::recorder().trigger("breaker_open");
     }
 
     /// Lifetime count of closed/half-open → open transitions.

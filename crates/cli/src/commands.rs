@@ -607,6 +607,7 @@ pub fn chaos(argv: &[String]) -> Result<(), String> {
             "zones",
             "outage-rate",
             "journal",
+            "trace",
         ],
         min_positional: 0,
         max_positional: 0,
@@ -619,11 +620,20 @@ pub fn chaos(argv: &[String]) -> Result<(), String> {
     let zones = parsed.get_u64("zones", 2)? as usize;
     let outage_rate = parsed.get_f64("outage-rate", 0.0)?;
     let journal = parsed.get("journal").map(std::path::PathBuf::from);
+    let trace_path = parsed.get("trace").map(std::path::PathBuf::from);
     if !(0.0..=1.0).contains(&rate) || !(0.0..=1.0).contains(&store_rate) {
         return Err(String::from("fault rates must be within 0.0..=1.0"));
     }
     if ticks == 0 || zones == 0 {
         return Err(String::from("--ticks and --zones must be at least 1"));
+    }
+
+    // Arm the flight recorder before the soak so every tick's causal
+    // record is captured; the panic hook dumps mid-flight traces even if
+    // the run dies.
+    if trace_path.is_some() {
+        imcf_telemetry::trace::recorder().set_enabled(true);
+        imcf_telemetry::trace::install_panic_hook();
     }
 
     let config = imcf_controller::SoakConfig {
@@ -637,6 +647,195 @@ pub fn chaos(argv: &[String]) -> Result<(), String> {
     let outcome = imcf_controller::run_soak(&config, journal.as_deref());
     let json = serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?;
     println!("{json}");
+
+    if let Some(path) = &trace_path {
+        let recorder = imcf_telemetry::trace::recorder();
+        std::fs::write(path, recorder.chrome_trace_json())
+            .map_err(|e| format!("cannot write trace to `{}`: {e}", path.display()))?;
+        eprintln!(
+            "trace: wrote {} retained trace tree(s) to {} \
+             (load in Perfetto, or run `imcf trace explain <thing-uid> --input {}`)",
+            recorder.summaries().len(),
+            path.display(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// `imcf trace` — inspect flight-recorder dumps. The only verb today is
+/// `explain`, which renders the causal chain behind a command in plain
+/// text from a Chrome-trace JSON file (`imcf chaos --trace <path>`, a
+/// flight-recorder dump, or `GET /rest/traces?id=<trace>`).
+pub fn trace(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("explain") => trace_explain(&argv[1..]),
+        Some(other) => Err(format!(
+            "unknown trace subcommand `{other}` (try `explain`)"
+        )),
+        None => Err(String::from(
+            "usage: imcf trace explain <command-id> --input <trace.json>",
+        )),
+    }
+}
+
+/// One parsed Chrome-trace event, borrowed from the JSON document.
+struct TraceEvent<'a> {
+    name: &'a str,
+    ph: &'a str,
+    ts: f64,
+    trace: &'a str,
+    span: Option<&'a str>,
+    parent: Option<&'a str>,
+    attrs: Vec<(&'a str, &'a str)>,
+}
+
+fn parse_trace_events(doc: &serde_json::Value) -> Result<Vec<TraceEvent<'_>>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("not a Chrome-trace file: no `traceEvents` array")?;
+    let mut out = Vec::with_capacity(events.len());
+    for event in events {
+        let field = |key: &str| event.get(key).and_then(|v| v.as_str());
+        let Some(args) = event.get("args") else {
+            continue;
+        };
+        let arg = |key: &str| args.get(key).and_then(|v| v.as_str());
+        let (Some(name), Some(ph), Some(trace)) = (field("name"), field("ph"), arg("trace")) else {
+            continue;
+        };
+        let ts = match event.get("ts") {
+            Some(serde_json::Value::Number(n)) => n.as_f64(),
+            _ => 0.0,
+        };
+        let attrs = args
+            .as_object()
+            .map(|fields| {
+                fields
+                    .iter()
+                    .filter(|(k, _)| !matches!(k.as_str(), "trace" | "span" | "parent"))
+                    .filter_map(|(k, v)| v.as_str().map(|s| (k.as_str(), s)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push(TraceEvent {
+            name,
+            ph,
+            ts,
+            trace,
+            span: arg("span"),
+            parent: arg("parent"),
+            attrs,
+        });
+    }
+    Ok(out)
+}
+
+fn render_attrs(attrs: &[(&str, &str)]) -> String {
+    attrs
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// `imcf trace explain <command-id> --input <trace.json>`: finds every
+/// event referencing the command (a thing UID like `imcf:hvac:zone0`, or
+/// any attribute value) and prints its causal chain — root span down to
+/// the referencing event — in plain text.
+fn trace_explain(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &["input"],
+        min_positional: 1,
+        max_positional: 1,
+    };
+    let parsed = spec.parse(argv)?;
+    let needle = parsed
+        .positional(0)
+        .ok_or("missing <command-id> (a thing UID, e.g. `imcf:hvac:zone0`)")?;
+    let input = parsed
+        .get("input")
+        .ok_or("option `--input <trace.json>` is required")?;
+    let text = read_file(input)?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{input}: invalid JSON: {e}"))?;
+    let events = parse_trace_events(&doc)?;
+
+    let matches: Vec<&TraceEvent<'_>> = events
+        .iter()
+        .filter(|e| e.attrs.iter().any(|(_, v)| v.contains(needle)))
+        .collect();
+    if matches.is_empty() {
+        return Err(format!(
+            "no events referencing `{needle}` in `{input}` \
+             ({} events scanned)",
+            events.len()
+        ));
+    }
+
+    println!(
+        "{} event(s) referencing `{needle}` in `{input}`:\n",
+        matches.len()
+    );
+    for hit in matches {
+        // The causal chain: walk parent links from the referencing event
+        // (or its enclosing span) up to the trace root, then print
+        // root-first.
+        let spans_of_trace = |span: Option<&str>| -> Option<&TraceEvent<'_>> {
+            let id = span?;
+            events
+                .iter()
+                .find(|e| e.trace == hit.trace && e.ph == "X" && e.span == Some(id))
+        };
+        let mut chain: Vec<&TraceEvent<'_>> = Vec::new();
+        let mut cursor = hit.span;
+        let mut hops = 0;
+        while let Some(span_event) = spans_of_trace(cursor) {
+            // A malformed file could cycle; spans nest at most as deep as
+            // the event count.
+            hops += 1;
+            if hops > events.len() {
+                break;
+            }
+            chain.push(span_event);
+            cursor = span_event.parent;
+        }
+        chain.reverse();
+
+        let label = chain
+            .first()
+            .and_then(|root| root.attrs.iter().find(|(k, _)| *k == "label"))
+            .map(|(_, v)| *v)
+            .unwrap_or("?");
+        println!("trace {} ({label}):", hit.trace);
+        let mut depth = 0;
+        for span_event in &chain {
+            let is_hit = span_event.span == hit.span && hit.ph == "X";
+            println!(
+                "  {:indent$}{}{} [t{}] {}{}",
+                "",
+                if depth == 0 { "" } else { "\u{2514} " },
+                span_event.name,
+                span_event.ts,
+                render_attrs(&span_event.attrs),
+                if is_hit { "   <== match" } else { "" },
+                indent = depth * 2
+            );
+            depth += 1;
+        }
+        if hit.ph != "X" {
+            println!(
+                "  {:indent$}* {} [t{}] {}   <== match",
+                "",
+                hit.name,
+                hit.ts,
+                render_attrs(&hit.attrs),
+                indent = depth * 2
+            );
+        }
+        println!();
+    }
     Ok(())
 }
 
@@ -661,6 +860,41 @@ mod chaos_tests {
         assert!(chaos(&argv(&["--ticks", "0"]))
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    /// End-to-end: `chaos --trace` writes a Chrome-trace file that
+    /// `trace explain` can render a causal chain from.
+    #[test]
+    fn chaos_trace_round_trips_through_explain() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("chaos.trace.json");
+        let path_str = path.to_str().unwrap().to_string();
+        chaos(&argv(&[
+            "--ticks", "12", "--zones", "1", "--rate", "1.0", "--trace", &path_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("traceEvents"), "Chrome-trace envelope");
+        assert!(
+            text.contains("imcf:hvac:zone0"),
+            "names the device:\n{text}"
+        );
+
+        trace(&argv(&["explain", "imcf:hvac:zone0", "--input", &path_str])).unwrap();
+
+        let err = trace(&argv(&["explain", "no:such:thing", "--input", &path_str])).unwrap_err();
+        assert!(err.contains("no events referencing"), "err: {err}");
+    }
+
+    #[test]
+    fn trace_usage_errors() {
+        assert!(trace(&argv(&[])).unwrap_err().contains("usage"));
+        assert!(trace(&argv(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown trace subcommand"));
+        assert!(trace(&argv(&["explain", "imcf:hvac:zone0"]))
+            .unwrap_err()
+            .contains("--input"));
     }
 
     #[test]

@@ -31,6 +31,9 @@ USAGE:
   imcf schedule <loads-file> [--horizon H] [--headroom KWH]
   imcf chaos [--rate R] [--store-rate R] [--ticks N] [--seed N] [--zones N]
              [--outage-rate R] [--journal DIR]  (fault-injection soak run)
+             [--trace PATH]  (record causal traces; write Chrome-trace JSON)
+  imcf trace explain <command-id> --input <trace.json>
+             (render the causal chain behind a command in plain text)
 
 GLOBAL OPTIONS:
   --telemetry <path>    dump a JSON telemetry snapshot to <path> on exit
@@ -74,6 +77,7 @@ fn main() -> ExitCode {
         "workflow" => commands::workflow(rest),
         "schedule" => commands::schedule(rest),
         "chaos" => commands::chaos(rest),
+        "trace" => commands::trace(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

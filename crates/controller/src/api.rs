@@ -14,6 +14,8 @@
 //! GET  /rest/meter
 //! GET  /rest/breakers           (per-device circuit-breaker states)
 //! GET  /rest/metrics            (Prometheus text; `?format=json` for JSON)
+//! GET  /rest/traces             (flight-recorder summaries; `?id=<hex>`
+//!                                for one trace as Chrome-trace JSON)
 //! ```
 //!
 //! and answers with JSON, so a GUI, a test harness, or a TCP shim can drive
@@ -31,24 +33,38 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// An API response: HTTP-ish status plus a JSON body.
+/// Content type of the Prometheus text exposition format (version 0.0.4,
+/// the version Prometheus scrapers negotiate for plain text).
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Content type of JSON bodies.
+pub const JSON_CONTENT_TYPE: &str = "application/json";
+
+/// An API response: HTTP-ish status plus a body and its content type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code (200, 400, 404, 409).
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// MIME content type of the body.
+    pub content_type: &'static str,
 }
 
 impl Response {
     fn ok<T: Serialize>(value: &T) -> Response {
         match serde_json::to_string(value) {
-            Ok(body) => Response { status: 200, body },
+            Ok(body) => Response {
+                status: 200,
+                body,
+                content_type: JSON_CONTENT_TYPE,
+            },
             // A body that cannot serialize is a server bug; answer 500
             // rather than tearing down the API thread.
             Err(_) => Response {
                 status: 500,
                 body: String::from(r#"{"error":"response serialization failed"}"#),
+                content_type: JSON_CONTENT_TYPE,
             },
         }
     }
@@ -58,11 +74,24 @@ impl Response {
             status,
             body: serde_json::to_string(&serde_json::json!({ "error": message }))
                 .unwrap_or_else(|_| String::from(r#"{"error":"unrenderable error"}"#)),
+            content_type: JSON_CONTENT_TYPE,
         }
     }
 
     fn text(body: String) -> Response {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            body,
+            content_type: PROMETHEUS_CONTENT_TYPE,
+        }
+    }
+
+    fn json_text(body: String) -> Response {
+        Response {
+            status: 200,
+            body,
+            content_type: JSON_CONTENT_TYPE,
+        }
     }
 }
 
@@ -121,6 +150,7 @@ impl Router {
             ("GET", "/rest/meter") => self.get_meter(),
             ("GET", "/rest/breakers") => self.get_breakers(),
             ("GET", "/rest/metrics") => Self::get_metrics(query),
+            ("GET", "/rest/traces") => Self::get_traces(query),
             ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
             _ => Response::error(400, "expected `GET <path>` or `POST <path> <value>`"),
         };
@@ -133,9 +163,34 @@ impl Router {
     fn get_metrics(query: &str) -> Response {
         let telemetry = imcf_telemetry::global();
         if query.split('&').any(|kv| kv == "format=json") {
-            Response::text(telemetry.json_snapshot_string())
+            Response::json_text(telemetry.json_snapshot_string())
         } else {
             Response::text(telemetry.prometheus_text())
+        }
+    }
+
+    /// `GET /rest/traces` lists the flight recorder's retained traces;
+    /// `GET /rest/traces?id=<16-hex>` exports one as Chrome-trace JSON.
+    fn get_traces(query: &str) -> Response {
+        let recorder = imcf_telemetry::trace::recorder();
+        let id = query
+            .split('&')
+            .find_map(|kv| kv.strip_prefix("id="))
+            .filter(|v| !v.is_empty());
+        match id {
+            None => Response::ok(&serde_json::json!({
+                "enabled": recorder.is_enabled(),
+                "traces": recorder.summaries(),
+            })),
+            Some(hex) => {
+                let Some(id) = imcf_telemetry::trace::TraceId::from_hex(hex) else {
+                    return Response::error(400, &format!("invalid trace id `{hex}`"));
+                };
+                if recorder.trace(id).is_none() {
+                    return Response::error(404, &format!("no retained trace `{hex}`"));
+                }
+                Response::json_text(recorder.chrome_trace_json_for(&[id]))
+            }
         }
     }
 
@@ -378,6 +433,52 @@ mod tests {
         assert!(r.body.contains("imcf:hvac:den"), "body: {}", r.body);
         assert!(r.body.contains("Open"), "body: {}", r.body);
         assert!(r.body.contains("\"open\":1"), "body: {}", r.body);
+    }
+
+    #[test]
+    fn metrics_content_types() {
+        let (_c, router) = router_with_zone();
+        let r = router.handle("GET /rest/metrics");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, PROMETHEUS_CONTENT_TYPE);
+        let r = router.handle("GET /rest/metrics?format=json");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, JSON_CONTENT_TYPE);
+    }
+
+    #[test]
+    fn traces_endpoint_lists_and_exports() {
+        use imcf_telemetry::trace;
+
+        let (_c, router) = router_with_zone();
+        let recorder = trace::recorder();
+        let was_enabled = recorder.is_enabled();
+        recorder.set_enabled(true);
+        let id = trace::TraceId::derive(0xA91, 7, 0);
+        {
+            let _g = trace::begin(id, || "api-test".to_string());
+            let span = trace::span("api.work");
+            span.attr("step", "one");
+        }
+        recorder.set_enabled(was_enabled);
+
+        let r = router.handle("GET /rest/traces");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, JSON_CONTENT_TYPE);
+        assert!(r.body.contains(&id.to_hex()), "body: {}", r.body);
+        assert!(r.body.contains("api-test"), "body: {}", r.body);
+
+        let r = router.handle(&format!("GET /rest/traces?id={}", id.to_hex()));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, JSON_CONTENT_TYPE);
+        assert!(r.body.contains("traceEvents"), "body: {}", r.body);
+        assert!(r.body.contains("api.work"), "body: {}", r.body);
+
+        assert_eq!(router.handle("GET /rest/traces?id=zzzz").status, 400);
+        assert_eq!(
+            router.handle("GET /rest/traces?id=00000000000000ff").status,
+            404
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use imcf_rules::meta_rule::RuleId;
+use imcf_telemetry::trace;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -74,9 +75,24 @@ impl Event {
     }
 }
 
-/// One delivery target: a channel receiver or an in-process callback.
+/// An [`Event`] paired with the trace context that was current at the
+/// publish site, for subscribers that continue the causal chain on
+/// another thread. The event itself is unchanged — trace carriage is an
+/// envelope, not a payload field, so event equality and serialization
+/// stay exactly as before.
+#[derive(Debug, Clone)]
+pub struct TracedEvent {
+    /// The published event.
+    pub event: Event,
+    /// The publisher's trace context, when a trace was active.
+    pub context: Option<trace::TraceContext>,
+}
+
+/// One delivery target: a channel receiver (bare or context-carrying) or
+/// an in-process callback.
 enum Subscriber {
     Channel(Sender<Event>),
+    ContextChannel(Sender<TracedEvent>),
     Callback(Box<dyn Fn(&Event) + Send>),
 }
 
@@ -97,6 +113,19 @@ impl EventBus {
         let (tx, rx) = unbounded();
         let mut subs = self.subscribers.lock();
         subs.push(Subscriber::Channel(tx));
+        imcf_telemetry::global()
+            .gauge("bus.subscribers")
+            .set(subs.len() as f64);
+        rx
+    }
+
+    /// Subscribes; returns a receiver of all future events, each paired
+    /// with the publisher's [`trace::TraceContext`] so the consumer can
+    /// continue the causal chain (e.g. via `trace::begin_linked`).
+    pub fn subscribe_with_context(&self) -> Receiver<TracedEvent> {
+        let (tx, rx) = unbounded();
+        let mut subs = self.subscribers.lock();
+        subs.push(Subscriber::ContextChannel(tx));
         imcf_telemetry::global()
             .gauge("bus.subscribers")
             .set(subs.len() as f64);
@@ -130,11 +159,24 @@ impl EventBus {
     /// of per-subscriber backlog and the live count need the lock.
     pub fn publish(&self, event: Event) {
         let kind = event.kind();
+        // One context capture per publish: every context-carrying
+        // subscriber sees the same origin. Callbacks run inline on this
+        // thread, so spans they open nest under the publisher's trace
+        // without explicit propagation.
+        let context = trace::current_context();
+        let publish_span = trace::span("bus.publish");
+        publish_span.attr("event", kind);
         let mut panics: u64 = 0;
         let (lag, live) = {
             let mut subs = self.subscribers.lock();
             subs.retain(|sub| match sub {
                 Subscriber::Channel(tx) => tx.send(event.clone()).is_ok(),
+                Subscriber::ContextChannel(tx) => tx
+                    .send(TracedEvent {
+                        event: event.clone(),
+                        context,
+                    })
+                    .is_ok(),
                 Subscriber::Callback(cb) => {
                     // A subscriber that panics must not poison the bus or
                     // starve the subscribers after it in the list.
@@ -153,6 +195,7 @@ impl EventBus {
                 .iter()
                 .filter_map(|sub| match sub {
                     Subscriber::Channel(tx) => Some(tx.len()),
+                    Subscriber::ContextChannel(tx) => Some(tx.len()),
                     Subscriber::Callback(_) => None,
                 })
                 .max()
@@ -299,6 +342,71 @@ mod tests {
         bus.publish(Event::TickCompleted { hour_index: 2 });
         assert_eq!(seen.load(Ordering::SeqCst), 2);
         assert_eq!(bus.subscriber_count(), 3);
+    }
+
+    /// Satellite: trace context survives the publish → subscriber hop.
+    /// Inline callbacks nest spans straight into the publisher's trace;
+    /// context channels carry the `TraceContext` for cross-thread
+    /// continuation via `begin_linked`.
+    #[test]
+    fn trace_context_propagates_across_a_publish_hop() {
+        let bus = EventBus::new();
+        let ctx_rx = bus.subscribe_with_context();
+        bus.subscribe_fn(|event| {
+            let span = trace::span("subscriber.handle");
+            span.attr("event", event.kind());
+        });
+
+        let recorder = trace::recorder();
+        let was_enabled = recorder.is_enabled();
+        recorder.set_enabled(true);
+        let id = trace::TraceId::derive(0xB05, 4, 0);
+        {
+            let _guard = trace::begin(id, || "bus-hop".to_string());
+            let publisher_ctx = trace::current_context().expect("trace is active");
+            bus.publish(Event::TickCompleted { hour_index: 4 });
+
+            let traced = ctx_rx.try_recv().expect("context channel delivered");
+            assert_eq!(traced.event, Event::TickCompleted { hour_index: 4 });
+            let carried = traced.context.expect("publish captured the context");
+            assert_eq!(carried.trace_id, publisher_ctx.trace_id);
+
+            // Continue the chain on another thread, as a consumer would.
+            let handle = std::thread::spawn(move || {
+                let _linked =
+                    trace::begin_linked(trace::TraceId::derive(0xB05, 4, 1), carried, || {
+                        "bus-hop-continuation".to_string()
+                    });
+                trace::point("continuation", &[]);
+            });
+            handle.join().unwrap();
+        }
+        recorder.set_enabled(was_enabled);
+
+        // The publisher's tree holds the publish span and, nested inside
+        // it, the inline subscriber's span.
+        let tree = recorder.trace(id).expect("trace retained");
+        let publish = tree
+            .spans
+            .iter()
+            .find(|s| s.name == "bus.publish")
+            .expect("publish span recorded");
+        let handled = tree
+            .spans
+            .iter()
+            .find(|s| s.name == "subscriber.handle")
+            .expect("inline subscriber span recorded");
+        assert_eq!(handled.parent, Some(publish.id));
+        assert!(handled
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "event" && v == "tick_completed"));
+
+        // The continuation tree links back to the publisher's trace.
+        let cont = recorder
+            .trace(trace::TraceId::derive(0xB05, 4, 1))
+            .expect("continuation retained");
+        assert_eq!(cont.link.map(|(t, _)| t), Some(id.0));
     }
 
     #[test]

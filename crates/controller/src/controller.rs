@@ -48,6 +48,7 @@ use imcf_devices::thing::{Thing, ThingKind, ThingUid};
 use imcf_rules::action::DeviceClass;
 use imcf_rules::meta_rule::RuleId;
 use imcf_sim::meter::EnergyMeter;
+use imcf_telemetry::trace;
 use parking_lot::Mutex;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -176,6 +177,9 @@ pub struct LocalController {
     /// hour index by retry backoff so a re-attempt re-draws the fault
     /// plan at a later coordinate (sim-time passing, not wall clock).
     chaos_tick: Arc<AtomicU64>,
+    /// Seed for per-tick trace-id derivation (the planner seed, so trace
+    /// identity follows the same reproducibility contract as planning).
+    trace_seed: u64,
 }
 
 impl LocalController {
@@ -202,6 +206,7 @@ impl LocalController {
             retry: config.retry,
             breakers: Arc::new(Mutex::new(BreakerBank::new(config.breaker))),
             chaos_tick: Arc::new(AtomicU64::new(0)),
+            trace_seed: config.planner.seed,
         }
     }
 
@@ -365,6 +370,12 @@ impl LocalController {
     pub fn tick_with_errors(&mut self, slot: &PlanningSlot) -> (TickSummary, Vec<ControllerError>) {
         let _tick_span = imcf_telemetry::span!("scheduler.tick_micros");
         let hour = slot.hour_index;
+        // Arm a per-tick trace when the flight recorder is enabled. The id
+        // is derived, not drawn: the same (seed, hour) names the same
+        // trace in every run.
+        let _trace = trace::begin(trace::TraceId::derive(self.trace_seed, hour, 0), || {
+            format!("tick/{hour}")
+        });
         self.chaos_tick.store(hour, Ordering::SeqCst);
 
         // 0. Quarantine: candidates whose device breaker is open are pulled
@@ -380,6 +391,16 @@ impl LocalController {
             slot.candidates.retain(|candidate| {
                 match Self::thing_uid_for(&candidate.zone, candidate.device_class) {
                     Some(uid) if !bank.allows(&uid, hour) => {
+                        if trace::active() {
+                            trace::point(
+                                "breaker.quarantine",
+                                &[
+                                    ("thing", &uid),
+                                    ("rule", &candidate.rule_id.to_string()),
+                                    ("zone", &candidate.zone),
+                                ],
+                            );
+                        }
                         quarantined_rules.push(candidate.rule_id);
                         quarantined_pairs.insert((candidate.zone.clone(), candidate.device_class));
                         false
@@ -415,6 +436,7 @@ impl LocalController {
         dropped.extend(quarantined_rules.iter().copied());
         dropped_pairs.extend(quarantined_pairs.iter().cloned());
         {
+            let program_span = trace::span("firewall.program");
             let mut chain = self.firewall.lock();
             chain.flush();
             for (zone, class) in &adopted_pairs {
@@ -433,12 +455,33 @@ impl LocalController {
                 } else {
                     "plan dropped"
                 };
+                if trace::active() {
+                    let uid = Self::thing_uid_for(zone, *class).unwrap_or_else(|| zone.clone());
+                    trace::point(
+                        "firewall.drop_rule",
+                        &[
+                            ("thing", &uid),
+                            ("zone", zone),
+                            ("class", &class.to_string()),
+                            ("why", why),
+                        ],
+                    );
+                }
                 chain.append(FirewallRule {
                     matcher: Match::ZoneClass(zone.clone(), *class),
                     verdict: Verdict::Drop,
                     comment: format!("imcf: {why} {class} rules in {zone}"),
                 });
             }
+            if trace::active() {
+                program_span.attr("accepts", &adopted_pairs.len().to_string());
+                program_span.attr("drops", &dropped_pairs.len().to_string());
+            }
+        }
+        if quarantined > 0 {
+            // Quarantine DROPs are anomalies: ask the flight recorder for
+            // a dump (no-op while the recorder is disabled).
+            trace::recorder().trigger("quarantine_drop");
         }
 
         // 3. Actuate adopted rules; meter energy. A `Failed` outcome is
@@ -467,6 +510,11 @@ impl LocalController {
             let uid = Self::thing_uid_for(&candidate.zone, class)
                 .unwrap_or_else(|| candidate.zone.clone());
             self.chaos_tick.store(hour, Ordering::SeqCst);
+            let actuate_span = trace::span("actuate");
+            if trace::active() {
+                actuate_span.attr("thing", &uid);
+                actuate_span.attr("rule", &candidate.rule_id.to_string());
+            }
             let mut attempt: u32 = 1;
             loop {
                 match self.registry.dispatch(&cmd) {
@@ -476,11 +524,20 @@ impl LocalController {
                         self.meter
                             .record(hour, &candidate.zone, class, candidate.exec_kwh);
                         self.breakers.lock().breaker(&uid).record_success();
+                        if trace::active() {
+                            trace::point(
+                                "actuation.delivered",
+                                &[("thing", &uid), ("attempt", &attempt.to_string())],
+                            );
+                        }
                         self.bus.publish(Event::CommandDelivered { wire });
                         break;
                     }
                     Ok(CommandOutcome::Blocked) => {
                         blocked += 1;
+                        if trace::active() {
+                            trace::point("actuation.blocked", &[("thing", &uid)]);
+                        }
                         self.bus.publish(Event::CommandBlocked {
                             host: candidate.zone.clone(),
                         });
@@ -495,11 +552,32 @@ impl LocalController {
                             retried += 1;
                             imcf_telemetry::global().counter("actuation.retries").inc();
                             let backoff = self.retry.backoff_ticks(attempt, &uid);
+                            if trace::active() {
+                                trace::point(
+                                    "actuation.retry",
+                                    &[
+                                        ("thing", &uid),
+                                        ("attempt", &attempt.to_string()),
+                                        ("backoff_ticks", &backoff.to_string()),
+                                        ("reason", &reason),
+                                    ],
+                                );
+                            }
                             self.chaos_tick.fetch_add(backoff, Ordering::SeqCst);
                             attempt += 1;
                         } else {
                             failed += 1;
                             imcf_telemetry::global().counter("actuation.gave_up").inc();
+                            if trace::active() {
+                                trace::point(
+                                    "actuation.gave_up",
+                                    &[
+                                        ("thing", &uid),
+                                        ("attempts", &attempt.to_string()),
+                                        ("reason", &reason),
+                                    ],
+                                );
+                            }
                             self.breakers.lock().breaker(&uid).record_failure(hour);
                             undelivered_kwh += candidate.exec_kwh;
                             self.bus.publish(Event::CommandFailed {

@@ -225,6 +225,24 @@ impl Chain {
                 )
                 .inc();
         }
+        if imcf_telemetry::trace::active() {
+            let rule_label = match hit {
+                Some((index, rule)) if rule.comment.is_empty() => index.to_string(),
+                Some((_, rule)) => rule.comment.clone(),
+                None => match self.policy {
+                    Verdict::Accept => "policy accept".to_string(),
+                    Verdict::Drop => "policy drop".to_string(),
+                },
+            };
+            imcf_telemetry::trace::point(
+                "firewall.verdict",
+                &[
+                    ("thing", &thing.uid.to_string()),
+                    ("verdict", label),
+                    ("rule", &rule_label),
+                ],
+            );
+        }
         verdict
     }
 

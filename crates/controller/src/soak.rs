@@ -315,6 +315,10 @@ pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome 
                 if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&wal_path) {
                     if file.set_len(new_len).is_ok() {
                         out.torn_reopen = true;
+                        // Recovering from a torn WAL tail is an anomaly
+                        // worth a flight dump: the causal record of the
+                        // final ticks survives alongside the journal.
+                        imcf_telemetry::trace::recorder().trigger("wal_recovery");
                     }
                 }
             }
@@ -391,6 +395,60 @@ mod tests {
             noisy.fce_percent
         );
         assert!(noisy.failed > 0 || noisy.retried > 0);
+    }
+
+    /// Acceptance: a breaker opening mid-soak triggers the flight
+    /// recorder, and the dump on disk is a complete, Perfetto-loadable
+    /// trace tree naming the quarantined device.
+    #[test]
+    fn breaker_open_dumps_flight_recorder_trace() {
+        use imcf_telemetry::trace;
+
+        let dir = tempfile::tempdir().unwrap();
+        let recorder = trace::recorder();
+        let was_enabled = recorder.is_enabled();
+        recorder.set_enabled(true);
+        recorder.set_dump_dir(Some(dir.path().to_path_buf()));
+
+        let config = SoakConfig {
+            seed: 2,
+            ticks: 12,
+            zones: 1,
+            plan: FaultPlan::commands(2, 1.0),
+            ..SoakConfig::default()
+        };
+        let out = run_soak(&config, None);
+
+        recorder.set_dump_dir(None);
+        recorder.set_enabled(was_enabled);
+
+        assert!(
+            out.breaker_opens > 0,
+            "always-fault plan must trip: {out:?}"
+        );
+        let dump = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.contains("breaker_open"))
+            })
+            .expect("breaker_open trigger wrote a dump file");
+
+        let text = std::fs::read_to_string(&dump).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).expect("dump is valid JSON");
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("Chrome-trace envelope");
+        assert!(!events.is_empty(), "dump carries at least one event");
+        assert!(
+            text.contains("imcf:hvac:zone0") || text.contains("imcf:light:zone0"),
+            "dump names the quarantined device:\n{text}"
+        );
+        assert!(text.contains("breaker.open"), "open transition recorded");
     }
 
     #[test]

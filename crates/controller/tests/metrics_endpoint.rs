@@ -36,6 +36,10 @@ fn metrics_endpoint_reports_scenario_counters() {
 
     let resp = router.handle("GET /rest/metrics");
     assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.content_type, "text/plain; version=0.0.4",
+        "Prometheus scrapers negotiate text exposition 0.0.4"
+    );
     assert!(!resp.body.is_empty());
     for needle in ["firewall.verdicts", "planner.slot_micros", "api.requests"] {
         assert!(
@@ -51,6 +55,7 @@ fn metrics_endpoint_reports_scenario_counters() {
     // The JSON variant parses and carries the same metric names.
     let json = router.handle("GET /rest/metrics?format=json");
     assert_eq!(json.status, 200);
+    assert_eq!(json.content_type, "application/json");
     let value: serde_json::Value = serde_json::from_str(&json.body).expect("valid JSON snapshot");
     let metrics = value
         .get("metrics")

@@ -12,7 +12,7 @@ use crate::init::InitStrategy;
 use crate::objective::convenience_error_fraction;
 use crate::optimizer::{HillClimbing, Optimizer};
 use crate::solution::Solution;
-use imcf_telemetry::Stopwatch;
+use imcf_telemetry::{trace, Stopwatch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -245,13 +245,27 @@ impl<O: Optimizer> EnergyPlanner<O> {
         let slots_planned = telemetry.counter("planner.slots_planned");
         let start = Stopwatch::start();
         let outcomes = imcf_pool::map_indexed(jobs, slots, |index, slot| {
+            // Trace identity mirrors the seed derivation: a function of
+            // the slot's position only, so the trace a worker emits for
+            // slot `index` is byte-identical at every `--jobs N`.
+            let trace_guard = trace::begin(
+                trace::TraceId::derive(self.seed, slot.hour_index, index as u64),
+                || format!("plan/{}", slot.hour_index),
+            );
             let mut rng =
                 ChaCha8Rng::seed_from_u64(imcf_pool::derive_seed(self.seed, index as u64));
             let init = self.init.generate(slot.len(), &mut rng);
+            let tspan = trace::span("planner.plan_slot");
             let slot_start = Stopwatch::start();
             let (bits, obj) = self.optimizer.optimize(&slot, init, &mut rng);
             slot_micros.observe(slot_start.elapsed_micros() as f64);
             slots_planned.inc();
+            if trace::active() {
+                tspan.attr("optimizer", self.optimizer_name());
+                record_slot_decision(&slot, &bits, obj.energy_kwh);
+            }
+            drop(tspan);
+            drop(trace_guard);
             (slot, bits, obj.energy_kwh)
         });
         let mut report = PlanReport::empty();
@@ -268,6 +282,7 @@ impl<O: Optimizer> EnergyPlanner<O> {
             "planner.slot_micros",
             &[("optimizer", self.optimizer_name())],
         );
+        let tspan = trace::span("planner.plan_slot");
         let init = self.init.generate(slot.len(), rng);
         let slot_start = Stopwatch::start();
         let (bits, obj) = self.optimizer.optimize(slot, init, rng);
@@ -275,6 +290,10 @@ impl<O: Optimizer> EnergyPlanner<O> {
         imcf_telemetry::global()
             .counter("planner.slots_planned")
             .inc();
+        if trace::active() {
+            tspan.attr("optimizer", self.optimizer_name());
+            record_slot_decision(slot, &bits, obj.energy_kwh);
+        }
         (bits, obj.energy_kwh)
     }
 
@@ -283,6 +302,23 @@ impl<O: Optimizer> EnergyPlanner<O> {
     pub fn rng(&self) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(self.seed)
     }
+}
+
+/// Records the EP/AP amortization decision for one slot as a trace point:
+/// how many candidates were adopted vs dropped against which allowance.
+/// Call only under `trace::active()` — the attribute strings allocate.
+fn record_slot_decision(slot: &PlanningSlot, bits: &Solution, energy_kwh: f64) {
+    let adopted = bits.count_ones();
+    trace::point(
+        "planner.decision",
+        &[
+            ("hour", &slot.hour_index.to_string()),
+            ("adopted", &adopted.to_string()),
+            ("dropped", &(slot.len().saturating_sub(adopted)).to_string()),
+            ("energy_kwh", &format!("{energy_kwh:.6}")),
+            ("budget_kwh", &format!("{:.6}", slot.budget_kwh)),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -459,5 +495,31 @@ mod tests {
         assert_eq!(report.slots, 0);
         assert_eq!(report.fce_percent(), 0.0);
         assert_eq!(report.fe_kwh(), 0.0);
+    }
+
+    /// Satellite contract: the trace a parallel run emits for slot *i* is
+    /// identified — and laid out — the same at every worker count.
+    #[test]
+    fn parallel_slot_traces_are_identical_across_worker_counts() {
+        let recorder = trace::recorder();
+        recorder.set_enabled(true);
+        let planner = EnergyPlanner::from_config(PlannerConfig::default()).without_carry_over();
+        let ids: Vec<trace::TraceId> = day_slots()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| trace::TraceId::derive(0, s.hour_index, i as u64))
+            .collect();
+        planner.plan_slots_parallel(day_slots(), 1);
+        let sequential = recorder.chrome_trace_json_for(&ids);
+        planner.plan_slots_parallel(day_slots(), 4);
+        let parallel = recorder.chrome_trace_json_for(&ids);
+        assert!(
+            sequential.contains("planner.decision"),
+            "slot traces must carry the amortization decision: {sequential}"
+        );
+        assert_eq!(
+            sequential, parallel,
+            "per-slot traces must not depend on the worker count"
+        );
     }
 }

@@ -243,12 +243,11 @@ where
 }
 
 /// SplitMix64 finalizer: a bijective avalanche mix, so distinct task
-/// indices always map to distinct derived seeds.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+/// indices always map to distinct derived seeds. The definition lives in
+/// `imcf_telemetry::trace` (trace-id derivation shares it); this alias
+/// keeps the pool's seed contract pinned to the same bits.
+fn splitmix64(x: u64) -> u64 {
+    imcf_telemetry::trace::splitmix64(x)
 }
 
 /// Derives the RNG seed for task `task_index` of a run seeded with `seed`:

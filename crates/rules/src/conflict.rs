@@ -155,6 +155,19 @@ where
         imcf_telemetry::global()
             .counter("rules.conflicts")
             .add(out.len() as u64);
+        if imcf_telemetry::trace::active() {
+            for conflict in &out {
+                let kind = match conflict {
+                    Conflict::SetpointClash { .. } => "setpoint_clash",
+                    Conflict::Duplicate { .. } => "duplicate",
+                    Conflict::BudgetInfeasible { .. } => "budget_infeasible",
+                };
+                imcf_telemetry::trace::point(
+                    "rules.conflict",
+                    &[("kind", kind), ("detail", &conflict.to_string())],
+                );
+            }
+        }
     }
     out
 }

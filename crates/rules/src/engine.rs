@@ -99,6 +99,7 @@ impl RuleEngine {
         EVALUATIONS
             .get_or_init(|| imcf_telemetry::global().counter("rules.evaluations"))
             .inc();
+        let tspan = imcf_telemetry::trace::span("rules.evaluate");
         let mut eval = Evaluation::default();
 
         // Workflows first (lowest priority in the merge).
@@ -142,6 +143,12 @@ impl RuleEngine {
                 .insert(intent.action.device_class(), intent.clone());
         }
         eval.intents = layered;
+        if imcf_telemetry::trace::active() {
+            tspan.attr("hour", &env.hour.to_string());
+            tspan.attr("intents", &eval.intents.len().to_string());
+            tspan.attr("winners", &eval.winners.len().to_string());
+            tspan.attr("workflow_errors", &eval.workflow_errors.len().to_string());
+        }
         eval
     }
 }

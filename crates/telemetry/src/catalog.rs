@@ -149,6 +149,18 @@ pub const METRICS: &[MetricDef] = &[
         help: "worker threads of the most recent imcf-pool scope",
     },
     MetricDef {
+        name: "recorder.dumps",
+        kind: MetricKind::Counter,
+        labels: &["trigger"],
+        help: "flight-recorder anomaly dump triggers, by trigger reason",
+    },
+    MetricDef {
+        name: "recorder.traces",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "trace trees retained in the flight-recorder ring",
+    },
+    MetricDef {
         name: "relay.rate_limited",
         kind: MetricKind::Counter,
         labels: &[],
@@ -171,6 +183,18 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         labels: &[],
         help: "controller orchestration tick time, µs",
+    },
+    MetricDef {
+        name: "trace.completed",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "trace trees completed and handed to the flight recorder",
+    },
+    MetricDef {
+        name: "trace.spans",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "spans recorded across all traces",
     },
 ];
 

@@ -36,13 +36,21 @@ fn prometheus_name(name: &str) -> String {
         .collect()
 }
 
+/// Escapes a label value per the exposition format: backslash first (so
+/// the other escapes aren't double-escaped), then quote and newline.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn prometheus_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
     let mut pairs: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{v}\"", v = v.replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     if pairs.is_empty() {
         String::new()
@@ -197,6 +205,23 @@ mod tests {
         assert!(text.contains("# HELP firewall_verdicts firewall.verdicts"));
         assert!(text.contains("# TYPE firewall_verdicts counter"));
         assert!(text.contains("firewall_verdicts{verdict=\"drop\"} 3"));
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_backslash_quote_and_newline() {
+        let r = Registry::new();
+        r.counter_with("esc", &[("rule", "a\\b\"c\nd")]).inc();
+        let text = r.prometheus_text();
+        assert!(
+            text.contains(r#"esc{rule="a\\b\"c\nd"} 1"#),
+            "escaping must cover backslash, quote and newline: {text}"
+        );
+        // The sample must survive as a single exposition line — a raw
+        // newline in the value would split it.
+        assert!(
+            text.lines().any(|l| l == r#"esc{rule="a\\b\"c\nd"} 1"#),
+            "escaped value must stay on one line: {text}"
+        );
     }
 
     #[test]

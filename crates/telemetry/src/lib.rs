@@ -35,6 +35,7 @@ mod export;
 mod registry;
 mod ring;
 mod span;
+pub mod trace;
 
 pub use clock::Stopwatch;
 pub use registry::{global, Counter, Gauge, Histogram, Registry, DEFAULT_BUCKETS};

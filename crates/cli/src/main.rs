@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod net_commands;
 
 use std::process::ExitCode;
 
@@ -34,6 +35,14 @@ USAGE:
              [--trace PATH]  (record causal traces; write Chrome-trace JSON)
   imcf trace explain <command-id> --input <trace.json>
              (render the causal chain behind a command in plain text)
+  imcf serve [--port N] [--zones Z] [--duration-secs S] [--max-conns C]
+             [--read-timeout-ms MS] [--write-timeout-ms MS]
+             [--max-requests-per-conn R] [--burst B] [--refill-per-sec T]
+             (HTTP/1.1 network plane over a demo home; port 0 = ephemeral)
+  imcf loadgen --addr HOST:PORT [--connections K] [--requests M]
+             [--mix items,post,metrics,...] [--zone Z] [--timeout-ms MS]
+             [--out PATH] [--strict true]
+             (closed-loop load run; writes a JSON report with RPS + p50/p99/p999)
 
 GLOBAL OPTIONS:
   --telemetry <path>    dump a JSON telemetry snapshot to <path> on exit
@@ -78,6 +87,8 @@ fn main() -> ExitCode {
         "schedule" => commands::schedule(rest),
         "chaos" => commands::chaos(rest),
         "trace" => commands::trace(rest),
+        "serve" => net_commands::serve(rest),
+        "loadgen" => net_commands::loadgen(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

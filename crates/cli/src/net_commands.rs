@@ -1,0 +1,205 @@
+//! The network-plane subcommands: `imcf serve` and `imcf loadgen`.
+
+use crate::args::ArgSpec;
+use imcf_controller::api::Router;
+use imcf_controller::cloud::RateLimit;
+use imcf_controller::controller::{ControllerConfig, LocalController};
+use imcf_core::calendar::PaperCalendar;
+use imcf_net::loadgen::{self, LoadConfig};
+use imcf_net::server::NetConfig;
+use imcf_sim::meter::EnergyMeter;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `imcf serve` — run the HTTP/1.1 network plane over a demo home.
+///
+/// Provisions a [`LocalController`] with `--zones` zones (HVAC + light
+/// each), fronts its REST router with the `imcf-net` threaded server, and
+/// serves until `--duration-secs` elapses (0 = until stdin reaches EOF or
+/// a line saying `quit`), then shuts down gracefully, draining in-flight
+/// requests.
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &[
+            "port",
+            "zones",
+            "duration-secs",
+            "max-conns",
+            "read-timeout-ms",
+            "write-timeout-ms",
+            "max-requests-per-conn",
+            "burst",
+            "refill-per-sec",
+        ],
+        min_positional: 0,
+        max_positional: 0,
+    };
+    let parsed = spec.parse(argv)?;
+    let port = parsed.get_u64("port", 0)?;
+    let zones = parsed.get_u64("zones", 2)?.max(1) as usize;
+    let duration_secs = parsed.get_u64("duration-secs", 0)?;
+    let max_conns = parsed.get_u64("max-conns", 16)?.max(1) as usize;
+    let read_timeout = Duration::from_millis(parsed.get_u64("read-timeout-ms", 5000)?.max(1));
+    let write_timeout = Duration::from_millis(parsed.get_u64("write-timeout-ms", 5000)?.max(1));
+    let max_requests_per_conn = parsed.get_u64("max-requests-per-conn", 1000)?.max(1) as u32;
+    let burst = parsed.get_u64("burst", 0)?;
+    let refill_per_sec = parsed.get_f64("refill-per-sec", 10.0)?;
+    let rate_limit = (burst > 0).then_some(RateLimit {
+        burst: burst.min(u64::from(u32::MAX)) as u32,
+        refill_per_tick: refill_per_sec,
+    });
+
+    let mut controller =
+        LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
+    for z in 0..zones {
+        controller
+            .provision_zone(&format!("zone{z}"))
+            .map_err(|e| format!("cannot provision zone{z}: {e}"))?;
+    }
+    let router = Router::new(
+        controller.registry(),
+        controller.firewall(),
+        Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
+    )
+    .with_breakers(controller.breakers(), controller.chaos_clock());
+
+    let config = NetConfig {
+        addr: format!("127.0.0.1:{port}"),
+        max_connections: max_conns,
+        read_timeout,
+        write_timeout,
+        max_requests_per_conn,
+        rate_limit,
+        ..NetConfig::default()
+    };
+    let handle = imcf_net::serve(config, Arc::new(router))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    println!(
+        "imcf-net: serving {zones} zone(s) on {} (max-conns {max_conns}, keep-alive cap {max_requests_per_conn}{})",
+        handle.addr(),
+        match rate_limit {
+            Some(l) => format!(", edge bucket {}+{}/s", l.burst, l.refill_per_tick),
+            None => String::from(", no edge rate limit"),
+        }
+    );
+
+    if duration_secs > 0 {
+        std::thread::sleep(Duration::from_secs(duration_secs));
+    } else {
+        println!("imcf-net: reading stdin — EOF or `quit` shuts down");
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) if line.trim() == "quit" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+    println!("imcf-net: shutting down (draining in-flight requests)");
+    handle.shutdown();
+    Ok(())
+}
+
+/// `imcf loadgen` — drive a running `imcf serve` with a closed loop and
+/// report sustained RPS plus p50/p99/p999 latency.
+pub fn loadgen(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &[
+            "addr",
+            "connections",
+            "requests",
+            "mix",
+            "zone",
+            "timeout-ms",
+            "out",
+            "strict",
+        ],
+        min_positional: 0,
+        max_positional: 0,
+    };
+    let parsed = spec.parse(argv)?;
+    let addr = parsed
+        .get("addr")
+        .ok_or("--addr <host:port> is required (the address `imcf serve` printed)")?
+        .to_string();
+    let connections = parsed.get_u64("connections", 4)?.max(1) as usize;
+    let requests_per_conn = parsed.get_u64("requests", 100)?.max(1);
+    let mix_names = parsed
+        .get("mix")
+        .unwrap_or("items,item,post,firewall,metrics");
+    let zone = parsed.get("zone").unwrap_or("zone0");
+    let timeout = Duration::from_millis(parsed.get_u64("timeout-ms", 10_000)?.max(1));
+    let strict = matches!(parsed.get("strict"), Some("1") | Some("true"));
+
+    let config = LoadConfig {
+        addr,
+        connections,
+        requests_per_conn,
+        mix: loadgen::route_mix(mix_names, zone)?,
+        timeout,
+    };
+    let report = loadgen::run(&config)?;
+
+    println!(
+        "loadgen: {} conn × {} req against {} ({} routes: {})",
+        report.connections,
+        requests_per_conn,
+        config.addr,
+        config.mix.len(),
+        mix_names
+    );
+    println!(
+        "  completed {}/{} ({} reconnects, {} io errors) in {:.2} s — {:.0} req/s",
+        report.completed,
+        report.attempted,
+        report.reconnects,
+        report.io_errors,
+        report.wall_secs,
+        report.rps
+    );
+    println!(
+        "  status classes: 2xx={} 3xx={} 4xx={} 5xx={}",
+        report.class("2xx"),
+        report.class("3xx"),
+        report.class("4xx"),
+        report.class("5xx")
+    );
+    println!(
+        "  latency µs: p50={:.0} p99={:.0} p999={:.0} mean={:.0}",
+        report.p50_micros, report.p99_micros, report.p999_micros, report.mean_micros
+    );
+
+    let out_path = match parsed.get("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let dir =
+                std::env::var("IMCF_OUT").unwrap_or_else(|_| String::from("target/experiments"));
+            std::path::PathBuf::from(dir).join("loadgen.json")
+        }
+    };
+    if let Some(dir) = out_path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+    }
+    let json = serde_json::to_string_pretty(&report.to_json()).map_err(|e| e.to_string())?;
+    std::fs::write(&out_path, json)
+        .map_err(|e| format!("cannot write report to `{}`: {e}", out_path.display()))?;
+    println!("  report: {}", out_path.display());
+
+    if strict {
+        if report.class("2xx") == 0 {
+            return Err(String::from("strict check failed: zero 2xx responses"));
+        }
+        if report.class("5xx") > 0 {
+            return Err(format!(
+                "strict check failed: {} 5xx responses",
+                report.class("5xx")
+            ));
+        }
+    }
+    Ok(())
+}

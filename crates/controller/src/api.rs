@@ -40,15 +40,19 @@ pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 /// Content type of JSON bodies.
 pub const JSON_CONTENT_TYPE: &str = "application/json";
 
-/// An API response: HTTP-ish status plus a body and its content type.
+/// An API response: HTTP-ish status plus a body, its content type, and
+/// any extra headers a wire transport must carry (`Allow` on 405,
+/// `Retry-After` on 429/503).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
-    /// Status code (200, 400, 404, 409).
+    /// Status code (200, 400, 404, 405, 409, 429).
     pub status: u16,
     /// Response body.
     pub body: String,
     /// MIME content type of the body.
     pub content_type: &'static str,
+    /// Extra response headers (name, value) beyond the content type.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -58,6 +62,7 @@ impl Response {
                 status: 200,
                 body,
                 content_type: JSON_CONTENT_TYPE,
+                headers: Vec::new(),
             },
             // A body that cannot serialize is a server bug; answer 500
             // rather than tearing down the API thread.
@@ -65,6 +70,7 @@ impl Response {
                 status: 500,
                 body: String::from(r#"{"error":"response serialization failed"}"#),
                 content_type: JSON_CONTENT_TYPE,
+                headers: Vec::new(),
             },
         }
     }
@@ -75,6 +81,7 @@ impl Response {
             body: serde_json::to_string(&serde_json::json!({ "error": message }))
                 .unwrap_or_else(|_| String::from(r#"{"error":"unrenderable error"}"#)),
             content_type: JSON_CONTENT_TYPE,
+            headers: Vec::new(),
         }
     }
 
@@ -83,6 +90,7 @@ impl Response {
             status: 200,
             body,
             content_type: PROMETHEUS_CONTENT_TYPE,
+            headers: Vec::new(),
         }
     }
 
@@ -91,7 +99,43 @@ impl Response {
             status: 200,
             body,
             content_type: JSON_CONTENT_TYPE,
+            headers: Vec::new(),
         }
+    }
+
+    /// Adds one extra header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+
+    /// A `429 Too Many Requests` with a `Retry-After` hint, for edge
+    /// rate limiting (`u64::MAX` renders as a bare "later" of one hour).
+    pub fn too_many_requests(retry_after_secs: u64) -> Response {
+        let retry = retry_after_secs.min(3600);
+        Response::error(429, "rate limited by the edge token bucket")
+            .with_header("Retry-After", retry.to_string())
+    }
+
+    /// First value of an extra header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The 2xx/3xx/4xx/5xx class of a status code — the label granularity the
+/// `api.requests` metric uses, so dashboards and the loadgen report
+/// aggregate the same way.
+pub fn status_class(status: u16) -> &'static str {
+    match status {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        500..=599 => "5xx",
+        _ => "other",
     }
 }
 
@@ -127,6 +171,22 @@ impl Router {
         self
     }
 
+    /// The methods a known path answers, rendered for an `Allow` header;
+    /// `None` for unknown paths.
+    fn allowed_methods(path: &str) -> Option<&'static str> {
+        match path {
+            p if p
+                .strip_prefix("/rest/items/")
+                .is_some_and(|n| !n.is_empty()) =>
+            {
+                Some("GET, POST")
+            }
+            "/rest/items" | "/rest/things" | "/rest/firewall" | "/rest/meter"
+            | "/rest/breakers" | "/rest/metrics" | "/rest/traces" => Some("GET"),
+            _ => None,
+        }
+    }
+
     /// Handles one request line.
     pub fn handle(&self, request: &str) -> Response {
         let mut parts = request.splitn(3, ' ');
@@ -151,11 +211,22 @@ impl Router {
             ("GET", "/rest/breakers") => self.get_breakers(),
             ("GET", "/rest/metrics") => Self::get_metrics(query),
             ("GET", "/rest/traces") => Self::get_traces(query),
-            ("GET", _) | ("POST", _) => Response::error(404, "no such endpoint"),
-            _ => Response::error(400, "expected `GET <path>` or `POST <path> <value>`"),
+            _ if method.is_empty() || path.is_empty() || !path.starts_with('/') => {
+                Response::error(400, "expected `<METHOD> <path>` with an optional value")
+            }
+            // A known path with the wrong method is a 405 that names the
+            // methods it does answer, not a generic 404.
+            _ => match Self::allowed_methods(path) {
+                Some(allow) => Response::error(
+                    405,
+                    &format!("method `{method}` not allowed here (allow: {allow})"),
+                )
+                .with_header("Allow", allow.to_string()),
+                None => Response::error(404, "no such endpoint"),
+            },
         };
         imcf_telemetry::global()
-            .counter_with("api.requests", &[("status", &response.status.to_string())])
+            .counter_with("api.requests", &[("status", status_class(response.status))])
             .inc();
         response
     }
@@ -491,6 +562,44 @@ mod tests {
             400
         );
         assert_eq!(router.handle("GET /rest/unknown").status, 404);
-        assert_eq!(router.handle("DELETE /rest/items").status, 400);
+        assert_eq!(router.handle("DELETE /rest/unknown").status, 404);
+        assert_eq!(router.handle("").status, 400);
+        assert_eq!(router.handle("GET").status, 400);
+        assert_eq!(router.handle("GET not-a-path").status, 400);
+    }
+
+    /// An unknown method on a *known* path is a 405 naming the methods the
+    /// path does answer — not a generic 404.
+    #[test]
+    fn unknown_method_on_known_path_is_405_with_allow() {
+        let (_c, router) = router_with_zone();
+        let r = router.handle("DELETE /rest/items");
+        assert_eq!(r.status, 405);
+        assert_eq!(r.header("Allow"), Some("GET"));
+        let r = router.handle("PUT /rest/items/den_SetPoint 21");
+        assert_eq!(r.status, 405);
+        assert_eq!(r.header("Allow"), Some("GET, POST"));
+        let r = router.handle("POST /rest/metrics");
+        assert_eq!(r.status, 405);
+        assert_eq!(r.header("Allow"), Some("GET"));
+        // Query strings do not defeat path recognition.
+        let r = router.handle("POST /rest/traces?id=00ff");
+        assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn api_requests_label_is_a_status_class() {
+        assert_eq!(status_class(200), "2xx");
+        assert_eq!(status_class(409), "4xx");
+        assert_eq!(status_class(500), "5xx");
+        let (_c, router) = router_with_zone();
+        let before = imcf_telemetry::global()
+            .counter_with("api.requests", &[("status", "2xx")])
+            .get();
+        router.handle("GET /rest/items");
+        let after = imcf_telemetry::global()
+            .counter_with("api.requests", &[("status", "2xx")])
+            .get();
+        assert_eq!(after, before + 1);
     }
 }

@@ -100,6 +100,23 @@ impl std::fmt::Display for RelayError {
 
 impl std::error::Error for RelayError {}
 
+/// Constant-time byte-string equality for secret comparison.
+///
+/// An ordinary `==` on strings returns at the first mismatching byte, so
+/// response timing leaks how long a correct token prefix an attacker has
+/// guessed. This fold touches every byte of both inputs regardless of
+/// where (or whether) they differ; a length mismatch sets a bit in the
+/// same accumulator instead of branching early.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
 impl CloudController {
     /// Creates a relay without rate limiting.
     pub fn new() -> Self {
@@ -158,10 +175,9 @@ impl CloudController {
             let link = homes
                 .get_mut(home)
                 .ok_or_else(|| RelayError::UnknownHome(home.to_string()))?;
-            // Constant behaviour regardless of which check fails — do not
-            // leak whether a home id is valid through timing of the token
-            // comparison order.
-            if link.token != token {
+            // Constant-time comparison: timing must not leak how much of
+            // the token prefix matched.
+            if !constant_time_eq(link.token.as_bytes(), token.as_bytes()) {
                 link.stats.rejected += 1;
                 return Err(RelayError::Unauthorized);
             }
@@ -226,6 +242,30 @@ mod tests {
             .unwrap();
         assert!(r.body.contains("22"));
         assert_eq!(cc.stats("home-1").unwrap().forwarded, 2);
+    }
+
+    /// Regression for the bearer check: equality semantics are unchanged
+    /// by the constant-time rewrite — equal strings pass, every shape of
+    /// inequality (prefix, suffix, length, empty) fails.
+    #[test]
+    fn constant_time_eq_matches_ordinary_equality() {
+        let cases: &[(&str, &str)] = &[
+            ("s3cret", "s3cret"),
+            ("s3cret", "s3creT"),
+            ("s3cret", "s3cre"),
+            ("s3cret", "s3crets"),
+            ("s3cret", ""),
+            ("", ""),
+            ("", "x"),
+            ("a", "b"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                constant_time_eq(a.as_bytes(), b.as_bytes()),
+                a == b,
+                "constant_time_eq({a:?}, {b:?}) disagrees with =="
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A minimal blocking HTTP/1.1 client — just enough for the closed-loop
+//! load generator and the wire-level tests to drive the server without
+//! external dependencies.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, `Content-Length` bytes.
+    pub body: Vec<u8>,
+    /// Whether the server announced `Connection: close`.
+    pub closing: bool,
+}
+
+impl ClientResponse {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to the server.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects; `timeout` bounds reads and writes.
+    pub fn open(addr: &str, timeout: std::time::Duration) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request. `body` is appended with a `Content-Length`.
+    pub fn send(&mut self, method: &str, target: &str, body: &[u8]) -> io::Result<()> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: imcf\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()
+    }
+
+    /// Sends raw bytes verbatim (for malformed-input tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one response.
+    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
+        read_response(&mut self.reader)
+    }
+
+    /// One request/response round trip.
+    pub fn round_trip(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        self.send(method, target, body)?;
+        self.read_response()
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Parses one `HTTP/1.1 <status> ...` response off a buffered stream.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response",
+        ));
+    }
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| invalid("bad header"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let closing = headers
+        .iter()
+        .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"));
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+        closing,
+    })
+}

@@ -1,0 +1,32 @@
+//! `imcf-net` — the IMCF network plane.
+//!
+//! The paper's Meta-Control Firewall mediates between a cloud GUI and
+//! openHAB over REST; until this crate, the repo's REST surface
+//! ([`imcf_controller::api::Router`]) was purely in-process — no socket
+//! anywhere, so nothing could be load-tested or driven by an external
+//! client. `imcf-net` puts the router on a real wire:
+//!
+//! * [`server`] — a dependency-free threaded HTTP/1.1 server over
+//!   `std::net::TcpListener`: bounded worker/acceptor model with a hard
+//!   connection cap (503 + `Retry-After` on saturation), keep-alive with
+//!   per-connection request caps, strict parse limits, read/write
+//!   timeouts, per-home token-bucket enforcement at the edge (429), and
+//!   graceful shutdown that drains in-flight requests.
+//! * [`http`] — the wire parser and its fail-closed [`http::Limits`].
+//! * [`limiter`] — the PR-4 token bucket, wall-clock refilled, at the edge.
+//! * [`client`] — a minimal blocking HTTP/1.1 client.
+//! * [`loadgen`] — the closed-loop load generator behind `imcf loadgen`,
+//!   reporting p50/p99/p999 from `imcf-telemetry` histograms.
+//!
+//! The whole plane is compat-shim-world native: no tokio, no hyper —
+//! `std::net` + threads, same as the deterministic pool underneath the
+//! planner.
+
+pub mod client;
+pub mod http;
+pub mod limiter;
+pub mod loadgen;
+pub mod server;
+
+pub use http::Limits;
+pub use server::{serve, NetConfig, ServerHandle};

@@ -1,0 +1,120 @@
+//! Edge enforcement of the per-home token bucket (PR 4) at the socket
+//! boundary.
+//!
+//! The cloud relay's [`imcf_controller::cloud::RateLimit`] protects a home
+//! from a runaway APP *behind* the relay; this limiter applies the same
+//! bucket shape at the network edge, so an abusive client burns a cheap
+//! 429 in the server's worker thread instead of a controller dispatch. One
+//! [`EdgeLimiter`] guards one home's listener (the `imcf-net` server
+//! fronts a single Local Controller), refilled by wall-clock seconds —
+//! the edge lives outside the deterministic core, so real time is the
+//! honest clock here.
+
+use imcf_controller::cloud::RateLimit;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// A wall-clock token bucket with the PR-4 [`RateLimit`] shape:
+/// `burst` capacity, `refill_per_tick` tokens per second (the edge maps
+/// one relay tick to one second).
+pub struct EdgeLimiter {
+    limit: RateLimit,
+    state: Mutex<BucketState>,
+}
+
+/// The outcome of asking the limiter for one request's worth of budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Within budget; the request may proceed.
+    Admitted,
+    /// Over budget; answer 429 with this `Retry-After` value in seconds
+    /// (at least 1, rounded up to when a whole token exists again).
+    Limited {
+        /// Whole seconds until a token is available.
+        retry_after_secs: u64,
+    },
+}
+
+impl EdgeLimiter {
+    /// A full bucket under `limit`.
+    pub fn new(limit: RateLimit) -> Self {
+        EdgeLimiter {
+            limit,
+            state: Mutex::new(BucketState {
+                tokens: f64::from(limit.burst),
+                last_refill: Instant::now(),
+            }),
+        }
+    }
+
+    /// Spends one token, refilling for the elapsed time first.
+    pub fn admit(&self) -> Admission {
+        let mut state = self.state.lock();
+        let now = Instant::now();
+        let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+        state.last_refill = now;
+        state.tokens =
+            (state.tokens + elapsed * self.limit.refill_per_tick).min(f64::from(self.limit.burst));
+        if state.tokens >= 1.0 {
+            state.tokens -= 1.0;
+            return Admission::Admitted;
+        }
+        let deficit = 1.0 - state.tokens;
+        let retry_after_secs = if self.limit.refill_per_tick > 0.0 {
+            (deficit / self.limit.refill_per_tick).ceil().max(1.0) as u64
+        } else {
+            // Never refills: the client can only wait for an operator.
+            u64::MAX
+        };
+        Admission::Limited { retry_after_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_limited() {
+        let limiter = EdgeLimiter::new(RateLimit {
+            burst: 3,
+            refill_per_tick: 0.0,
+        });
+        for _ in 0..3 {
+            assert_eq!(limiter.admit(), Admission::Admitted);
+        }
+        assert!(matches!(limiter.admit(), Admission::Limited { .. }));
+    }
+
+    #[test]
+    fn refill_restores_budget() {
+        let limiter = EdgeLimiter::new(RateLimit {
+            burst: 1,
+            refill_per_tick: 1000.0,
+        });
+        assert_eq!(limiter.admit(), Admission::Admitted);
+        // At 1000 tokens/sec even a millisecond of wall time refills one.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(limiter.admit(), Admission::Admitted);
+    }
+
+    #[test]
+    fn retry_after_reflects_refill_rate() {
+        let limiter = EdgeLimiter::new(RateLimit {
+            burst: 1,
+            refill_per_tick: 0.1,
+        });
+        assert_eq!(limiter.admit(), Admission::Admitted);
+        match limiter.admit() {
+            Admission::Limited { retry_after_secs } => {
+                assert!((1..=10).contains(&retry_after_secs), "{retry_after_secs}");
+            }
+            Admission::Admitted => panic!("bucket of 1 must be dry"),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end tests: a real TCP client against the full stack — router
+//! routes, keep-alive reuse, the edge token bucket (429), saturation
+//! (503), and graceful shutdown with zero dropped in-flight responses.
+
+mod common;
+
+use common::{quick_config, start, CLIENT_TIMEOUT};
+use imcf_controller::cloud::RateLimit;
+use imcf_net::client::Connection;
+use imcf_net::NetConfig;
+use std::time::Duration;
+
+#[test]
+fn routes_work_end_to_end_on_one_keep_alive_connection() {
+    let server = start(quick_config());
+    let addr = server.addr().to_string();
+
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+
+    // Items listing names the provisioned zone's devices.
+    let items = conn.round_trip("GET", "/rest/items", b"").expect("items");
+    assert_eq!(items.status, 200);
+    assert!(
+        items.body_text().contains("den_SetPoint"),
+        "items must list the provisioned zone: {}",
+        items.body_text()
+    );
+
+    // Actuate over the wire, then read the new state back — same conn.
+    let post = conn
+        .round_trip("POST", "/rest/items/den_SetPoint", b"21.5")
+        .expect("post");
+    assert_eq!(post.status, 200, "body: {}", post.body_text());
+    let item = conn
+        .round_trip("GET", "/rest/items/den_SetPoint", b"")
+        .expect("item");
+    assert_eq!(item.status, 200);
+    assert!(
+        item.body_text().contains("21.5"),
+        "the POSTed setpoint must be visible: {}",
+        item.body_text()
+    );
+
+    // Firewall, metrics, and traces endpoints respond on the same
+    // connection (keep-alive reuse across heterogeneous routes).
+    for target in ["/rest/firewall", "/rest/metrics", "/rest/traces"] {
+        let response = conn.round_trip("GET", target, b"").expect(target);
+        assert_eq!(response.status, 200, "{target}: {}", response.body_text());
+        assert!(
+            !response.closing,
+            "{target} must not close a keep-alive conn"
+        );
+    }
+
+    // The metrics scrape taken over the wire includes the network plane's
+    // own counters — the server observes itself.
+    let metrics = conn
+        .round_trip("GET", "/rest/metrics", b"")
+        .expect("metrics");
+    assert!(
+        metrics.body_text().contains("net_requests"),
+        "wire scrape must carry net.requests: {}",
+        metrics.body_text()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unknown_method_on_known_path_is_405_over_the_wire() {
+    let server = start(quick_config());
+    let addr = server.addr().to_string();
+
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    let response = conn
+        .round_trip("DELETE", "/rest/items", b"")
+        .expect("answer");
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("GET"));
+
+    let response = conn
+        .round_trip("PUT", "/rest/items/den_SetPoint", b"")
+        .expect("answer");
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("GET, POST"));
+    server.shutdown();
+}
+
+#[test]
+fn edge_token_bucket_answers_429_before_the_router() {
+    let server = start(NetConfig {
+        // Two tokens, no refill: the third request must be refused at the
+        // edge regardless of route.
+        rate_limit: Some(RateLimit {
+            burst: 2,
+            refill_per_tick: 0.0,
+        }),
+        ..quick_config()
+    });
+    let addr = server.addr().to_string();
+
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    for _ in 0..2 {
+        let ok = conn
+            .round_trip("GET", "/rest/items", b"")
+            .expect("admitted");
+        assert_eq!(ok.status, 200);
+    }
+    let limited = conn.round_trip("GET", "/rest/items", b"").expect("limited");
+    assert_eq!(limited.status, 429);
+    let retry_after = limited
+        .header("retry-after")
+        .expect("429 must carry Retry-After");
+    assert!(
+        retry_after.parse::<u64>().is_ok(),
+        "Retry-After must be integral seconds: {retry_after}"
+    );
+    // The refusal happens at the edge: the connection itself stays open.
+    assert!(!limited.closing, "a 429 must not tear the connection down");
+    server.shutdown();
+}
+
+#[test]
+fn saturated_server_answers_503_with_retry_after() {
+    let server = start(NetConfig {
+        max_connections: 1,
+        ..quick_config()
+    });
+    let addr = server.addr().to_string();
+
+    // Occupy the only worker with a parked keep-alive connection. The
+    // round trip guarantees the worker has picked the connection up (it
+    // answered), so the pool is deterministically full.
+    let mut parked = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    let ok = parked.round_trip("GET", "/rest/items", b"").expect("park");
+    assert_eq!(ok.status, 200);
+
+    // A second connection is refused inline: 503 + Retry-After, close.
+    let mut refused = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    refused.send("GET", "/rest/items", b"").expect("send");
+    let response = refused.read_response().expect("a 503 answer");
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    assert!(response.closing);
+
+    // The parked connection still works — saturation refused new work
+    // without degrading admitted work.
+    let still_ok = parked
+        .round_trip("GET", "/rest/metrics", b"")
+        .expect("parked");
+    assert_eq!(still_ok.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let server = start(NetConfig {
+        read_timeout: Duration::from_millis(200),
+        ..quick_config()
+    });
+    let addr = server.addr().to_string();
+
+    // Prove the worker owns this connection, then put a request on the
+    // wire and only then begin shutdown: the bytes are in flight when the
+    // flag flips, and the worker must still answer them.
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    assert_eq!(
+        conn.round_trip("GET", "/rest/items", b"")
+            .expect("warm")
+            .status,
+        200
+    );
+    conn.send("POST", "/rest/items/den_SetPoint", b"19.0")
+        .expect("send in-flight request");
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    let response = conn.read_response().expect("in-flight response delivered");
+    assert_eq!(
+        response.status,
+        200,
+        "an in-flight request must be answered during drain: {}",
+        response.body_text()
+    );
+    shutdown.join().expect("shutdown completes");
+
+    // After shutdown the port no longer accepts service: either connect
+    // fails outright or the socket yields no response.
+    match Connection::open(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut conn) => {
+            let _ = conn.send("GET", "/rest/items", b"");
+            assert!(
+                conn.read_response().is_err(),
+                "a stopped server must not answer"
+            );
+        }
+    }
+}

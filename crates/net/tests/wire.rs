@@ -1,0 +1,224 @@
+//! Wire-parser behaviour over a real TCP socket: malformed, oversized,
+//! truncated, pipelined, and stalled requests all fail closed with the
+//! right status — and the server never panics or wedges.
+
+mod common;
+
+use common::{quick_config, start, CLIENT_TIMEOUT};
+use imcf_net::client::Connection;
+use imcf_net::{Limits, NetConfig};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+#[test]
+fn malformed_request_line_is_400_and_closes() {
+    let server = start(quick_config());
+    let addr = server.addr().to_string();
+
+    for garbage in [
+        "not-http\r\n\r\n",
+        "GET\r\n\r\n",
+        "get /rest/items HTTP/1.1\r\n\r\n",
+        "GET rest/items HTTP/1.1\r\n\r\n",
+        "GET /rest/items HTTP/1.1 extra\r\n\r\n",
+    ] {
+        let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+        conn.send_raw(garbage.as_bytes()).expect("send");
+        let response = conn.read_response().expect("a 400 answer");
+        assert_eq!(response.status, 400, "garbage: {garbage:?}");
+        assert!(response.closing, "a malformed request must close");
+    }
+
+    // The server is still healthy afterwards.
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("reconnect");
+    let ok = conn
+        .round_trip("GET", "/rest/items", b"")
+        .expect("round trip");
+    assert_eq!(ok.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_version_and_framing_fail_closed() {
+    let server = start(quick_config());
+    let addr = server.addr().to_string();
+
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    conn.send_raw(b"GET /rest/items HTTP/2.0\r\n\r\n")
+        .expect("send");
+    assert_eq!(conn.read_response().expect("answer").status, 505);
+
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    conn.send_raw(b"POST /rest/items/den_SetPoint HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .expect("send");
+    assert_eq!(conn.read_response().expect("answer").status, 501);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_line_and_headers_are_limited() {
+    let server = start(NetConfig {
+        limits: Limits {
+            max_request_line_bytes: 64,
+            max_header_bytes: 128,
+            max_headers: 4,
+            max_body_bytes: 64,
+        },
+        ..quick_config()
+    });
+    let addr = server.addr().to_string();
+
+    // Request line past the 64-byte cap → 414.
+    let long_target = format!("GET /rest/{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    conn.send_raw(long_target.as_bytes()).expect("send");
+    assert_eq!(conn.read_response().expect("answer").status, 414);
+
+    // Cumulative header bytes past the cap → 431.
+    let fat_header = format!(
+        "GET /rest/items HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+        "y".repeat(200)
+    );
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    conn.send_raw(fat_header.as_bytes()).expect("send");
+    assert_eq!(conn.read_response().expect("answer").status, 431);
+
+    // Too many header lines → 431.
+    let many = "GET /rest/items HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\nD: 4\r\nE: 5\r\n\r\n";
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    conn.send_raw(many.as_bytes()).expect("send");
+    assert_eq!(conn.read_response().expect("answer").status, 431);
+
+    // Declared body past the cap → 413, before reading the body at all.
+    let big_body = "POST /rest/items/den_SetPoint HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    conn.send_raw(big_body.as_bytes()).expect("send");
+    assert_eq!(conn.read_response().expect("answer").status, 413);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_body_gets_no_answer_and_server_survives() {
+    let server = start(quick_config());
+    let addr = server.addr();
+
+    // Send a body shorter than Content-Length, then half-close. The
+    // request cannot be answered (the framing is gone) — the server must
+    // close silently, not panic and not reply.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(CLIENT_TIMEOUT))
+        .expect("read timeout");
+    let mut stream = stream;
+    stream
+        .write_all(b"POST /rest/items/den_SetPoint HTTP/1.1\r\nContent-Length: 10\r\n\r\n21.")
+        .expect("send truncated");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read to close");
+    assert!(
+        rest.is_empty(),
+        "a truncated request must not be answered, got: {}",
+        String::from_utf8_lossy(&rest)
+    );
+
+    // And a fresh connection still works.
+    let mut conn = Connection::open(&addr.to_string(), CLIENT_TIMEOUT).expect("reconnect");
+    assert_eq!(
+        conn.round_trip("GET", "/rest/items", b"")
+            .expect("ok")
+            .status,
+        200
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_keep_alive_requests_are_answered_in_order() {
+    let server = start(quick_config());
+    let addr = server.addr().to_string();
+
+    // Two requests in one write; the buffered reader must answer both on
+    // the same connection, in order.
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    conn.send_raw(
+        b"GET /rest/items HTTP/1.1\r\n\r\nPOST /rest/items/den_SetPoint HTTP/1.1\r\nContent-Length: 4\r\n\r\n21.5",
+    )
+    .expect("pipelined send");
+    let first = conn.read_response().expect("first answer");
+    assert_eq!(first.status, 200);
+    assert!(!first.closing, "keep-alive must survive the first request");
+    let second = conn.read_response().expect("second answer");
+    assert_eq!(second.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn per_connection_request_cap_closes_politely() {
+    let server = start(NetConfig {
+        max_requests_per_conn: 2,
+        ..quick_config()
+    });
+    let addr = server.addr().to_string();
+
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    let first = conn.round_trip("GET", "/rest/items", b"").expect("first");
+    assert_eq!(first.status, 200);
+    assert!(!first.closing);
+    let second = conn.round_trip("GET", "/rest/items", b"").expect("second");
+    assert_eq!(second.status, 200);
+    assert!(second.closing, "the cap-reaching response must say close");
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_mid_request_is_408() {
+    let server = start(NetConfig {
+        read_timeout: Duration::from_millis(150),
+        ..quick_config()
+    });
+    let addr = server.addr().to_string();
+
+    // Start a request line and stall. The read timeout fires mid-request,
+    // which is answerable: 408 and close.
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    conn.send_raw(b"GET /rest/it").expect("partial send");
+    let response = conn.read_response().expect("a 408 answer");
+    assert_eq!(response.status, 408);
+    assert!(response.closing);
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connection_is_closed_silently() {
+    let server = start(NetConfig {
+        read_timeout: Duration::from_millis(150),
+        ..quick_config()
+    });
+    let addr = server.addr();
+
+    // Connect and send nothing: an idle timeout is not an error the peer
+    // should hear about — the socket just closes (EOF), no status line.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(CLIENT_TIMEOUT))
+        .expect("read timeout");
+    let mut stream = stream;
+    let mut buffer = Vec::new();
+    match stream.read_to_end(&mut buffer) {
+        Ok(_) => assert!(
+            buffer.is_empty(),
+            "idle close must be silent, got: {}",
+            String::from_utf8_lossy(&buffer)
+        ),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+            ),
+            "unexpected error kind: {e:?}"
+        ),
+    }
+    server.shutdown();
+}

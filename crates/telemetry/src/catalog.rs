@@ -56,7 +56,7 @@ pub const METRICS: &[MetricDef] = &[
         name: "api.requests",
         kind: MetricKind::Counter,
         labels: &["status"],
-        help: "REST API requests by response status",
+        help: "REST API requests by response status class (2xx/4xx/5xx)",
     },
     MetricDef {
         name: "breaker.open",
@@ -111,6 +111,36 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Counter,
         labels: &["verdict"],
         help: "firewall egress verdicts (accept/drop)",
+    },
+    MetricDef {
+        name: "loadgen.request_micros",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "closed-loop load generator end-to-end request latency, µs",
+    },
+    MetricDef {
+        name: "net.connections",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "TCP connections currently held by imcf-net (queued or in service)",
+    },
+    MetricDef {
+        name: "net.rejected",
+        kind: MetricKind::Counter,
+        labels: &["reason"],
+        help: "requests refused at the network edge (saturated, rate_limited)",
+    },
+    MetricDef {
+        name: "net.requests",
+        kind: MetricKind::Counter,
+        labels: &["status"],
+        help: "HTTP requests answered by imcf-net, by status class",
+    },
+    MetricDef {
+        name: "net.timeouts",
+        kind: MetricKind::Counter,
+        labels: &["kind"],
+        help: "socket timeouts observed by imcf-net (read, write, idle keep-alive)",
     },
     MetricDef {
         name: "optimizer.iterations",

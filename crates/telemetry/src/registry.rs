@@ -131,6 +131,33 @@ impl Histogram {
             self.sum() / n as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the bucket
+    /// counts, interpolating linearly inside the bucket that crosses the
+    /// target rank — the standard Prometheus `histogram_quantile`
+    /// estimator. Observations in the overflow (+Inf) bucket report the
+    /// largest finite bound: the estimate is clamped to the histogram's
+    /// range, never extrapolated. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cumulative = 0u64;
+        let mut lower = 0.0f64;
+        for (i, bound) in self.0.bounds.iter().enumerate() {
+            let in_bucket = self.0.counts[i].load(Ordering::Relaxed);
+            let before = cumulative;
+            cumulative += in_bucket;
+            if cumulative as f64 >= rank && in_bucket > 0 {
+                let fraction = ((rank - before as f64) / in_bucket as f64).clamp(0.0, 1.0);
+                return lower + (bound - lower) * fraction;
+            }
+            lower = *bound;
+        }
+        lower
+    }
 }
 
 /// Identity of one metric: dotted name plus sorted label pairs.
@@ -349,6 +376,33 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert!((h.sum() - 5055.0).abs() < 1e-9);
         assert!((h.mean() - 1685.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram_with_buckets("q", &[], &[10.0, 100.0, 1000.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reports 0");
+        // 100 observations uniformly inside (10, 100].
+        for _ in 0..100 {
+            h.observe(50.0);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=100.0).contains(&p50), "p50={p50}");
+        assert!(
+            (h.quantile(0.5) - 55.0).abs() < 1e-9,
+            "linear interpolation"
+        );
+        // One tail observation lands in the last finite bucket.
+        h.observe(999.0);
+        let p999 = h.quantile(0.999);
+        assert!(p999 > 100.0, "p999={p999} must reach the tail bucket");
+        // Overflow observations clamp at the largest finite bound.
+        h.observe(1e9);
+        assert!(h.quantile(1.0) <= 1000.0);
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.99) <= h.quantile(0.999));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
     }
 
     #[test]

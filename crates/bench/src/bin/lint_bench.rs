@@ -1,0 +1,73 @@
+//! Measures the full-workspace `imcf-lint` pass — lex, parse, token rules,
+//! call-graph construction, and the L006–L009 analyses — at `--jobs 1` vs
+//! `--jobs 4`, and proves determinism by asserting the two JSON reports
+//! are byte-identical. Results feed the "Static analysis v2" table in
+//! `EXPERIMENTS.md`.
+//!
+//! The per-file stage (read + lex + parse + L001–L005 + L009) is
+//! embarrassingly parallel; the call-graph passes are single-threaded, so
+//! the speedup ceiling is set by their share of the total (Amdahl).
+
+use imcf_lint::baseline::Baseline;
+use imcf_lint::{lint_workspace_jobs, workspace, Report};
+
+const REPS: usize = 5;
+
+fn or_die<T>(result: Result<T, String>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint_bench: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Warm-up pass, then the median of `REPS` timed passes plus the last
+/// report (all passes produce identical reports — that is the point).
+fn timed_pass(root: &std::path::Path, jobs: usize) -> (Report, u64) {
+    let _ = lint_workspace_jobs(root, jobs);
+    let mut reports = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        reports.push(or_die(lint_workspace_jobs(root, jobs)));
+    }
+    let mut micros: Vec<u64> = reports.iter().map(|r| r.pass_micros).collect();
+    micros.sort_unstable();
+    let median = micros[REPS / 2];
+    let Some(report) = reports.pop() else {
+        eprintln!("lint_bench: no passes ran");
+        std::process::exit(1);
+    };
+    (report, median)
+}
+
+fn main() {
+    let cwd = or_die(std::env::current_dir().map_err(|e| format!("cwd: {e}")));
+    let root = or_die(workspace::find_root(&cwd));
+    let baseline = or_die(Baseline::load(&root));
+
+    println!("=== imcf-lint full-workspace pass ({REPS} reps, median) ===\n");
+    let (seq, seq_us) = timed_pass(&root, 1);
+    let (par, par_us) = timed_pass(&root, 4);
+
+    println!("files scanned: {}", seq.files);
+    println!("findings:      {}", seq.findings.len());
+    println!();
+    println!("| jobs | pass time (ms) | speedup |");
+    println!("|------|----------------|---------|");
+    println!("| 1    | {:>14.2} | 1.00x   |", seq_us as f64 / 1000.0);
+    println!(
+        "| 4    | {:>14.2} | {:.2}x   |",
+        par_us as f64 / 1000.0,
+        seq_us as f64 / par_us.max(1) as f64
+    );
+    println!();
+
+    let a = seq.render_json(&baseline);
+    let b = par.render_json(&baseline);
+    assert_eq!(a, b, "reports must be byte-identical across job counts");
+    println!(
+        "determinism: JSON reports byte-identical across --jobs 1 and --jobs 4 ({} bytes)",
+        a.len()
+    );
+}

@@ -27,8 +27,8 @@ use imcf_rules::window::TimeWindow;
 use imcf_sim::illuminance::RoomLight;
 use imcf_sim::thermal::RoomThermalModel;
 use imcf_sim::weather::WeatherApi;
+use imcf_telemetry::Stopwatch;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Hours in the prototype deployment (one week).
 pub const WEEK_HOURS: u64 = 7 * 24;
@@ -221,7 +221,7 @@ pub fn run_prototype(config: PrototypeConfig) -> PrototypeOutcome {
     let mut instances = 0u64;
     let mut delivered = 0u64;
     let mut blocked = 0u64;
-    let start = Instant::now();
+    let start = Stopwatch::start();
 
     for h in 0..WEEK_HOURS {
         let sample = weather.sample(h);

@@ -2,10 +2,10 @@
 //!
 //! The baseline records, per rule, the number of findings the workspace is
 //! allowed to contain. `--check` fails when any rule exceeds its baseline;
-//! `--update-baseline` rewrites the counts to the current state. Counts are
-//! expected to only ever go *down* — CI runs `--check`, so a change that
-//! raises a count cannot land without also raising the committed baseline,
-//! which review treats as a regression.
+//! `--write-baseline` rewrites the counts to the current state, and refuses
+//! outright when any count would go *up* — CI runs `--check`, so a change
+//! that raises a count cannot land without hand-editing this file, which
+//! review treats as a regression.
 //!
 //! The format is a deliberately minimal TOML subset (one `[counts]` table
 //! of `L00x = n` pairs) so no TOML dependency is needed.

@@ -1,0 +1,394 @@
+//! Workspace symbol table and intra-workspace call graph.
+//!
+//! Built over the parsed ASTs of every collected source file, this module
+//! indexes each function item (free functions and impl/trait methods) and
+//! resolves `Call`/`MethodCall` expressions to workspace function ids by
+//! name. Resolution is *syntactic* — there is no type inference — so the
+//! rules are deliberately conservative:
+//!
+//! - Path calls (`foo()`, `http::read_request()`, `Type::assoc()`,
+//!   `Self::helper()`) resolve via the path hint: `Self` maps to the
+//!   caller's impl owner, an uppercase hint matches the impl type name, a
+//!   lowercase hint prefers functions in a same-crate file named after the
+//!   module, and bare names prefer same-file, then same-crate free
+//!   functions.
+//! - Method calls (`recv.publish(...)`) resolve only when the method name
+//!   is unambiguous: exactly one same-crate method of that name, else
+//!   exactly one workspace-wide. Anything ambiguous is unresolved.
+//! - Calls through `dyn Trait` objects, function-pointer/closure values
+//!   and macro bodies are invisible — the documented false negatives of
+//!   the analysis (`DESIGN.md` §14).
+//!
+//! Everything is ordered by function id (file order × source position), so
+//! downstream passes iterate deterministically.
+
+use crate::ast::{Block, Expr, File, ItemKind};
+use crate::lexer::Comment;
+use std::collections::BTreeMap;
+
+/// One parsed source file with its workspace context.
+pub struct ParsedFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// The owning crate's directory name (`net` for `crates/net/...`,
+    /// `root` for the workspace-root `src/`).
+    pub crate_name: String,
+    pub ast: File,
+    pub comments: Vec<Comment>,
+}
+
+/// Derives the crate name from a workspace-relative path.
+pub fn crate_of(rel_path: &str) -> String {
+    match rel_path.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or("root").to_string(),
+        None => String::from("root"),
+    }
+}
+
+/// One function in the symbol table.
+pub struct FnNode<'a> {
+    /// Index into the `ParsedFile` slice.
+    pub file: usize,
+    pub name: String,
+    /// Enclosing impl/trait type name; empty for free functions.
+    pub owner: String,
+    pub line: u32,
+    pub in_test: bool,
+    /// Carries the `#[imcf_lint::blocking]` attribute or the
+    /// `// imcf-lint: blocking` marker comment.
+    pub annotated_blocking: bool,
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<&'a Block>,
+}
+
+/// The workspace call graph.
+pub struct CallGraph<'a> {
+    pub files: &'a [ParsedFile],
+    pub fns: Vec<FnNode<'a>>,
+    /// Resolved call edges per function: `(callee_id, call line)`, in
+    /// source order.
+    pub edges: Vec<Vec<(usize, u32)>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Indexes every function item and resolves all call edges.
+    pub fn build(files: &'a [ParsedFile]) -> CallGraph<'a> {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (file_idx, pf) in files.iter().enumerate() {
+            for item in &pf.ast.items {
+                item.walk("", false, &mut |ctx| {
+                    let body = match &ctx.item.kind {
+                        ItemKind::Fn(b) => Some(b),
+                        ItemKind::FnDecl => None,
+                        _ => return,
+                    };
+                    if ctx.item.name.is_empty() {
+                        return;
+                    }
+                    let id = fns.len();
+                    by_name.entry(ctx.item.name.clone()).or_default().push(id);
+                    fns.push(FnNode {
+                        file: file_idx,
+                        name: ctx.item.name.clone(),
+                        owner: ctx.owner.clone(),
+                        line: ctx.item.line,
+                        in_test: ctx.in_test,
+                        annotated_blocking: ctx.item.blocking,
+                        body,
+                    });
+                });
+            }
+        }
+        let mut graph = CallGraph {
+            files,
+            fns,
+            edges: Vec::new(),
+            by_name,
+        };
+        let edges: Vec<Vec<(usize, u32)>> = (0..graph.fns.len())
+            .map(|id| {
+                let mut edges = Vec::new();
+                if let Some(body) = graph.fns[id].body {
+                    body.walk_exprs(&mut |e| {
+                        if let Some(callee) = graph.resolve(id, e) {
+                            edges.push((callee, e.line()));
+                        }
+                    });
+                }
+                edges
+            })
+            .collect();
+        graph.edges = edges;
+        graph
+    }
+
+    /// The human label for a function: `crate::Owner::name` / `crate::name`.
+    pub fn label(&self, id: usize) -> String {
+        let f = &self.fns[id];
+        let krate = &self.files[f.file].crate_name;
+        if f.owner.is_empty() {
+            format!("{krate}::{}", f.name)
+        } else {
+            format!("{krate}::{}::{}", f.owner, f.name)
+        }
+    }
+
+    /// Resolves a call expression made from `from` to a workspace function
+    /// id, or `None` for external/ambiguous/invisible targets.
+    pub fn resolve(&self, from: usize, expr: &Expr) -> Option<usize> {
+        match expr {
+            Expr::Call { callee, .. } => match callee.as_ref() {
+                Expr::Path { segs, .. } => self.resolve_path(from, segs),
+                _ => None,
+            },
+            Expr::MethodCall { method, .. } => self.resolve_method(from, method),
+            _ => None,
+        }
+    }
+
+    fn resolve_path(&self, from: usize, segs: &[String]) -> Option<usize> {
+        let name = segs.last()?;
+        let candidates = self.by_name.get(name)?;
+        let caller = &self.fns[from];
+        let caller_crate = &self.files[caller.file].crate_name;
+        let hint = segs.len().checked_sub(2).map(|i| segs[i].as_str());
+        // Crate qualification (`imcf_net::...`, `crate::...`).
+        let target_crate: Option<String> = match segs.first().map(String::as_str) {
+            Some("crate") | Some("self") | Some("super") => Some(caller_crate.clone()),
+            Some(first) => first.strip_prefix("imcf_").map(str::to_string),
+            None => None,
+        };
+        let viable = |id: &usize| -> bool {
+            let cand = &self.fns[*id];
+            if cand.in_test && !caller.in_test {
+                return false;
+            }
+            if let Some(tc) = &target_crate {
+                if &self.files[cand.file].crate_name != tc {
+                    return false;
+                }
+            }
+            true
+        };
+        match hint {
+            Some("Self") => candidates
+                .iter()
+                .filter(|id| viable(id))
+                .find(|id| {
+                    self.fns[**id].owner == caller.owner
+                        && self.files[self.fns[**id].file].crate_name == *caller_crate
+                })
+                .copied(),
+            Some(h) if h.chars().next().is_some_and(|c| c.is_ascii_uppercase()) => {
+                // `Type::assoc()`: match the impl owner, same crate first.
+                let owned: Vec<usize> = candidates
+                    .iter()
+                    .filter(|id| viable(id))
+                    .filter(|id| self.fns[**id].owner == h)
+                    .copied()
+                    .collect();
+                owned
+                    .iter()
+                    .find(|id| self.files[self.fns[**id].file].crate_name == *caller_crate)
+                    .or(owned.first())
+                    .copied()
+            }
+            Some(h) if h == "crate" || h == "self" || h == "super" || h.starts_with("imcf_") => {
+                // Crate-qualified bare call (`imcf_a::emit()`): unique free
+                // fn in the target crate (the `viable` filter applied it).
+                candidates
+                    .iter()
+                    .filter(|id| viable(id))
+                    .find(|id| self.fns[**id].owner.is_empty())
+                    .copied()
+            }
+            Some(h) => {
+                // `module::fn()`: same-crate free fn whose file matches the
+                // module name.
+                let module_file = |id: &usize| {
+                    let rel = &self.files[self.fns[*id].file].rel_path;
+                    rel.ends_with(&format!("/{h}.rs")) || rel.ends_with(&format!("/{h}/mod.rs"))
+                };
+                candidates
+                    .iter()
+                    .filter(|id| viable(id))
+                    .filter(|id| self.fns[**id].owner.is_empty())
+                    .find(|id| {
+                        self.files[self.fns[**id].file].crate_name == *caller_crate
+                            && module_file(id)
+                    })
+                    .copied()
+            }
+            None => {
+                // Bare name: same file first, then unique-in-crate free fn.
+                let free: Vec<usize> = candidates
+                    .iter()
+                    .filter(|id| viable(id))
+                    .filter(|id| self.fns[**id].owner.is_empty())
+                    .copied()
+                    .collect();
+                free.iter()
+                    .find(|id| self.fns[**id].file == caller.file)
+                    .or_else(|| {
+                        let same_crate: Vec<&usize> = free
+                            .iter()
+                            .filter(|id| {
+                                self.files[self.fns[**id].file].crate_name == *caller_crate
+                            })
+                            .collect();
+                        if same_crate.len() == 1 {
+                            Some(same_crate[0])
+                        } else if same_crate.is_empty() && free.len() == 1 {
+                            // A `use other_crate::module::f` import makes the
+                            // call site a bare name; chase it when the name is
+                            // globally unique among free fns.
+                            Some(&free[0])
+                        } else {
+                            None
+                        }
+                    })
+                    .copied()
+            }
+        }
+    }
+
+    fn resolve_method(&self, from: usize, method: &str) -> Option<usize> {
+        let candidates = self.by_name.get(method)?;
+        let caller = &self.fns[from];
+        let caller_crate = &self.files[caller.file].crate_name;
+        let methods: Vec<usize> = candidates
+            .iter()
+            .filter(|id| !self.fns[**id].owner.is_empty())
+            .filter(|id| !self.fns[**id].in_test || caller.in_test)
+            .copied()
+            .collect();
+        let same_crate: Vec<usize> = methods
+            .iter()
+            .filter(|id| self.files[self.fns[**id].file].crate_name == *caller_crate)
+            .copied()
+            .collect();
+        // Without receiver types, only an unambiguous name is safe.
+        match same_crate.as_slice() {
+            [only] => Some(*only),
+            [] => match methods.as_slice() {
+                [only] => Some(*only),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    pub(crate) fn parse_files(sources: &[(&str, &str)]) -> Vec<ParsedFile> {
+        sources
+            .iter()
+            .map(|(rel, src)| {
+                let lexed = lex(src);
+                ParsedFile {
+                    rel_path: rel.to_string(),
+                    crate_name: crate_of(rel),
+                    ast: parse_file(&lexed),
+                    comments: lexed.comments,
+                }
+            })
+            .collect()
+    }
+
+    fn edge_labels(graph: &CallGraph, from_label: &str) -> Vec<String> {
+        let from = (0..graph.fns.len())
+            .find(|id| graph.label(*id) == from_label)
+            .expect("caller not found");
+        graph.edges[from]
+            .iter()
+            .map(|(to, _)| graph.label(*to))
+            .collect()
+    }
+
+    #[test]
+    fn resolves_same_file_and_module_calls() {
+        let files = parse_files(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn top() { helper(); util::shared(); }\nfn helper() {}\n",
+            ),
+            ("crates/a/src/util.rs", "pub fn shared() {}\n"),
+        ]);
+        let graph = CallGraph::build(&files);
+        assert_eq!(
+            edge_labels(&graph, "a::top"),
+            vec!["a::helper", "a::shared"]
+        );
+    }
+
+    #[test]
+    fn resolves_assoc_and_self_calls() {
+        let files = parse_files(&[(
+            "crates/a/src/lib.rs",
+            "struct Bus;\nimpl Bus {\n  fn publish(&self) { Self::notify(); }\n  fn notify() {}\n}\nfn go(b: &Bus) { b.publish(); Bus::notify(); }\n",
+        )]);
+        let graph = CallGraph::build(&files);
+        assert_eq!(
+            edge_labels(&graph, "a::Bus::publish"),
+            vec!["a::Bus::notify"]
+        );
+        assert_eq!(
+            edge_labels(&graph, "a::go"),
+            vec!["a::Bus::publish", "a::Bus::notify"]
+        );
+    }
+
+    #[test]
+    fn ambiguous_methods_stay_unresolved() {
+        let files = parse_files(&[(
+            "crates/a/src/lib.rs",
+            "struct X; struct Y;\nimpl X { fn run(&self) {} }\nimpl Y { fn run(&self) {} }\nfn go(x: &X) { x.run(); }\n",
+        )]);
+        let graph = CallGraph::build(&files);
+        assert!(edge_labels(&graph, "a::go").is_empty());
+    }
+
+    #[test]
+    fn cross_crate_resolution_follows_qualified_and_unique_imported_names() {
+        let files = parse_files(&[
+            ("crates/a/src/lib.rs", "pub fn emit() {}\n"),
+            (
+                "crates/b/src/lib.rs",
+                "fn go() { imcf_a::emit(); emit(); }\n",
+            ),
+        ]);
+        let graph = CallGraph::build(&files);
+        // The qualified call resolves, and so does the bare name: `use`
+        // imports are not modeled, so a globally unique free fn is chased
+        // across crates.
+        assert_eq!(edge_labels(&graph, "b::go"), vec!["a::emit", "a::emit"]);
+    }
+
+    #[test]
+    fn bare_names_ambiguous_across_crates_stay_unresolved() {
+        let files = parse_files(&[
+            ("crates/a/src/lib.rs", "pub fn emit() {}\n"),
+            ("crates/c/src/lib.rs", "pub fn emit() {}\n"),
+            ("crates/b/src/lib.rs", "fn go() { emit(); }\n"),
+        ]);
+        let graph = CallGraph::build(&files);
+        assert!(edge_labels(&graph, "b::go").is_empty());
+    }
+
+    #[test]
+    fn test_fns_are_not_targets_of_library_calls() {
+        let files = parse_files(&[(
+            "crates/a/src/lib.rs",
+            "fn go() { check(); }\n#[cfg(test)]\nmod tests { pub fn check() {} }\n",
+        )]);
+        let graph = CallGraph::build(&files);
+        assert!(edge_labels(&graph, "a::go").is_empty());
+    }
+}

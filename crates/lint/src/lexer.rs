@@ -43,6 +43,10 @@ pub struct Comment {
     /// Lines the comment spans, inclusive (equal to `line` for `//`).
     pub end_line: u32,
     pub text: String,
+    /// A doc comment (`///`, `//!`, `/** */`, `/*! */`). Doc comments are
+    /// rendered documentation, not code annotations, so suppression and
+    /// marker comments inside them are inert.
+    pub is_doc: bool,
 }
 
 /// The result of lexing one file.
@@ -125,10 +129,13 @@ pub fn lex(source: &str) -> Lexed {
                     }
                     cur.bump();
                 }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
                 out.comments.push(Comment {
                     line,
                     end_line: line,
-                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    text,
+                    is_doc,
                 });
             }
             b'/' if cur.peek_at(1) == Some(b'*') => {
@@ -146,10 +153,14 @@ pub fn lex(source: &str) -> Lexed {
                         break;
                     }
                 }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                let is_doc = (text.starts_with("/**") && !text.starts_with("/**/"))
+                    || text.starts_with("/*!");
                 out.comments.push(Comment {
                     line,
                     end_line: cur.line,
-                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    text,
+                    is_doc,
                 });
             }
             b'"' => {
@@ -664,6 +675,14 @@ mod tests {
         assert!(!l.tokens.iter().any(|t| matches!(t.tok, Tok::Float(_))));
         assert!(idents(&l).contains(&"max"));
         assert!(l.tokens.iter().any(|t| t.tok == Tok::Punct("..")));
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let l =
+            lex("/// doc\n//! inner\n// plain\n/** block doc */\n/* plain block */ fn f() {}\n");
+        let docs: Vec<bool> = l.comments.iter().map(|c| c.is_doc).collect();
+        assert_eq!(docs, vec![true, true, false, true, false]);
     }
 
     #[test]

@@ -2,17 +2,31 @@
 //!
 //! A firewall only earns trust when its enforcement logic is itself
 //! verifiable. This crate scans the workspace's library sources with a
-//! hand-rolled Rust lexer (no external dependencies — the registry is
-//! offline) and enforces five IMCF-specific rules, ratcheted against the
-//! checked-in `lint-baseline.toml`. See `DESIGN.md` §9 for the rules and
-//! workflow, and [`rules`] for the rule definitions.
+//! hand-rolled Rust lexer and recursive-descent parser (no external
+//! dependencies — the registry is offline) and enforces nine
+//! IMCF-specific rules, ratcheted against the checked-in
+//! `lint-baseline.toml`. L001–L005 run over the token stream; L006–L009
+//! run over a lightweight AST, a workspace symbol table, and an
+//! intra-workspace call graph. See `DESIGN.md` §9/§14 and [`rules`] for
+//! the rule definitions.
+//!
+//! Files are lexed, parsed, and token-linted in parallel via `imcf-pool`;
+//! the call-graph passes then run once over the combined symbol table.
+//! Findings are sorted by (file, line, rule, message) at the end, so the
+//! report is byte-identical regardless of `--jobs`.
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 pub mod workspace;
 
 use baseline::Baseline;
+use callgraph::{CallGraph, ParsedFile};
 use rules::{Finding, Rule, ALL_RULES};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -21,6 +35,10 @@ use std::path::Path;
 #[derive(Debug)]
 pub struct Report {
     pub findings: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files: usize,
+    /// Wall time of the full pass, µs.
+    pub pass_micros: u64,
 }
 
 impl Report {
@@ -72,7 +90,8 @@ impl Report {
 
     /// Renders the report as machine-readable JSON.
     pub fn render_json(&self, baseline: &Baseline) -> String {
-        let mut out = String::from("{\n  \"findings\": [\n");
+        let mut out = String::from("{\n  \"files\": ");
+        out.push_str(&format!("{},\n  \"findings\": [\n", self.files));
         for (i, f) in self.findings.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"rule\": \"IMCF-{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
@@ -113,14 +132,85 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-/// Lints every collected source file under `root`.
+/// Lints every collected source file under `root` on one thread.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    lint_workspace_jobs(root, 1)
+}
+
+/// Lints every collected source file under `root`, lexing/parsing/
+/// token-linting files across `jobs` worker threads. The report is
+/// byte-identical for any `jobs` value: per-file results come back in
+/// input order and the merged findings are sorted before return.
+pub fn lint_workspace_jobs(root: &Path, jobs: usize) -> Result<Report, String> {
+    let sw = imcf_telemetry::Stopwatch::start();
     let files = workspace::collect_sources(root)?;
-    let mut findings = Vec::new();
-    for path in files {
+    let file_count = files.len();
+
+    // Stage 1 (parallel, per file): read + lex + token rules + parse +
+    // the intra-file wire-arithmetic pass.
+    type PerFile = Result<(Vec<Finding>, ParsedFile), String>;
+    let per_file: Vec<PerFile> = imcf_pool::map_indexed(jobs, files, |_i, path| {
+        let rel = workspace::relative(root, &path);
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        rules::lint_source(&workspace::relative(root, &path), &source, &mut findings);
+        let lexed = lexer::lex(&source);
+        let mut findings = Vec::new();
+        rules::lint_tokens(&rel, &lexed, &mut findings);
+        let ast = parser::parse_file(&lexed);
+        findings.extend(taint::lint_wire_arithmetic(&rel, &ast));
+        let crate_name = callgraph::crate_of(&rel);
+        Ok((
+            findings,
+            ParsedFile {
+                rel_path: rel,
+                crate_name,
+                ast,
+                comments: lexed.comments,
+            },
+        ))
+    });
+
+    let mut findings = Vec::new();
+    let mut parsed = Vec::with_capacity(file_count);
+    for result in per_file {
+        let (file_findings, file) = result?;
+        findings.extend(file_findings);
+        parsed.push(file);
     }
-    Ok(Report { findings })
+
+    // Stage 2 (single-threaded): the call-graph passes over the whole
+    // workspace symbol table.
+    let graph = CallGraph::build(&parsed);
+    findings.extend(locks::lint_locks(&graph));
+    findings.extend(taint::lint_determinism(&graph));
+
+    // Suppression comments apply uniformly — including to findings from
+    // the global passes, which are produced without file context. The
+    // token rules already filtered inline; re-checking them is harmless.
+    let comments: BTreeMap<&str, &[lexer::Comment]> = parsed
+        .iter()
+        .map(|p| (p.rel_path.as_str(), p.comments.as_slice()))
+        .collect();
+    findings.retain(|f| {
+        comments
+            .get(f.file.as_str())
+            .is_none_or(|c| !rules::suppressed(c, f.rule, f.line))
+    });
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+
+    let pass_micros = sw.elapsed_micros();
+    let telemetry = imcf_telemetry::global();
+    telemetry.gauge("lint.files").set(file_count as f64);
+    telemetry
+        .histogram("lint.pass_micros")
+        .observe(pass_micros as f64);
+
+    Ok(Report {
+        findings,
+        files: file_count,
+        pass_micros,
+    })
 }

@@ -1,0 +1,976 @@
+//! Lock-order and hold-and-call analysis (IMCF-L006, IMCF-L007).
+//!
+//! ## Guard tracking
+//!
+//! Each function body is walked by a small abstract interpreter that
+//! tracks live lock guards through the scope structure:
+//!
+//! - acquisition: `m.lock()` / `m.read()` / `m.write()` with zero
+//!   arguments, or the workspace's poison-recovering free helper
+//!   `lock(&m)`; `unwrap`/`expect`/`unwrap_or_else` pass the guard
+//!   through.
+//! - binding: `let g = <acquisition>` keeps the guard live to the end of
+//!   its block; `let _ = ...` and unbound statement temporaries release
+//!   at statement end; `drop(g)` releases early; re-assignment rebinds.
+//! - identity: a lock is named by crate plus the last component of the
+//!   place it was acquired from (`net::queue` for `shared.queue.lock()`),
+//!   with one level of local-alias chasing and recognition of
+//!   `let m = Mutex::new(..)` locals and SCREAMING_CASE statics.
+//!   Acquisitions whose receiver cannot be identified (e.g. a generic
+//!   function parameter) are ignored — precision over noise.
+//!
+//! ## Rules
+//!
+//! **L006** builds the global lock-acquisition order graph: an edge
+//! `a → b` exists when `b` is acquired (directly or via a callee's
+//! transitive lock set) while `a` is held. Cycles (two functions taking
+//! the same pair of locks in opposite orders) and re-entrant
+//! re-acquisitions of a held lock are findings.
+//!
+//! **L007** flags blocking work while any guard is live: direct blocking
+//! operations (bus/event publishing, socket and file I/O waits,
+//! `thread::sleep`), calls resolving to a function annotated
+//! `// imcf-lint: blocking` (or `#[imcf_lint::blocking]`), and calls
+//! whose transitive callees block. `Condvar::wait*` is exempt — it
+//! atomically releases the mutex it waits on (the PR 3 lost-wakeup fix
+//! depends on exactly that pattern).
+//!
+//! Both rules are interprocedural over [`crate::callgraph`]; calls
+//! through closures, `dyn Trait` and macro bodies are invisible
+//! (`DESIGN.md` §14 discloses the false negatives).
+
+use crate::ast::{Block, Expr, Stmt};
+use crate::callgraph::CallGraph;
+use crate::rules::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods that acquire a guard when called with zero arguments.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Methods that return their receiver's guard unchanged.
+const GUARD_PASSTHROUGH: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+/// Method names that block the calling thread (fail-closed list, kept
+/// tight: `join`/`send` are excluded as too overloaded — documented false
+/// negatives).
+const BLOCKING_METHODS: [&str; 9] = [
+    "accept",
+    "flush",
+    "publish",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "recv",
+    "recv_timeout",
+    "write_all",
+];
+
+/// `a::b` path suffixes that block.
+const BLOCKING_PATHS: [(&str, &str); 2] = [("thread", "sleep"), ("TcpStream", "connect")];
+
+/// `Condvar` waiting releases the guard it is handed — never a violation.
+const CONDVAR_WAITS: [&str; 3] = ["wait", "wait_timeout", "wait_while"];
+
+/// Per-function facts from the intra-procedural walk.
+#[derive(Default)]
+struct FnFacts {
+    /// Lock ids this function acquires directly.
+    acquired: BTreeSet<String>,
+    /// The function directly performs a blocking operation.
+    blocking_direct: bool,
+    /// Every call expression: resolved callee, display name, line, and
+    /// the lock ids held at the call site.
+    calls: Vec<CallSite>,
+    /// Every identified acquisition: lock id, line, ids held beforehand.
+    acquisitions: Vec<(String, u32, BTreeSet<String>)>,
+}
+
+struct CallSite {
+    callee: Option<usize>,
+    name: String,
+    line: u32,
+    held: BTreeSet<String>,
+    /// The call itself is a blocking operation by name.
+    blocking_by_name: bool,
+}
+
+/// Runs L006 + L007 over the whole workspace.
+pub fn lint_locks(graph: &CallGraph) -> Vec<Finding> {
+    let facts: Vec<FnFacts> = (0..graph.fns.len())
+        .map(|id| {
+            if graph.fns[id].in_test {
+                return FnFacts::default();
+            }
+            match graph.fns[id].body {
+                Some(body) => analyze_fn(graph, id, body),
+                None => FnFacts::default(),
+            }
+        })
+        .collect();
+
+    // Fixpoint: transitive lock sets and blocking flags through the call
+    // graph. Bounded by the graph's diameter; each pass only grows sets.
+    let n = graph.fns.len();
+    let mut trans_acquired: Vec<BTreeSet<String>> =
+        facts.iter().map(|f| f.acquired.clone()).collect();
+    let mut blocking: Vec<bool> = (0..n)
+        .map(|id| facts[id].blocking_direct || graph.fns[id].annotated_blocking)
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            for site in &facts[id].calls {
+                let Some(callee) = site.callee else { continue };
+                if blocking[callee] && !blocking[id] {
+                    blocking[id] = true;
+                    changed = true;
+                }
+                if !trans_acquired[callee].is_subset(&trans_acquired[id]) {
+                    let add: Vec<String> = trans_acquired[callee]
+                        .difference(&trans_acquired[id])
+                        .cloned()
+                        .collect();
+                    trans_acquired[id].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    // Lock-order edges: (held, acquired) → first witness (file, line).
+    let mut order: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for (id, fn_facts) in facts.iter().enumerate() {
+        let file = graph.files[graph.fns[id].file].rel_path.clone();
+        for (lock, line, held) in &fn_facts.acquisitions {
+            if held.contains(lock) {
+                findings.push(Finding {
+                    rule: Rule::L006,
+                    file: file.clone(),
+                    line: *line,
+                    message: format!("re-entrant acquisition of `{lock}` (already held)"),
+                });
+                continue;
+            }
+            for h in held {
+                order
+                    .entry((h.clone(), lock.clone()))
+                    .or_insert_with(|| (file.clone(), *line));
+            }
+        }
+        for site in &facts[id].calls {
+            if site.held.is_empty() {
+                continue;
+            }
+            // L007: blocking work under a live guard.
+            let callee_blocks = site.callee.is_some_and(|c| blocking[c]);
+            if site.blocking_by_name || callee_blocks {
+                let held = site.held.iter().cloned().collect::<Vec<_>>().join("`, `");
+                findings.push(Finding {
+                    rule: Rule::L007,
+                    file: file.clone(),
+                    line: site.line,
+                    message: format!("blocking call `{}` while holding `{held}`", site.name),
+                });
+            }
+            // L006 via callee: locks the callee (transitively) takes are
+            // ordered after every lock held here.
+            if let Some(callee) = site.callee {
+                for lock in &trans_acquired[callee] {
+                    if site.held.contains(lock) {
+                        findings.push(Finding {
+                            rule: Rule::L006,
+                            file: file.clone(),
+                            line: site.line,
+                            message: format!(
+                                "call to `{}` may re-acquire `{lock}` already held",
+                                site.name
+                            ),
+                        });
+                        continue;
+                    }
+                    for h in &site.held {
+                        order
+                            .entry((h.clone(), lock.clone()))
+                            .or_insert_with(|| (file.clone(), site.line));
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the order graph: any edge inside a non-trivial
+    // strongly connected component is part of an acquisition-order cycle.
+    let scc = scc_components(&order);
+    for ((a, b), (file, line)) in &order {
+        if a != b && scc.contains_key(a) && scc.get(a) == scc.get(b) {
+            findings.push(Finding {
+                rule: Rule::L006,
+                file: file.clone(),
+                line: *line,
+                message: format!("lock-order cycle: `{a}` is acquired before `{b}` here, but the reverse order also exists"),
+            });
+        }
+    }
+    findings
+}
+
+/// Assigns each node of the order graph to a strongly connected component;
+/// only nodes in components of size ≥ 2 are returned.
+fn scc_components(order: &BTreeMap<(String, String), (String, u32)>) -> BTreeMap<String, usize> {
+    let mut nodes: BTreeSet<&String> = BTreeSet::new();
+    let mut fwd: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (a, b) in order.keys() {
+        nodes.insert(a);
+        nodes.insert(b);
+        fwd.entry(a).or_default().push(b);
+    }
+    // Kosaraju: forward finish order, then reverse-graph sweeps.
+    let mut finish: Vec<&String> = Vec::new();
+    let mut seen: BTreeSet<&String> = BTreeSet::new();
+    for start in &nodes {
+        if seen.contains(start) {
+            continue;
+        }
+        // Iterative DFS with an explicit post-visit marker.
+        let mut stack: Vec<(&String, bool)> = vec![(start, false)];
+        while let Some((node, post)) = stack.pop() {
+            if post {
+                finish.push(node);
+                continue;
+            }
+            if !seen.insert(node) {
+                continue;
+            }
+            stack.push((node, true));
+            if let Some(nexts) = fwd.get(node) {
+                for next in nexts {
+                    if !seen.contains(*next) {
+                        stack.push((next, false));
+                    }
+                }
+            }
+        }
+    }
+    let mut rev: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (a, b) in order.keys() {
+        rev.entry(b).or_default().push(a);
+    }
+    let mut comp: BTreeMap<String, usize> = BTreeMap::new();
+    let mut assigned: BTreeSet<&String> = BTreeSet::new();
+    let mut comp_id = 0usize;
+    for node in finish.iter().rev() {
+        if assigned.contains(node) {
+            continue;
+        }
+        let mut members = Vec::new();
+        let mut stack = vec![*node];
+        while let Some(cur) = stack.pop() {
+            if !assigned.insert(cur) {
+                continue;
+            }
+            members.push(cur.clone());
+            if let Some(prevs) = rev.get(cur) {
+                for prev in prevs {
+                    if !assigned.contains(*prev) {
+                        stack.push(prev);
+                    }
+                }
+            }
+        }
+        if members.len() >= 2 {
+            for m in members {
+                comp.insert(m, comp_id);
+            }
+            comp_id += 1;
+        }
+    }
+    comp
+}
+
+// ----------------------------------------------------------------------
+// Intra-procedural guard interpreter
+// ----------------------------------------------------------------------
+
+struct Interp<'g, 'a> {
+    graph: &'g CallGraph<'a>,
+    fn_id: usize,
+    krate: String,
+    facts: FnFacts,
+    /// Live guards: stack of (lock id or None when unidentifiable,
+    /// binding local name or None for a statement temporary).
+    held: Vec<HeldGuard>,
+    /// Scope stack of local names bound per block (guards + aliases).
+    scopes: Vec<Vec<String>>,
+    /// Local name → guard: index is implicit via `held` search by name.
+    /// Local name → place alias (`let q = &shared.queue`).
+    aliases: BTreeMap<String, String>,
+    /// Locals that *are* locks (`let m = Mutex::new(..)`).
+    lock_locals: BTreeSet<String>,
+}
+
+struct HeldGuard {
+    lock: Option<String>,
+    local: Option<String>,
+}
+
+/// The abstract value of an expression: at most "a guard we just created
+/// or looked up" plus its place.
+#[derive(Default)]
+struct Val {
+    /// Index into `held` when the value carries a live guard.
+    guard: Option<usize>,
+    place: Option<String>,
+}
+
+fn analyze_fn(graph: &CallGraph, fn_id: usize, body: &Block) -> FnFacts {
+    let krate = graph.files[graph.fns[fn_id].file].crate_name.clone();
+    let mut interp = Interp {
+        graph,
+        fn_id,
+        krate,
+        facts: FnFacts::default(),
+        held: Vec::new(),
+        scopes: Vec::new(),
+        aliases: BTreeMap::new(),
+        lock_locals: BTreeSet::new(),
+    };
+    interp.run_block(body);
+    interp.facts
+}
+
+impl Interp<'_, '_> {
+    fn held_ids(&self) -> BTreeSet<String> {
+        self.held.iter().filter_map(|g| g.lock.clone()).collect()
+    }
+
+    /// The lock identity for a receiver/argument place, or `None` when
+    /// unidentifiable (generic parameters, call results).
+    fn lock_identity(&self, place: &str) -> Option<String> {
+        // One level of alias chasing.
+        let place = self.aliases.get(place).map(String::as_str).unwrap_or(place);
+        let last = place.rsplit(['.', ':']).next().filter(|s| !s.is_empty())?;
+        let dotted = place.contains('.') || place.contains("::");
+        let is_known = dotted
+            || self.lock_locals.contains(place)
+            || last.chars().any(|c| c.is_ascii_uppercase());
+        if !is_known || last == "self" {
+            return None;
+        }
+        Some(format!("{}::{last}", self.krate))
+    }
+
+    fn acquire(&mut self, place: Option<String>, line: u32) -> Val {
+        let lock = place.as_deref().and_then(|p| self.lock_identity(p));
+        if let Some(id) = &lock {
+            let held_before = self.held_ids();
+            self.facts
+                .acquisitions
+                .push((id.clone(), line, held_before));
+            self.facts.acquired.insert(id.clone());
+        }
+        self.held.push(HeldGuard { lock, local: None });
+        Val {
+            guard: Some(self.held.len() - 1),
+            place: None,
+        }
+    }
+
+    fn release_guard_of_local(&mut self, name: &str) {
+        if let Some(pos) = self
+            .held
+            .iter()
+            .rposition(|g| g.local.as_deref() == Some(name))
+        {
+            self.held.remove(pos);
+        }
+    }
+
+    fn run_block(&mut self, block: &Block) {
+        self.scopes.push(Vec::new());
+        for stmt in &block.stmts {
+            let temps_floor = self.held.len();
+            match stmt {
+                Stmt::Let {
+                    name,
+                    ty,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    let val = match init {
+                        Some(e) => self.eval(e),
+                        None => Val::default(),
+                    };
+                    if let Some(b) = else_block {
+                        self.run_block(b);
+                    }
+                    if let Some(n) = name {
+                        if n != "_" {
+                            if let Some(gi) = val.guard {
+                                if gi < self.held.len() {
+                                    self.held[gi].local = Some(n.clone());
+                                    self.note_binding(n);
+                                }
+                            } else if let Some(p) = &val.place {
+                                self.aliases.insert(n.clone(), p.clone());
+                                self.note_binding(n);
+                            } else if ty.contains("Mutex")
+                                || ty.contains("RwLock")
+                                || is_lock_ctor(init.as_ref())
+                            {
+                                self.lock_locals.insert(n.clone());
+                                self.note_binding(n);
+                            }
+                        }
+                    }
+                }
+                Stmt::Expr(e) => {
+                    self.eval(e);
+                }
+                Stmt::Item(_) => {}
+            }
+            // Statement temporaries (guards never bound to a local) die
+            // at the end of the statement.
+            while self.held.len() > temps_floor {
+                let last_unbound = self
+                    .held
+                    .iter()
+                    .rposition(|g| g.local.is_none())
+                    .filter(|p| *p >= temps_floor);
+                match last_unbound {
+                    Some(p) => {
+                        self.held.remove(p);
+                    }
+                    None => break,
+                }
+            }
+        }
+        // Block end: release guards and names bound in this scope.
+        if let Some(names) = self.scopes.pop() {
+            for name in names.iter().rev() {
+                self.release_guard_of_local(name);
+                self.aliases.remove(name);
+                self.lock_locals.remove(name);
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr) -> Val {
+        match expr {
+            Expr::Path { .. } | Expr::Field { .. } => {
+                let place = expr.place();
+                // Reading a guard local: surface its guard index so
+                // passthrough methods and rebinding work.
+                let guard = place.as_deref().and_then(|p| {
+                    self.held
+                        .iter()
+                        .rposition(|g| g.local.as_deref() == Some(p))
+                });
+                Val { guard, place }
+            }
+            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Try { expr, .. } => {
+                self.eval(expr)
+            }
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                let rv = self.eval(recv);
+                for a in args {
+                    self.eval(a);
+                }
+                if ACQUIRE_METHODS.contains(&method.as_str()) && args.is_empty() {
+                    return self.acquire(rv.place, *line);
+                }
+                if GUARD_PASSTHROUGH.contains(&method.as_str()) {
+                    return Val {
+                        guard: rv.guard,
+                        place: None,
+                    };
+                }
+                if CONDVAR_WAITS.contains(&method.as_str()) {
+                    // Returns the re-acquired guard of its argument; model
+                    // as passthrough of the first arg's guard.
+                    let g = args.first().and_then(|a| match a {
+                        Expr::Path { .. } | Expr::Field { .. } => a.place().and_then(|p| {
+                            self.held
+                                .iter()
+                                .rposition(|h| h.local.as_deref() == Some(p.as_str()))
+                        }),
+                        _ => None,
+                    });
+                    return Val {
+                        guard: g,
+                        place: None,
+                    };
+                }
+                self.record_call(expr, method, *line);
+                Val::default()
+            }
+            Expr::Call { callee, args, line } => {
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    let name = segs.last().map(String::as_str).unwrap_or("");
+                    // `drop(g)` releases the guard early.
+                    if name == "drop" && segs.len() == 1 {
+                        if let Some(p) = args.first().and_then(Expr::place) {
+                            for a in args {
+                                self.eval(a);
+                            }
+                            self.release_guard_of_local(&p);
+                            return Val::default();
+                        }
+                    }
+                    // The workspace's poison-recovery helper: `lock(&m)`
+                    // acquires m's guard at the call site.
+                    if name == "lock" && segs.len() == 1 && args.len() == 1 {
+                        let place = args[0].place();
+                        self.eval(&args[0]);
+                        return self.acquire(place, *line);
+                    }
+                }
+                for a in args {
+                    self.eval(a);
+                }
+                let name = match callee.as_ref() {
+                    Expr::Path { segs, .. } => segs.join("::"),
+                    _ => String::from("<indirect>"),
+                };
+                self.record_call(expr, &name, *line);
+                Val::default()
+            }
+            Expr::Assign { lhs, rhs, line: _ } => {
+                let rv = self.eval(rhs);
+                if let Some(p) = lhs.place() {
+                    if !p.contains('.') {
+                        // Rebinding a local: the old guard dies, the new one
+                        // binds (`q = ready.wait(q)` rebinds the same one).
+                        let already = rv.guard.is_some_and(|gi| {
+                            self.held
+                                .get(gi)
+                                .is_some_and(|g| g.local.as_deref() == Some(&p))
+                        });
+                        if !already {
+                            let old = self
+                                .held
+                                .iter()
+                                .rposition(|g| g.local.as_deref() == Some(&p));
+                            if let Some(pos) = old {
+                                self.held.remove(pos);
+                            }
+                            if let Some(mut gi) = rv.guard {
+                                if let Some(pos) = old {
+                                    if pos < gi {
+                                        gi -= 1;
+                                    }
+                                }
+                                if gi < self.held.len() {
+                                    self.held[gi].local = Some(p);
+                                }
+                            }
+                        }
+                    }
+                }
+                Val::default()
+            }
+            Expr::Block(b) => {
+                self.run_block(b);
+                Val::default()
+            }
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                self.eval(cond);
+                self.run_block(then);
+                if let Some(e) = else_ {
+                    self.eval(e);
+                }
+                Val::default()
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let sv = self.eval(scrutinee);
+                // A guard produced by the scrutinee flows into the arms
+                // (e.g. `match m.lock() { Ok(g) => ... }`) — keep it live
+                // across the arms, released as a temp at statement end.
+                let _ = sv;
+                for a in arms {
+                    self.eval(a);
+                }
+                Val::default()
+            }
+            Expr::While { cond, body, .. } => {
+                self.eval(cond);
+                self.run_block(body);
+                Val::default()
+            }
+            Expr::Loop { body, .. } => {
+                self.run_block(body);
+                Val::default()
+            }
+            Expr::ForLoop { iter, body, .. } => {
+                self.eval(iter);
+                self.run_block(body);
+                Val::default()
+            }
+            Expr::Closure { .. } => {
+                // Closure bodies run at an unknown time with unknown locks
+                // held; analyzing them inline would claim the current
+                // guards are held, which is wrong for spawned/deferred
+                // closures. Skipped — documented false negative.
+                Val::default()
+            }
+            Expr::Return { expr, .. } => {
+                if let Some(e) = expr {
+                    let v = self.eval(e);
+                    // A returned guard escapes to the caller.
+                    if let Some(gi) = v.guard {
+                        if gi < self.held.len() && self.held[gi].local.is_none() {
+                            self.held.remove(gi);
+                        }
+                    }
+                }
+                Val::default()
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.eval(lhs);
+                self.eval(rhs);
+                Val::default()
+            }
+            Expr::Cast { expr, .. } => {
+                self.eval(expr);
+                Val::default()
+            }
+            Expr::Index { recv, index, .. } => {
+                self.eval(recv);
+                self.eval(index);
+                Val::default()
+            }
+            Expr::Tuple { exprs, .. }
+            | Expr::Array { exprs, .. }
+            | Expr::StructLit { fields: exprs, .. } => {
+                for e in exprs {
+                    self.eval(e);
+                }
+                Val::default()
+            }
+            Expr::Lit { .. } | Expr::Macro { .. } | Expr::Other { .. } => Val::default(),
+        }
+    }
+
+    /// Records a name bound in the innermost scope (for block-end release).
+    fn note_binding(&mut self, n: &str) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.push(n.to_string());
+        }
+    }
+
+    /// Is this expression a live guard local (or a field of one)?
+    fn is_held_guard(&self, expr: &Expr) -> bool {
+        expr.place().is_some_and(|p| {
+            let root = p.split('.').next().unwrap_or(p.as_str());
+            self.held.iter().any(|g| g.local.as_deref() == Some(root))
+        })
+    }
+
+    fn record_call(&mut self, expr: &Expr, name: &str, line: u32) {
+        let blocking_by_name = match expr {
+            // Calling a blocking-named method *on the held guard itself*
+            // (`chain.flush()` where `chain = self.firewall.lock()`) is
+            // operating on the data the lock protects — the reason the
+            // lock is held — not a call out while holding it.
+            Expr::MethodCall { recv, method, .. } => {
+                BLOCKING_METHODS.contains(&method.as_str()) && !self.is_held_guard(recv)
+            }
+            Expr::Call { callee, .. } => match callee.as_ref() {
+                Expr::Path { segs, .. } => {
+                    segs.len() >= 2
+                        && BLOCKING_PATHS
+                            .iter()
+                            .any(|(a, b)| segs[segs.len() - 2] == *a && segs[segs.len() - 1] == *b)
+                }
+                _ => false,
+            },
+            _ => false,
+        };
+        if blocking_by_name {
+            self.facts.blocking_direct = true;
+        }
+        let callee = self.graph.resolve(self.fn_id, expr);
+        self.facts.calls.push(CallSite {
+            callee,
+            name: name.to_string(),
+            line,
+            held: self.held_ids(),
+            blocking_by_name,
+        });
+    }
+}
+
+fn is_lock_ctor(init: Option<&Expr>) -> bool {
+    match init {
+        Some(Expr::Call { callee, .. }) => match callee.as_ref() {
+            Expr::Path { segs, .. } => {
+                segs.len() >= 2
+                    && (segs[segs.len() - 2] == "Mutex" || segs[segs.len() - 2] == "RwLock")
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::tests::parse_files;
+    use crate::callgraph::ParsedFile;
+
+    fn lint(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<ParsedFile> = parse_files(sources);
+        let graph = CallGraph::build(&files);
+        let mut findings = lint_locks(&graph);
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.rule.code()).cmp(&(&b.file, b.line, b.rule.code()))
+        });
+        findings
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn l006_two_lock_cycle_fires() {
+        // f takes a then b; g takes b then a — the classic AB/BA deadlock.
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+               fn f(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n\
+               fn g(&self) { let gb = self.b.lock(); let ga = self.a.lock(); }\n\
+             }\n",
+        )]);
+        let cycle: Vec<&Finding> = f
+            .iter()
+            .filter(|f| f.rule == Rule::L006 && f.message.contains("cycle"))
+            .collect();
+        assert_eq!(cycle.len(), 2, "{f:?}");
+        assert!(cycle.iter().any(|f| f.line == 3));
+        assert!(cycle.iter().any(|f| f.line == 4));
+    }
+
+    #[test]
+    fn l006_consistent_order_is_quiet() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+               fn f(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n\
+               fn g(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n\
+             }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l006_reentrant_double_lock_fires() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct S { a: Mutex<u32> }\n\
+             impl S { fn f(&self) { let g1 = self.a.lock(); let g2 = self.a.lock(); } }\n",
+        )]);
+        assert_eq!(rules_of(&f), vec![Rule::L006]);
+        assert!(f[0].message.contains("re-entrant"));
+    }
+
+    #[test]
+    fn l006_cycle_through_call_graph() {
+        // f: lock a → call h (locks b). g: lock b → call k (locks a).
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+               fn f(&self) { let ga = self.a.lock(); self.h(); }\n\
+               fn h(&self) { let gb = self.b.lock(); }\n\
+               fn g(&self) { let gb = self.b.lock(); self.k(); }\n\
+               fn k(&self) { let ga = self.a.lock(); }\n\
+             }\n",
+        )]);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == Rule::L006 && f.message.contains("cycle")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn l006_callee_reacquires_held_lock() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct S { a: Mutex<u32> }\n\
+             impl S {\n\
+               fn f(&self) { let ga = self.a.lock(); self.h(); }\n\
+               fn h(&self) { let ga = self.a.lock(); }\n\
+             }\n",
+        )]);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == Rule::L006 && f.message.contains("may re-acquire")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn l007_publish_under_lock_fires_pr3_bug_class() {
+        // The PR 3 bug: EventBus::publish-style call while holding the
+        // subscribers lock.
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct Bus { subscribers: Mutex<Vec<u32>> }\n\
+             impl Bus {\n\
+               fn notify(&self, t: &Telemetry) {\n\
+                 let subs = self.subscribers.lock();\n\
+                 t.publish(1);\n\
+               }\n\
+             }\n",
+        )]);
+        assert_eq!(rules_of(&f), vec![Rule::L007]);
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("publish"));
+        assert!(f[0].message.contains("x::subscribers"));
+    }
+
+    #[test]
+    fn l007_guard_dropped_before_call_is_quiet() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct Bus { subscribers: Mutex<Vec<u32>> }\n\
+             impl Bus {\n\
+               fn notify(&self, t: &Telemetry) {\n\
+                 let subs = self.subscribers.lock();\n\
+                 drop(subs);\n\
+                 t.publish(1);\n\
+               }\n\
+               fn scoped(&self, t: &Telemetry) {\n\
+                 { let subs = self.subscribers.lock(); }\n\
+                 t.publish(2);\n\
+               }\n\
+             }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l007_blocking_named_method_on_the_guard_itself_is_exempt() {
+        // `chain.flush()` on the guard clears the guarded rule chain —
+        // operating on the data the lock protects, not calling out.
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct C { firewall: Mutex<Chain> }\n\
+             impl C {\n\
+               fn program(&self) {\n\
+                 let mut chain = self.firewall.lock();\n\
+                 chain.flush();\n\
+               }\n\
+               fn bad(&self, out: &mut W) {\n\
+                 let chain = self.firewall.lock();\n\
+                 out.flush();\n\
+               }\n\
+             }\n",
+        )]);
+        assert_eq!(rules_of(&f), vec![Rule::L007]);
+        assert_eq!(f[0].line, 9);
+    }
+
+    #[test]
+    fn l007_annotated_blocking_fn_propagates_through_calls() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "// imcf-lint: blocking\n\
+             fn slow_io() {}\n\
+             fn indirect() { slow_io(); }\n\
+             struct S { m: Mutex<u32> }\n\
+             impl S { fn f(&self) { let g = self.m.lock(); indirect(); } }\n",
+        )]);
+        assert_eq!(rules_of(&f), vec![Rule::L007]);
+        assert!(f[0].message.contains("indirect"));
+    }
+
+    #[test]
+    fn l007_condvar_wait_is_exempt() {
+        // The net worker-loop pattern: wait returns the guard, loop
+        // continues, guard released at block end.
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct S { queue: Mutex<Vec<u32>>, ready: Condvar }\n\
+             impl S {\n\
+               fn next(&self) -> u32 {\n\
+                 let mut q = self.queue.lock();\n\
+                 loop {\n\
+                   if let Some(v) = q.pop() { return v; }\n\
+                   q = self.ready.wait(q);\n\
+                 }\n\
+               }\n\
+             }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn free_lock_helper_counts_as_acquisition() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct S { queue: Mutex<Vec<u32>>, t: Telemetry }\n\
+             fn lock<T>(m: &Mutex<T>) -> MutexGuard<T> { m.lock().unwrap_or_else(PoisonError::into_inner) }\n\
+             fn f(s: &S) { let q = lock(&s.queue); s.t.publish(1); }\n",
+        )]);
+        assert_eq!(rules_of(&f), vec![Rule::L007]);
+        assert!(f[0].message.contains("x::queue"));
+    }
+
+    #[test]
+    fn statement_temporary_guard_is_released() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "struct S { m: Mutex<Vec<u32>>, t: Telemetry }\n\
+             impl S { fn f(&self) { self.m.lock().unwrap().push(1); self.t.publish(2); } }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn local_mutex_and_alias_identities() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "fn f(t: &Telemetry) { let m = Mutex::new(0u32); let g = m.lock(); t.publish(1); }\n",
+        )]);
+        assert_eq!(rules_of(&f), vec![Rule::L007]);
+        assert!(f[0].message.contains("x::m"));
+    }
+
+    #[test]
+    fn unidentifiable_receivers_do_not_create_noise() {
+        // A generic parameter receiver has no identity: nothing to hold.
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "fn helper<T>(mutex: &Mutex<T>) -> MutexGuard<T> { mutex.lock().unwrap() }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let f = lint(&[(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n  struct S { a: Mutex<u32> }\n  impl S { fn f(&self) { let g1 = self.a.lock(); let g2 = self.a.lock(); } }\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

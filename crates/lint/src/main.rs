@@ -1,46 +1,90 @@
 //! The `imcf-lint` command-line driver.
 //!
 //! ```text
-//! cargo run -p imcf-lint -- --check             # CI gate: fail above baseline
-//! cargo run -p imcf-lint -- --json              # machine-readable findings
-//! cargo run -p imcf-lint -- --update-baseline   # rewrite lint-baseline.toml
+//! cargo run -p imcf-lint -- --check              # CI gate: fail above baseline
+//! cargo run -p imcf-lint -- --format json        # machine-readable findings
+//! cargo run -p imcf-lint -- --jobs 4             # parallel lex/parse/lint
+//! cargo run -p imcf-lint -- --write-baseline     # ratchet lint-baseline.toml DOWN
 //! ```
 //!
 //! With no flags the tool prints findings and the per-rule summary without
 //! failing, which is the ergonomic form while burning a baseline down.
+//! `--write-baseline` only ever lowers counts: if any rule currently has
+//! more findings than the checked-in baseline allows, it refuses — fix the
+//! findings or add a justified `// imcf-lint: allow(L00x)` instead.
 
 use imcf_lint::baseline::Baseline;
-use imcf_lint::{lint_workspace, workspace};
+use imcf_lint::{lint_workspace_jobs, workspace};
 use std::process::ExitCode;
 
 struct Options {
     check: bool,
     json: bool,
-    update_baseline: bool,
+    write_baseline: bool,
+    jobs: Option<usize>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         check: false,
         json: false,
-        update_baseline: false,
+        write_baseline: false,
+        jobs: None,
     };
-    for arg in argv {
-        match arg.as_str() {
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
             "--check" => opts.check = true,
+            // Back-compat alias for `--format json`.
             "--json" => opts.json = true,
-            "--update-baseline" => opts.update_baseline = true,
+            "--format" => {
+                i += 1;
+                match argv.get(i).map(String::as_str) {
+                    Some("json") => opts.json = true,
+                    Some("text") => opts.json = false,
+                    other => {
+                        return Err(format!(
+                            "--format expects `text` or `json`, got {:?}",
+                            other.unwrap_or("<missing>")
+                        ))
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                let n = argv
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| String::from("--jobs expects a positive integer"))?;
+                opts.jobs = Some(n);
+            }
+            "--write-baseline" => opts.write_baseline = true,
             "--help" | "-h" => {
                 return Err(String::from(
-                    "usage: imcf-lint [--check] [--json] [--update-baseline]\n\
+                    "usage: imcf-lint [--check] [--format text|json] [--jobs N] [--write-baseline]\n\
                      \n\
                      --check            exit 1 when any rule exceeds lint-baseline.toml\n\
-                     --json             print findings and counts as JSON\n\
-                     --update-baseline  rewrite lint-baseline.toml with current counts",
+                     --format json      print findings and counts as JSON (alias: --json)\n\
+                     --jobs N           lex/parse/lint files across N threads\n\
+                     --write-baseline   ratchet lint-baseline.toml down to current counts;\n\
+                     \u{20}                  refuses to raise any count",
                 ));
             }
-            other => return Err(format!("unknown flag `{other}` (try --help)")),
+            other => {
+                if let Some(v) = other.strip_prefix("--jobs=") {
+                    let n = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| String::from("--jobs expects a positive integer"))?;
+                    opts.jobs = Some(n);
+                } else {
+                    return Err(format!("unknown flag `{other}` (try --help)"));
+                }
+            }
         }
+        i += 1;
     }
     Ok(opts)
 }
@@ -48,18 +92,33 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
 fn run() -> Result<bool, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_args(&argv)?;
+    let jobs = imcf_pool::resolve_jobs(opts.jobs);
 
     // `cargo run -p imcf-lint` keeps the invoker's cwd, which in CI and in
     // normal use is somewhere inside the workspace; walk up from there.
     let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
     let root = workspace::find_root(&cwd)?;
-    let report = lint_workspace(&root)?;
+    let report = lint_workspace_jobs(&root, jobs)?;
     let baseline = Baseline::load(&root)?;
 
-    if opts.update_baseline {
-        let updated = Baseline {
-            counts: report.counts(),
-        };
+    if opts.write_baseline {
+        let counts = report.counts();
+        // The baseline is a ratchet: this flag records progress, it does
+        // not grant amnesty. Any regression has to be fixed or explicitly
+        // suppressed at the finding site.
+        let raised: Vec<String> = counts
+            .iter()
+            .filter(|(rule, n)| **n > baseline.allowed(**rule))
+            .map(|(rule, n)| format!("{} {} -> {n}", rule.code(), baseline.allowed(*rule)))
+            .collect();
+        if !raised.is_empty() {
+            return Err(format!(
+                "--write-baseline refuses to raise counts ({}); fix the findings or add a\n\
+                 justified `// imcf-lint: allow(L00x)` at the site",
+                raised.join(", ")
+            ));
+        }
+        let updated = Baseline { counts };
         updated.store(&root)?;
         println!(
             "lint-baseline.toml updated: {}",

@@ -7,11 +7,20 @@
 //! | IMCF-L003 | no float `==` / `!=` outside tests |
 //! | IMCF-L004 | every dotted metric name passed to `counter*`/`gauge*`/`histogram*`/`span!` must be in the `imcf-telemetry` catalog |
 //! | IMCF-L005 | `unsafe` blocks need a `// SAFETY:` comment; `static mut` is forbidden |
+//! | IMCF-L006 | lock-acquisition order must be globally consistent; no re-entrant double-locks (see [`crate::locks`]) |
+//! | IMCF-L007 | no blocking calls (I/O, publish, sleep) while a lock guard is held |
+//! | IMCF-L008 | no nondeterminism reachable from bench/export entry points (see [`crate::taint`]) |
+//! | IMCF-L009 | `crates/net`: parsed-length values need checked arithmetic and `try_into` |
+//!
+//! L001–L005 run over the token stream; L006–L009 run over the AST and
+//! workspace call graph built by [`crate::parser`] / [`crate::callgraph`].
 //!
 //! Suppress a finding with a trailing or preceding
-//! `// imcf-lint: allow(L00x)` comment.
+//! `// imcf-lint: allow(L00x)` comment. Doc comments (`///`, `//!`) never
+//! suppress: they are part of the rendered API documentation, not lint
+//! directives.
 
-use crate::lexer::{lex, Comment, Tok, Token};
+use crate::lexer::{lex, Comment, Lexed, Tok, Token};
 
 /// The rule identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -21,10 +30,24 @@ pub enum Rule {
     L003,
     L004,
     L005,
+    L006,
+    L007,
+    L008,
+    L009,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 5] = [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005];
+pub const ALL_RULES: [Rule; 9] = [
+    Rule::L001,
+    Rule::L002,
+    Rule::L003,
+    Rule::L004,
+    Rule::L005,
+    Rule::L006,
+    Rule::L007,
+    Rule::L008,
+    Rule::L009,
+];
 
 impl Rule {
     /// The short code used in baselines and suppressions (`L001`).
@@ -35,6 +58,10 @@ impl Rule {
             Rule::L003 => "L003",
             Rule::L004 => "L004",
             Rule::L005 => "L005",
+            Rule::L006 => "L006",
+            Rule::L007 => "L007",
+            Rule::L008 => "L008",
+            Rule::L009 => "L009",
         }
     }
 
@@ -51,6 +78,10 @@ impl Rule {
             Rule::L003 => "float `==`/`!=` comparison (use an epsilon helper)",
             Rule::L004 => "metric name missing from the imcf-telemetry catalog",
             Rule::L005 => "unsafe without `// SAFETY:` comment, or `static mut`",
+            Rule::L006 => "inconsistent lock-acquisition order or re-entrant double-lock",
+            Rule::L007 => "blocking call while holding a lock guard (drop the guard first)",
+            Rule::L008 => "nondeterminism reachable from a deterministic entry point",
+            Rule::L009 => "unchecked arithmetic or narrowing cast on a wire-derived length",
         }
     }
 }
@@ -83,6 +114,12 @@ const METRIC_METHODS: [&str; 7] = [
 /// forward slashes; it decides rule applicability (L002 crates, test dirs).
 pub fn lint_source(rel_path: &str, source: &str, findings: &mut Vec<Finding>) {
     let lexed = lex(source);
+    lint_tokens(rel_path, &lexed, findings);
+}
+
+/// Runs the token-stream rules (L001–L005) over an already-lexed file, so
+/// the workspace driver can share one lex with the parser.
+pub fn lint_tokens(rel_path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) {
     let file_is_test = is_test_path(rel_path);
     let test_marker = test_region_marker(&lexed.tokens);
     let deterministic = DETERMINISTIC_PATHS.iter().any(|p| rel_path.starts_with(p));
@@ -299,10 +336,16 @@ fn attr_is_testish(attr: &[Token]) -> bool {
 }
 
 /// Does a suppression comment cover `rule` on `line`? Both trailing
-/// (same line) and preceding (previous line) comments count.
-fn suppressed(comments: &[Comment], rule: Rule, line: u32) -> bool {
+/// (same line) and preceding (previous line) comments count. Doc comments
+/// never suppress — an `allow(...)` in rendered documentation is prose
+/// about the lint, not a directive to it. (The lexer keeps string-literal
+/// contents out of the comment list entirely, so an `allow(...)` inside a
+/// string can't suppress either.)
+pub fn suppressed(comments: &[Comment], rule: Rule, line: u32) -> bool {
     comments.iter().any(|c| {
-        (c.line == line || c.end_line + 1 == line) && parse_allows(&c.text).contains(&rule)
+        !c.is_doc
+            && (c.line == line || c.end_line + 1 == line)
+            && parse_allows(&c.text).contains(&rule)
     })
 }
 
@@ -467,6 +510,23 @@ mod tests {
     #[test]
     fn string_and_comment_contents_never_fire() {
         let src = "fn f() { let s = \"a.unwrap()\"; /* b.unwrap() */ }";
+        assert!(findings_for("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_inside_string_literal_does_not_suppress() {
+        let src = "fn f() { let s = \"// imcf-lint: allow(L001)\"; a.unwrap(); }";
+        assert_eq!(findings_for("crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn suppression_in_doc_comment_does_not_suppress() {
+        // A doc comment directly above the finding would count as a
+        // preceding comment if doc comments could suppress.
+        let src = "/// imcf-lint: allow(L001) — documented, not directed\nfn f() { a.unwrap(); }";
+        assert_eq!(findings_for("crates/x/src/lib.rs", src).len(), 1);
+        // The same text in a plain comment does suppress.
+        let src = "// imcf-lint: allow(L001) — infallible\nfn f() { a.unwrap(); }";
         assert!(findings_for("crates/x/src/lib.rs", src).is_empty());
     }
 }

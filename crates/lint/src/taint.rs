@@ -1,0 +1,670 @@
+//! Determinism-taint and wire-arithmetic analysis (IMCF-L008, IMCF-L009).
+//!
+//! ## L008 — determinism taint
+//!
+//! L002 forbids ambient nondeterminism *inside* three hardcoded crates.
+//! L008 generalizes it to reachability: starting from deterministic entry
+//! points — bench binary `main`s and `export_*`/`render_*`/`to_json`
+//! serialization functions — any call-graph path to a nondeterminism
+//! source is a finding:
+//!
+//! - `Instant::now` / `SystemTime::now` (wall-clock reads),
+//! - `thread_rng()` / `from_entropy()` (ambient randomness),
+//! - `thread::current` (thread-identity-dependent state),
+//! - iteration over `HashMap`/`HashSet` locals (`iter`, `keys`, `values`,
+//!   `drain`, `retain`, or a `for` loop), whose order is randomized.
+//!
+//! `crates/telemetry` is the sanctioned measurement layer: its internals
+//! (`Stopwatch` wraps `Instant::now`) are excluded from sink collection,
+//! so timing *through* telemetry stays green while a raw `Instant::now`
+//! on a bench path is flagged. Hash containers reached through struct
+//! fields (not locals) are a documented false negative.
+//!
+//! ## L009 — wire arithmetic
+//!
+//! In `crates/net`, a value derived from parsing attacker-controlled text
+//! (`.parse()`, `from_str_radix`) must not flow into unchecked `+`/`*`
+//! or a narrowing `as` cast — the PR 6 hand-audit, made permanent.
+//! `checked_*`/`saturating_*`/`wrapping_*`, `min`/`max`/`clamp` and
+//! `try_into`/`try_from` sanitize the value. The analysis is
+//! intra-procedural over locals.
+
+use crate::ast::{Block, Expr, File, ItemKind, Stmt};
+use crate::callgraph::CallGraph;
+use crate::rules::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+// ----------------------------------------------------------------------
+// L008
+// ----------------------------------------------------------------------
+
+/// Hash-container iteration methods whose order is randomized.
+const HASH_ITER_METHODS: [&str; 8] = [
+    "drain",
+    "into_iter",
+    "iter",
+    "iter_mut",
+    "keys",
+    "retain",
+    "values",
+    "values_mut",
+];
+
+/// One direct nondeterminism source in a function.
+struct Sink {
+    what: String,
+    line: u32,
+}
+
+/// Runs L008 over the workspace call graph.
+pub fn lint_determinism(graph: &CallGraph) -> Vec<Finding> {
+    let n = graph.fns.len();
+    let mut own_sinks: Vec<Vec<Sink>> = Vec::with_capacity(n);
+    for id in 0..n {
+        let node = &graph.fns[id];
+        let file = &graph.files[node.file];
+        // The telemetry crate is the sanctioned measurement layer; test
+        // code is free to do whatever it wants.
+        if node.in_test || file.crate_name == "telemetry" {
+            own_sinks.push(Vec::new());
+            continue;
+        }
+        own_sinks.push(match node.body {
+            Some(body) => collect_sinks(body),
+            None => Vec::new(),
+        });
+    }
+
+    // Reachability fixpoint: `reaches[f]` is the nearest own-sink function
+    // (by BFS order) reachable from `f`, as (fn id, via-path length).
+    let mut tainted: Vec<bool> = own_sinks.iter().map(|s| !s.is_empty()).collect();
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            if tainted[id] {
+                continue;
+            }
+            if graph.edges[id].iter().any(|(c, _)| tainted[*c]) {
+                tainted[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for id in 0..n {
+        if !is_entry(graph, id) || !tainted[id] {
+            continue;
+        }
+        let file = graph.files[graph.fns[id].file].rel_path.clone();
+        if let Some(sink) = own_sinks[id].first() {
+            findings.push(Finding {
+                rule: Rule::L008,
+                file,
+                line: sink.line,
+                message: format!(
+                    "deterministic entry `{}` uses nondeterministic {}",
+                    graph.label(id),
+                    sink.what
+                ),
+            });
+            continue;
+        }
+        // BFS to the nearest sink-bearing function for the witness path.
+        let (path, sink_what) = witness_path(graph, &own_sinks, id);
+        findings.push(Finding {
+            rule: Rule::L008,
+            file,
+            line: graph.fns[id].line,
+            message: format!(
+                "deterministic entry `{}` reaches nondeterministic {} via {}",
+                graph.label(id),
+                sink_what,
+                path.join(" -> ")
+            ),
+        });
+    }
+    findings
+}
+
+/// Deterministic entry points: bench/bin `main`s and serialization fns.
+fn is_entry(graph: &CallGraph, id: usize) -> bool {
+    let node = &graph.fns[id];
+    if node.in_test {
+        return false;
+    }
+    let rel = &graph.files[node.file].rel_path;
+    (node.name == "main" && rel.contains("/src/bin/"))
+        || node.name.starts_with("export_")
+        || node.name.starts_with("render_")
+        || node.name == "to_json"
+}
+
+/// Shortest call path (by BFS over sorted edges) from `from` to a
+/// function with its own sink; returns the labels along the path and the
+/// sink description.
+fn witness_path(graph: &CallGraph, own_sinks: &[Vec<Sink>], from: usize) -> (Vec<String>, String) {
+    let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut seen = BTreeSet::from([from]);
+    while let Some(cur) = queue.pop_front() {
+        if cur != from && !own_sinks[cur].is_empty() {
+            let mut path = vec![graph.label(cur)];
+            let mut at = cur;
+            while let Some(p) = prev.get(&at) {
+                if *p != from {
+                    path.push(graph.label(*p));
+                }
+                at = *p;
+            }
+            path.reverse();
+            return (path, own_sinks[cur][0].what.clone());
+        }
+        for (next, _) in &graph.edges[cur] {
+            if seen.insert(*next) {
+                prev.insert(*next, cur);
+                queue.push_back(*next);
+            }
+        }
+    }
+    (vec![String::from("?")], String::from("source"))
+}
+
+/// Collects a function's direct nondeterminism sources.
+fn collect_sinks(body: &Block) -> Vec<Sink> {
+    let mut sinks = Vec::new();
+    // Locals whose type or constructor marks them as hash containers.
+    let mut hash_locals: BTreeSet<&str> = BTreeSet::new();
+    for_each_stmt(body, &mut |stmt| {
+        if let Stmt::Let {
+            name: Some(name),
+            ty,
+            init,
+            ..
+        } = stmt
+        {
+            let hashy_ty = ty.contains("HashMap") || ty.contains("HashSet");
+            let hashy_init = matches!(
+                init,
+                Some(Expr::Call { callee, .. })
+                    if matches!(callee.as_ref(), Expr::Path { segs, .. }
+                        if segs.len() >= 2
+                            && (segs[segs.len() - 2] == "HashMap"
+                                || segs[segs.len() - 2] == "HashSet"))
+            );
+            if hashy_ty || hashy_init {
+                hash_locals.insert(name.as_str());
+            }
+        }
+    });
+    body.walk_exprs(&mut |e| match e {
+        Expr::Call { callee, line, .. } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                let last = segs.last().map(String::as_str).unwrap_or("");
+                let prev = segs.len().checked_sub(2).map(|i| segs[i].as_str());
+                if last == "now" && matches!(prev, Some("Instant") | Some("SystemTime")) {
+                    sinks.push(Sink {
+                        what: format!("`{}::now`", prev.unwrap_or("")),
+                        line: *line,
+                    });
+                }
+                if last == "thread_rng" || last == "from_entropy" {
+                    sinks.push(Sink {
+                        what: format!("`{last}()` (ambient randomness)"),
+                        line: *line,
+                    });
+                }
+                if last == "current" && prev == Some("thread") {
+                    sinks.push(Sink {
+                        what: String::from("`thread::current` (thread-identity state)"),
+                        line: *line,
+                    });
+                }
+            }
+        }
+        Expr::MethodCall {
+            recv, method, line, ..
+        } if HASH_ITER_METHODS.contains(&method.as_str()) => {
+            if let Some(place) = recv.place() {
+                if hash_locals.contains(place.as_str()) {
+                    sinks.push(Sink {
+                        what: format!("iteration over hash container `{place}`"),
+                        line: *line,
+                    });
+                }
+            }
+        }
+        Expr::ForLoop { iter, line, .. } => {
+            if let Some(place) = iter.place() {
+                if hash_locals.contains(place.as_str()) {
+                    sinks.push(Sink {
+                        what: format!("iteration over hash container `{place}`"),
+                        line: *line,
+                    });
+                }
+            }
+        }
+        _ => {}
+    });
+    sinks.sort_by_key(|s| s.line);
+    sinks
+}
+
+/// Visits every statement in a block tree (following nested blocks inside
+/// expressions is unnecessary for local-type collection in practice, but
+/// cheap: walk expressions and recurse into their blocks).
+fn for_each_stmt<'a>(block: &'a Block, visit: &mut dyn FnMut(&'a Stmt)) {
+    for stmt in &block.stmts {
+        visit(stmt);
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    for_each_stmt_expr(e, visit);
+                }
+                if let Some(b) = else_block {
+                    for_each_stmt(b, visit);
+                }
+            }
+            Stmt::Expr(e) => for_each_stmt_expr(e, visit),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn for_each_stmt_expr<'a>(expr: &'a Expr, visit: &mut dyn FnMut(&'a Stmt)) {
+    expr.walk(&mut |e| {
+        let block = match e {
+            Expr::Block(b) => Some(b),
+            Expr::If { then, .. } => Some(then),
+            Expr::While { body, .. } | Expr::Loop { body, .. } | Expr::ForLoop { body, .. } => {
+                Some(body)
+            }
+            _ => None,
+        };
+        if let Some(b) = block {
+            for stmt in &b.stmts {
+                visit(stmt);
+            }
+        }
+    });
+}
+
+// ----------------------------------------------------------------------
+// L009
+// ----------------------------------------------------------------------
+
+/// Methods that sanitize a parsed-length value.
+const SANITIZERS: [&str; 4] = ["clamp", "max", "min", "try_into"];
+
+/// Narrowing `as` targets.
+const NARROWING: [&str; 6] = ["i16", "i32", "i8", "u16", "u32", "u8"];
+
+/// Runs L009 on one file (only meaningful for `crates/net`).
+pub fn lint_wire_arithmetic(rel_path: &str, ast: &File) -> Vec<Finding> {
+    if !rel_path.starts_with("crates/net/") {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for item in &ast.items {
+        item.walk("", false, &mut |ctx| {
+            if ctx.in_test {
+                return;
+            }
+            if let ItemKind::Fn(body) = &ctx.item.kind {
+                let mut w = WireTaint {
+                    rel_path,
+                    tainted: BTreeSet::new(),
+                    findings: &mut findings,
+                };
+                w.run_block(body);
+            }
+        });
+    }
+    findings
+}
+
+struct WireTaint<'a> {
+    rel_path: &'a str,
+    /// Locals carrying a parse-derived value.
+    tainted: BTreeSet<String>,
+    findings: &'a mut Vec<Finding>,
+}
+
+impl WireTaint<'_> {
+    fn run_block(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let {
+                    name,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    let t = match init {
+                        Some(e) => self.eval(e),
+                        None => false,
+                    };
+                    if let Some(b) = else_block {
+                        self.run_block(b);
+                    }
+                    if let Some(n) = name {
+                        if t {
+                            self.tainted.insert(n.clone());
+                        } else {
+                            self.tainted.remove(n);
+                        }
+                    }
+                }
+                Stmt::Expr(e) => {
+                    self.eval(e);
+                }
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    /// Evaluates an expression's taint, reporting violations inline.
+    fn eval(&mut self, expr: &Expr) -> bool {
+        match expr {
+            Expr::Path { segs, .. } => segs.len() == 1 && self.tainted.contains(&segs[0]),
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                let rt = self.eval(recv);
+                let mut at = false;
+                for a in args {
+                    at |= self.eval(a);
+                }
+                match method.as_str() {
+                    // Sources: parsing attacker-controlled text.
+                    "parse" => true,
+                    m if SANITIZERS.contains(&m)
+                        || m.starts_with("checked_")
+                        || m.starts_with("saturating_")
+                        || m.starts_with("wrapping_") =>
+                    {
+                        false
+                    }
+                    // Comparisons and predicates produce clean bools.
+                    "eq" | "ne" | "lt" | "le" | "gt" | "ge" | "is_empty" => false,
+                    _ => {
+                        let _ = *line;
+                        rt || at
+                    }
+                }
+            }
+            Expr::Call { callee, args, .. } => {
+                let mut t = false;
+                for a in args {
+                    t |= self.eval(a);
+                }
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    let last = segs.last().map(String::as_str).unwrap_or("");
+                    if last == "from_str_radix" {
+                        return true;
+                    }
+                    if last == "try_from" || last == "min" || last == "max" {
+                        return false;
+                    }
+                }
+                t
+            }
+            Expr::Binary { op, lhs, rhs, line } => {
+                let lt = self.eval(lhs);
+                let rt = self.eval(rhs);
+                let t = lt || rt;
+                if t && (*op == "+" || *op == "*") {
+                    self.findings.push(Finding {
+                        rule: Rule::L009,
+                        file: self.rel_path.to_string(),
+                        line: *line,
+                        message: format!(
+                            "unchecked `{op}` on a parsed-length value (use `checked_{}`)",
+                            if *op == "+" { "add" } else { "mul" }
+                        ),
+                    });
+                }
+                // Comparisons yield clean bools; arithmetic stays tainted.
+                !matches!(*op, "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||") && t
+            }
+            Expr::Cast { expr, ty, line } => {
+                let t = self.eval(expr);
+                if t && NARROWING.contains(&ty.as_str()) {
+                    self.findings.push(Finding {
+                        rule: Rule::L009,
+                        file: self.rel_path.to_string(),
+                        line: *line,
+                        message: format!(
+                            "narrowing `as {ty}` on a parsed-length value (use `try_into`)"
+                        ),
+                    });
+                }
+                t
+            }
+            Expr::Assign { lhs, rhs, .. } => {
+                let t = self.eval(rhs);
+                if let Some(p) = lhs.place() {
+                    if !p.contains('.') {
+                        if t {
+                            self.tainted.insert(p);
+                        } else {
+                            self.tainted.remove(&p);
+                        }
+                    }
+                }
+                false
+            }
+            Expr::Ref { expr, .. } | Expr::Unary { expr, .. } | Expr::Try { expr, .. } => {
+                self.eval(expr)
+            }
+            Expr::Block(b) => {
+                self.run_block(b);
+                false
+            }
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                self.eval(cond);
+                self.run_block(then);
+                if let Some(e) = else_ {
+                    self.eval(e);
+                }
+                false
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let t = self.eval(scrutinee);
+                let mut any = false;
+                for a in arms {
+                    any |= self.eval(a);
+                }
+                t || any
+            }
+            Expr::While { cond, body, .. } => {
+                self.eval(cond);
+                self.run_block(body);
+                false
+            }
+            Expr::Loop { body, .. } | Expr::ForLoop { body, .. } => {
+                if let Expr::ForLoop { iter, .. } = expr {
+                    self.eval(iter);
+                }
+                self.run_block(body);
+                false
+            }
+            Expr::Closure { body, .. } => {
+                self.eval(body);
+                false
+            }
+            Expr::Return { expr, .. } => {
+                if let Some(e) = expr {
+                    self.eval(e);
+                }
+                false
+            }
+            Expr::Index { recv, index, .. } => {
+                self.eval(recv);
+                self.eval(index);
+                false
+            }
+            Expr::Tuple { exprs, .. } | Expr::Array { exprs, .. } => {
+                let mut t = false;
+                for e in exprs {
+                    t |= self.eval(e);
+                }
+                t
+            }
+            Expr::StructLit { fields, .. } => {
+                for f in fields {
+                    self.eval(f);
+                }
+                false
+            }
+            Expr::Lit { .. } | Expr::Macro { .. } | Expr::Field { .. } | Expr::Other { .. } => {
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::tests::parse_files;
+    use crate::callgraph::{CallGraph, ParsedFile};
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn det_findings(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<ParsedFile> = parse_files(sources);
+        let graph = CallGraph::build(&files);
+        lint_determinism(&graph)
+    }
+
+    fn wire_findings(src: &str) -> Vec<Finding> {
+        lint_wire_arithmetic("crates/net/src/http.rs", &parse_file(&lex(src)))
+    }
+
+    #[test]
+    fn l008_bench_main_reaching_instant_now_fires() {
+        let f = det_findings(&[
+            (
+                "crates/bench/src/bin/bench_x.rs",
+                "fn main() { imcf_core::step(); }\n",
+            ),
+            (
+                "crates/core/src/lib.rs",
+                "pub fn step() { let t = Instant::now(); }\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Instant::now"));
+        assert!(f[0].message.contains("core::step"));
+        assert_eq!(f[0].file, "crates/bench/src/bin/bench_x.rs");
+    }
+
+    #[test]
+    fn l008_timing_through_telemetry_is_sanctioned() {
+        let f = det_findings(&[
+            (
+                "crates/bench/src/bin/bench_x.rs",
+                "fn main() { let sw = imcf_telemetry::start(); }\n",
+            ),
+            (
+                "crates/telemetry/src/lib.rs",
+                "pub fn start() -> Stopwatch { Stopwatch { t: Instant::now() } }\n",
+            ),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l008_export_fn_iterating_hashmap_fires() {
+        let f = det_findings(&[(
+            "crates/controller/src/export.rs",
+            "pub fn export_rows() { let m: HashMap<String, u32> = HashMap::new(); for k in m.keys() { emit(k); } }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("hash container `m`"));
+    }
+
+    #[test]
+    fn l008_btreemap_iteration_is_clean() {
+        let f = det_findings(&[(
+            "crates/controller/src/export.rs",
+            "pub fn export_rows() { let m: BTreeMap<String, u32> = BTreeMap::new(); for k in m.keys() { emit(k); } }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l008_non_entry_fns_are_not_flagged() {
+        let f = det_findings(&[(
+            "crates/net/src/limiter.rs",
+            "fn refill(&self) { let t = Instant::now(); }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l009_unchecked_add_on_parsed_value_fires() {
+        let f = wire_findings(
+            "fn content_length(s: &str) -> usize { let n: usize = s.parse().unwrap_or(0); n + 2 }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("checked_add"));
+    }
+
+    #[test]
+    fn l009_checked_add_is_clean() {
+        let f = wire_findings(
+            "fn content_length(s: &str) -> Option<usize> { let n: usize = s.parse().ok()?; n.checked_add(2) }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l009_narrowing_cast_fires_and_try_into_is_clean() {
+        let f = wire_findings(
+            "fn shrink(s: &str) -> u16 { let n: u64 = s.parse().unwrap_or(0); n as u16 }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("try_into"));
+        let f = wire_findings(
+            "fn shrink(s: &str) -> u16 { let n: u64 = s.parse().unwrap_or(0); n.try_into().unwrap_or(0) }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l009_min_clamp_sanitize() {
+        let f = wire_findings(
+            "fn bounded(s: &str, cap: usize) -> usize { let n: usize = s.parse().unwrap_or(0); let n = n.min(cap); n + 1 }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l009_only_applies_to_net() {
+        let src = "fn f(s: &str) -> usize { let n: usize = s.parse().unwrap_or(0); n + 2 }\n";
+        let f = lint_wire_arithmetic("crates/core/src/lib.rs", &parse_file(&lex(src)));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn l009_comparison_is_not_arithmetic() {
+        let f = wire_findings(
+            "fn check(s: &str, cap: usize) -> bool { let n: usize = s.parse().unwrap_or(0); n > cap }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! End-to-end checks over the real workspace: the JSON report must parse
+//! with the in-tree JSON reader, and the report must be byte-identical
+//! regardless of `--jobs` (CI runs the same smoke via the binary).
+
+use imcf_lint::baseline::Baseline;
+use imcf_lint::{lint_workspace_jobs, workspace};
+
+fn root() -> std::path::PathBuf {
+    workspace::find_root(&std::env::current_dir().expect("cwd")).expect("workspace root")
+}
+
+#[test]
+fn json_report_parses_with_in_tree_reader() {
+    let root = root();
+    let report = lint_workspace_jobs(&root, 2).expect("lint");
+    let baseline = Baseline::load(&root).expect("baseline");
+    let json = report.render_json(&baseline);
+
+    let value = serde_json::parse(&json).expect("render_json must be valid JSON");
+    let files = match value.get("files") {
+        Some(serde_json::Value::Number(n)) => n.as_f64(),
+        other => panic!("files count missing: {other:?}"),
+    };
+    assert!(files > 0.0);
+    let findings = value.get("findings").expect("findings array");
+    assert!(findings.as_array().is_some());
+    let counts = value.get("counts").expect("counts object");
+    for rule in ["L001", "L005", "L006", "L007", "L008", "L009"] {
+        let entry = counts.get(rule).unwrap_or_else(|| panic!("counts.{rule}"));
+        assert!(entry.get("actual").is_some());
+        assert!(entry.get("baseline").is_some());
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_job_counts() {
+    let root = root();
+    let baseline = Baseline::load(&root).expect("baseline");
+    let sequential = lint_workspace_jobs(&root, 1).expect("lint -j1");
+    let parallel = lint_workspace_jobs(&root, 4).expect("lint -j4");
+    assert_eq!(
+        sequential.render_json(&baseline),
+        parallel.render_json(&baseline),
+        "findings must not depend on worker scheduling"
+    );
+}

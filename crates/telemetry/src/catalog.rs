@@ -113,6 +113,18 @@ pub const METRICS: &[MetricDef] = &[
         help: "firewall egress verdicts (accept/drop)",
     },
     MetricDef {
+        name: "lint.files",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "source files scanned by the last imcf-lint workspace pass",
+    },
+    MetricDef {
+        name: "lint.pass_micros",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "full imcf-lint workspace pass wall time, µs",
+    },
+    MetricDef {
         name: "loadgen.request_micros",
         kind: MetricKind::Histogram,
         labels: &[],

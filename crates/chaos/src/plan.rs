@@ -52,6 +52,12 @@ pub enum StoreOp {
     Append,
     /// An fsync durability point.
     Sync,
+    /// Sealing the active segment and rolling to the next.
+    Seal,
+    /// Snapshot-rewrite compaction of the whole table.
+    Compact,
+    /// Truncating the log (post-snapshot, or corrupt-record excision).
+    Truncate,
 }
 
 /// A fault injected on one store operation.
@@ -61,6 +67,12 @@ pub enum StoreFault {
     WriteError,
     /// The fsync fails with an I/O error.
     SyncError,
+    /// The segment seal fails with an I/O error.
+    SealError,
+    /// Compaction fails before writing the snapshot.
+    CompactError,
+    /// The log truncation fails with an I/O error.
+    TruncateError,
 }
 
 impl StoreFault {
@@ -69,6 +81,9 @@ impl StoreFault {
         match self {
             StoreFault::WriteError => "wal_write",
             StoreFault::SyncError => "wal_sync",
+            StoreFault::SealError => "wal_seal",
+            StoreFault::CompactError => "wal_compact",
+            StoreFault::TruncateError => "wal_truncate",
         }
     }
 }
@@ -96,6 +111,12 @@ pub struct FaultPlan {
     pub store_write_rate: f64,
     /// Probability that a WAL fsync fails.
     pub store_sync_rate: f64,
+    /// Probability that a segment seal fails.
+    pub store_seal_rate: f64,
+    /// Probability that a compaction fails before writing anything.
+    pub store_compact_rate: f64,
+    /// Probability that a log truncation fails.
+    pub store_truncate_rate: f64,
     /// Probability that a store reopen finds a torn tail.
     pub torn_tail_rate: f64,
     /// Probability that a bus subscriber stalls (stops draining) for a
@@ -113,6 +134,9 @@ impl FaultPlan {
             stuck_ticks: 3,
             store_write_rate: 0.0,
             store_sync_rate: 0.0,
+            store_seal_rate: 0.0,
+            store_compact_rate: 0.0,
+            store_truncate_rate: 0.0,
             torn_tail_rate: 0.0,
             bus_stall_rate: 0.0,
         }
@@ -127,11 +151,15 @@ impl FaultPlan {
         }
     }
 
-    /// Adds store faults (write + fsync at `rate`, torn tail at `rate/4`).
+    /// Adds store faults (write + fsync + seal + compact + truncate at
+    /// `rate`, torn tail at `rate/4`).
     pub fn with_store_faults(mut self, rate: f64) -> Self {
         let rate = rate.clamp(0.0, 1.0);
         self.store_write_rate = rate;
         self.store_sync_rate = rate;
+        self.store_seal_rate = rate;
+        self.store_compact_rate = rate;
+        self.store_truncate_rate = rate;
         self.torn_tail_rate = rate / 4.0;
         self
     }
@@ -147,6 +175,9 @@ impl FaultPlan {
         self.command_rate <= 0.0
             && self.store_write_rate <= 0.0
             && self.store_sync_rate <= 0.0
+            && self.store_seal_rate <= 0.0
+            && self.store_compact_rate <= 0.0
+            && self.store_truncate_rate <= 0.0
             && self.torn_tail_rate <= 0.0
             && self.bus_stall_rate <= 0.0
     }
@@ -213,6 +244,9 @@ impl FaultPlan {
         let (rate, fault, salt) = match op {
             StoreOp::Append => (self.store_write_rate, StoreFault::WriteError, 0),
             StoreOp::Sync => (self.store_sync_rate, StoreFault::SyncError, 1),
+            StoreOp::Seal => (self.store_seal_rate, StoreFault::SealError, 2),
+            StoreOp::Compact => (self.store_compact_rate, StoreFault::CompactError, 3),
+            StoreOp::Truncate => (self.store_truncate_rate, StoreFault::TruncateError, 4),
         };
         if rate <= 0.0 {
             return None;
@@ -310,6 +344,9 @@ mod tests {
             assert_eq!(p.command_fault(t, "x"), None);
             assert_eq!(p.store_fault(StoreOp::Append, t), None);
             assert_eq!(p.store_fault(StoreOp::Sync, t), None);
+            assert_eq!(p.store_fault(StoreOp::Seal, t), None);
+            assert_eq!(p.store_fault(StoreOp::Compact, t), None);
+            assert_eq!(p.store_fault(StoreOp::Truncate, t), None);
             assert_eq!(p.torn_tail_bytes(t), None);
             assert!(!p.bus_stalled(t));
         }
@@ -370,6 +407,15 @@ mod tests {
             Some(StoreFault::WriteError)
         );
         assert_eq!(p.store_fault(StoreOp::Sync, 0), Some(StoreFault::SyncError));
+        assert_eq!(p.store_fault(StoreOp::Seal, 0), Some(StoreFault::SealError));
+        assert_eq!(
+            p.store_fault(StoreOp::Compact, 0),
+            Some(StoreFault::CompactError)
+        );
+        assert_eq!(
+            p.store_fault(StoreOp::Truncate, 0),
+            Some(StoreFault::TruncateError)
+        );
         assert_eq!(p.torn_tail_rate, 0.25);
         let n = (0..400).filter(|i| p.torn_tail_bytes(*i).is_some()).count();
         assert!((50..=150).contains(&n), "torn on {n}/400 reopens");
@@ -387,5 +433,8 @@ mod tests {
         assert_eq!(CommandFault::Stuck { ticks: 1 }.kind(), "cmd_stuck");
         assert_eq!(StoreFault::WriteError.kind(), "wal_write");
         assert_eq!(StoreFault::SyncError.kind(), "wal_sync");
+        assert_eq!(StoreFault::SealError.kind(), "wal_seal");
+        assert_eq!(StoreFault::CompactError.kind(), "wal_compact");
+        assert_eq!(StoreFault::TruncateError.kind(), "wal_truncate");
     }
 }

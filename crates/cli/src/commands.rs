@@ -912,6 +912,9 @@ mod chaos_tests {
             path.to_str().unwrap(),
         ]))
         .unwrap();
-        assert!(path.join("soak_journal.snap").exists() || path.join("soak_journal.wal").exists());
+        let has_segment = imcf_store::segment::segment_files(&path, "soak_journal")
+            .map(|files| !files.is_empty())
+            .unwrap_or(false);
+        assert!(path.join("soak_journal.snap").exists() || has_segment);
     }
 }

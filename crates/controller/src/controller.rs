@@ -866,6 +866,9 @@ mod tests {
             let op = match op {
                 imcf_store::WalOp::Append => StoreOp::Append,
                 imcf_store::WalOp::Sync => StoreOp::Sync,
+                imcf_store::WalOp::Seal => StoreOp::Seal,
+                imcf_store::WalOp::Compact => StoreOp::Compact,
+                imcf_store::WalOp::Truncate => StoreOp::Truncate,
             };
             plan.store_fault(op, i)
                 .map(|f| std::io::Error::other(f.kind()))

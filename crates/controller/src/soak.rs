@@ -165,6 +165,9 @@ pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome 
             let op = match op {
                 WalOp::Append => StoreOp::Append,
                 WalOp::Sync => StoreOp::Sync,
+                WalOp::Seal => StoreOp::Seal,
+                WalOp::Compact => StoreOp::Compact,
+                WalOp::Truncate => StoreOp::Truncate,
             };
             plan.store_fault(op, i).map(|fault| {
                 imcf_chaos::record_injection(fault.kind());
@@ -309,7 +312,13 @@ pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome 
     drop(journal);
     if let Some(dir) = journal_dir {
         if let Some(bytes) = config.plan.torn_tail_bytes(0) {
-            let wal_path = dir.join("soak_journal.wal");
+            // Tear the *highest-seq* segment — that is the active tail;
+            // earlier (sealed) segments are never written again.
+            let wal_path = imcf_store::segment::segment_files(dir, "soak_journal")
+                .ok()
+                .and_then(|files| files.into_iter().next_back())
+                .map(|(_, path)| path)
+                .unwrap_or_else(|| dir.join("soak_journal.wal"));
             if let Ok(meta) = std::fs::metadata(&wal_path) {
                 let new_len = meta.len().saturating_sub(bytes);
                 if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&wal_path) {

@@ -10,7 +10,7 @@
 //! | IMCF-L006 | lock-acquisition order must be globally consistent; no re-entrant double-locks (see [`crate::locks`]) |
 //! | IMCF-L007 | no blocking calls (I/O, publish, sleep) while a lock guard is held |
 //! | IMCF-L008 | no nondeterminism reachable from bench/export entry points (see [`crate::taint`]) |
-//! | IMCF-L009 | `crates/net`: parsed-length values need checked arithmetic and `try_into` |
+//! | IMCF-L009 | `crates/net` + `crates/store`: parsed-length values need checked arithmetic and `try_into` |
 //!
 //! L001–L005 run over the token stream; L006–L009 run over the AST and
 //! workspace call graph built by [`crate::parser`] / [`crate::callgraph`].

@@ -22,7 +22,8 @@
 //!
 //! ## L009 — wire arithmetic
 //!
-//! In `crates/net`, a value derived from parsing attacker-controlled text
+//! In `crates/net` and `crates/store`, a value derived from parsing
+//! wire- or disk-controlled text
 //! (`.parse()`, `from_str_radix`) must not flow into unchecked `+`/`*`
 //! or a narrowing `as` cast — the PR 6 hand-audit, made permanent.
 //! `checked_*`/`saturating_*`/`wrapping_*`, `min`/`max`/`clamp` and
@@ -304,9 +305,11 @@ const SANITIZERS: [&str; 4] = ["clamp", "max", "min", "try_into"];
 /// Narrowing `as` targets.
 const NARROWING: [&str; 6] = ["i16", "i32", "i8", "u16", "u32", "u8"];
 
-/// Runs L009 on one file (only meaningful for `crates/net`).
+/// Runs L009 on one file. The rule covers the crates that parse
+/// wire/on-disk integers: `crates/net` (HTTP framing) and `crates/store`
+/// (WAL segment headers and sequence numbers).
 pub fn lint_wire_arithmetic(rel_path: &str, ast: &File) -> Vec<Finding> {
-    if !rel_path.starts_with("crates/net/") {
+    if !rel_path.starts_with("crates/net/") && !rel_path.starts_with("crates/store/") {
         return Vec::new();
     }
     let mut findings = Vec::new();
@@ -654,10 +657,14 @@ mod tests {
     }
 
     #[test]
-    fn l009_only_applies_to_net() {
+    fn l009_only_applies_to_net_and_store() {
         let src = "fn f(s: &str) -> usize { let n: usize = s.parse().unwrap_or(0); n + 2 }\n";
         let f = lint_wire_arithmetic("crates/core/src/lib.rs", &parse_file(&lex(src)));
         assert!(f.is_empty());
+        // The store crate parses segment sequence numbers off disk; the
+        // same discipline applies there.
+        let f = lint_wire_arithmetic("crates/store/src/segment.rs", &parse_file(&lex(src)));
+        assert_eq!(f.len(), 1, "{f:?}");
     }
 
     #[test]

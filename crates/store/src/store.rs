@@ -64,16 +64,28 @@ impl Store {
         Ok(Table::open(&self.dir, name)?)
     }
 
-    /// Lists the table names present on disk (those with a snapshot or WAL
-    /// file).
+    /// Lists the table names present on disk — those with a snapshot, a
+    /// WAL segment (`<name>.wal.<seq>`), or a legacy single-file WAL.
+    /// Transient `.snap.tmp` files (compaction scratch) are not tables.
     pub fn table_names(&self) -> std::io::Result<Vec<String>> {
         let mut names = std::collections::BTreeSet::new();
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            for suffix in [".wal", ".snap"] {
-                if let Some(stem) = name.strip_suffix(suffix) {
+            if name.ends_with(".tmp") {
+                continue;
+            }
+            if let Some(stem) = name
+                .strip_suffix(".snap")
+                .or_else(|| name.strip_suffix(".wal"))
+            {
+                names.insert(stem.to_string());
+                continue;
+            }
+            // Segment files: `<stem>.wal.<digits>`.
+            if let Some((stem, seq)) = name.rsplit_once(".wal.") {
+                if !seq.is_empty() && seq.bytes().all(|b| b.is_ascii_digit()) {
                     names.insert(stem.to_string());
                 }
             }
@@ -127,6 +139,26 @@ mod tests {
                 Err(StoreError::InvalidTableName(_))
             ));
         }
+    }
+
+    #[test]
+    fn table_names_ignore_snap_tmp_and_accept_segments() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = Store::open(dir.path()).unwrap();
+        let mut t: Table<Reading> = store.table("readings").unwrap();
+        t.insert(Reading {
+            sensor: "temp".into(),
+            value: 21.0,
+        })
+        .unwrap();
+        // A crash mid-compaction can leave a temp snapshot behind; it is
+        // scratch, not a table.
+        std::fs::write(dir.path().join("readings.snap.tmp"), b"{").unwrap();
+        std::fs::write(dir.path().join("ghost.snap.tmp"), b"{").unwrap();
+        // Segment files map back to their table name.
+        assert!(dir.path().join("readings.wal.1").exists());
+        let names = store.table_names().unwrap();
+        assert_eq!(names, vec!["readings".to_string()]);
     }
 
     #[test]

@@ -1,22 +1,30 @@
-//! Typed tables over the WAL.
+//! Typed tables over the segmented WAL.
 //!
 //! A [`Table<T>`] stores rows of any `Serialize + DeserializeOwned` type,
 //! keyed by a `u64` row id the table assigns. Mutations are WAL-logged as
-//! JSON operations before the in-memory index changes; a snapshot persists
-//! the whole index and truncates the log.
+//! JSON operations before the in-memory index changes; a compaction
+//! persists the whole index as a snapshot and drops the log segments.
 //!
 //! On-disk layout for a table named `readings` in directory `dir`:
 //!
 //! ```text
-//! dir/readings.snap   — JSON snapshot: { next_id, rows: { id -> row } }
-//! dir/readings.wal    — redo log of operations since the snapshot
+//! dir/readings.snap      — JSON snapshot: { next_id, rows: { id -> row } }
+//! dir/readings.wal.<seq> — redo-log segments since the snapshot; the
+//!                          highest sequence number is the active tail
 //! ```
+//!
+//! Compaction durability order (each step is a barrier for the next):
+//! temp snapshot written **and fsynced**, renamed over the live snapshot,
+//! parent directory fsynced, and only then the log truncated — so a crash
+//! at any point leaves either the old snapshot + full log or the new
+//! snapshot (+ a replayable, idempotent log suffix), never a hole.
 
-use crate::wal::Wal;
+use crate::segment::{SegmentConfig, SegmentedLog};
+use crate::wal::{WalOp, HEADER_LEN};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 /// A logged mutation.
@@ -70,20 +78,40 @@ impl From<serde_json::Error> for TableError {
 
 /// A persistent, WAL-backed table of typed rows.
 pub struct Table<T> {
+    name: String,
     snap_path: PathBuf,
-    wal: Wal,
+    log: SegmentedLog,
     rows: BTreeMap<u64, T>,
     next_id: u64,
 }
 
 impl<T: Serialize + DeserializeOwned + Clone> Table<T> {
-    /// Opens (or creates) the table `name` in `dir`, loading the snapshot
-    /// and replaying the WAL suffix.
+    /// Opens (or creates) the table `name` in `dir` with the default
+    /// segment configuration.
     pub fn open(dir: impl AsRef<Path>, name: &str) -> Result<Table<T>, TableError> {
+        Self::open_with(dir, name, SegmentConfig::default())
+    }
+
+    /// Opens (or creates) the table `name` in `dir`, loading the snapshot
+    /// and replaying the WAL segments in sequence order.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        name: &str,
+        config: SegmentConfig,
+    ) -> Result<Table<T>, TableError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let snap_path = dir.join(format!("{name}.snap"));
-        let wal_path = dir.join(format!("{name}.wal"));
+
+        // A `.snap.tmp` left behind by a crash mid-compaction is garbage:
+        // the rename never happened, so the live snapshot is still the
+        // authority. Remove the orphan so it cannot accumulate.
+        let orphan = snap_path.with_extension("snap.tmp");
+        match std::fs::remove_file(&orphan) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
 
         let (mut rows, mut next_id) = match std::fs::read(&snap_path) {
             Ok(bytes) => {
@@ -94,43 +122,78 @@ impl<T: Serialize + DeserializeOwned + Clone> Table<T> {
             Err(e) => return Err(e.into()),
         };
 
-        let mut wal = Wal::open(wal_path)?;
-        for record in wal.read_all()? {
-            // A record that fails to decode is treated like a torn record:
-            // replay stops there (the WAL guarantees prefix integrity, so a
-            // decode failure means a version mismatch, not corruption).
-            let Ok(op) = serde_json::from_slice::<Op<T>>(&record) else {
-                break;
-            };
-            match op {
-                Op::Insert { id, row } => {
-                    rows.insert(id, row);
-                    next_id = next_id.max(id + 1);
-                }
-                Op::Update { id, row } => {
-                    rows.insert(id, row);
-                }
-                Op::Delete { id } => {
-                    rows.remove(&id);
+        let recovery = imcf_telemetry::Stopwatch::start();
+        let mut log = SegmentedLog::open(dir, name, config)?;
+        for record in log.take_recovered() {
+            match serde_json::from_slice::<Op<T>>(&record.payload) {
+                Ok(op) => match op {
+                    Op::Insert { id, row } => {
+                        rows.insert(id, row);
+                        next_id = next_id.max(id + 1);
+                    }
+                    Op::Update { id, row } => {
+                        rows.insert(id, row);
+                    }
+                    Op::Delete { id } => {
+                        rows.remove(&id);
+                    }
+                },
+                Err(_) => {
+                    // A CRC-valid record that fails to decode (a version
+                    // mismatch) ends replay — and must also end the *log*,
+                    // truncated right before the undecodable record.
+                    // Otherwise later appends would land beyond records
+                    // that are silently never replayed on the next open.
+                    let framed = (HEADER_LEN + record.payload.len()) as u64;
+                    let start = record.end_offset.saturating_sub(framed);
+                    log.truncate_to(record.seq, start)?;
+                    break;
                 }
             }
         }
-        Ok(Table {
+        imcf_telemetry::global()
+            .histogram("store.recovery_micros")
+            .observe(recovery.elapsed_micros() as f64);
+        let table = Table {
+            name: name.to_string(),
             snap_path,
-            wal,
+            log,
             rows,
             next_id,
-        })
+        };
+        table.update_segment_gauge();
+        Ok(table)
+    }
+
+    fn update_segment_gauge(&self) {
+        imcf_telemetry::global()
+            .gauge_with("store.segments", &[("table", &self.name)])
+            .set(self.log.segment_count() as f64);
     }
 
     /// Inserts a row and returns its id.
     pub fn insert(&mut self, row: T) -> Result<u64, TableError> {
+        let row_json = serde_json::to_vec(&row)?;
+        self.insert_with_encoded_row(row, &row_json)
+    }
+
+    /// Insert with the row JSON already encoded — [`crate::commit`] uses
+    /// this to keep serialization outside the table lock. The op record is
+    /// assembled by hand in the exact shape `Op::Insert` serializes to, so
+    /// replay decodes it identically.
+    pub(crate) fn insert_with_encoded_row(
+        &mut self,
+        row: T,
+        row_json: &[u8],
+    ) -> Result<u64, TableError> {
         let id = self.next_id;
-        let op = Op::Insert {
-            id,
-            row: row.clone(),
-        };
-        self.wal.append(&serde_json::to_vec(&op)?)?;
+        let mut payload = Vec::with_capacity(row_json.len() + 32);
+        payload.extend_from_slice(b"{\"Insert\":{\"id\":");
+        payload.extend_from_slice(id.to_string().as_bytes());
+        payload.extend_from_slice(b",\"row\":");
+        payload.extend_from_slice(row_json);
+        payload.extend_from_slice(b"}}");
+        self.log.append(&payload)?;
         self.rows.insert(id, row);
         self.next_id += 1;
         Ok(id)
@@ -145,7 +208,7 @@ impl<T: Serialize + DeserializeOwned + Clone> Table<T> {
             id,
             row: row.clone(),
         };
-        self.wal.append(&serde_json::to_vec(&op)?)?;
+        self.log.append(&serde_json::to_vec(&op)?)?;
         self.rows.insert(id, row);
         Ok(())
     }
@@ -156,7 +219,7 @@ impl<T: Serialize + DeserializeOwned + Clone> Table<T> {
             return Err(TableError::NoSuchRow(id));
         }
         let op: Op<T> = Op::Delete { id };
-        self.wal.append(&serde_json::to_vec(&op)?)?;
+        self.log.append(&serde_json::to_vec(&op)?)?;
         self.rows.remove(&id);
         Ok(())
     }
@@ -183,50 +246,150 @@ impl<T: Serialize + DeserializeOwned + Clone> Table<T> {
 
     /// Forces the WAL to disk.
     pub fn sync(&mut self) -> Result<(), TableError> {
-        self.wal.sync()?;
+        self.log.sync()?;
         Ok(())
     }
 
-    /// Persists the full state as a snapshot and truncates the WAL
-    /// (compaction). The snapshot is written to a temp file and renamed so a
-    /// crash mid-snapshot leaves the previous snapshot intact.
+    /// Snapshot of the current log position plus a file handle that, once
+    /// `sync_data`-ed, makes everything up to that position durable. The
+    /// group commit leader calls this under the table lock, then fsyncs
+    /// the handle with the lock released so writers keep appending.
+    pub(crate) fn sync_prepare(&mut self) -> Result<(u64, std::fs::File), TableError> {
+        let goal = self.log.lsn();
+        let file = self.log.sync_handle()?;
+        Ok((goal, file))
+    }
+
+    /// Persists the full state as a snapshot and truncates the log
+    /// (sequential compaction; [`Table::compact`] is the parallel form).
     pub fn snapshot(&mut self) -> Result<(), TableError> {
-        let snap = Snapshot {
-            next_id: self.next_id,
-            rows: self.rows.clone(),
-        };
+        self.log.check_fault(WalOp::Compact)?;
+        let mut parts = Vec::with_capacity(self.rows.len());
+        for (id, row) in &self.rows {
+            parts.push(encode_pair(*id, row)?);
+        }
+        let bytes = assemble_snapshot(self.next_id, &parts);
+        self.finish_compaction(bytes)
+    }
+
+    /// Writes the snapshot durably (fsync before and after the rename),
+    /// then truncates the log — the crash-safe publication order.
+    fn finish_compaction(&mut self, bytes: Vec<u8>) -> Result<(), TableError> {
         let tmp = self.snap_path.with_extension("snap.tmp");
-        std::fs::write(&tmp, serde_json::to_vec(&snap)?)?;
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            // The snapshot's bytes must hit disk before the rename makes
+            // them the authority — a rename can survive a crash that the
+            // unflushed data does not.
+            file.sync_all()?;
+        }
         std::fs::rename(&tmp, &self.snap_path)?;
-        self.wal.truncate()?;
+        if let Some(parent) = self.snap_path.parent() {
+            // Persist the rename (a directory-entry change) before the
+            // log it supersedes is destroyed.
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        self.log.truncate_all()?;
+        imcf_telemetry::global().counter("store.compactions").inc();
+        self.update_segment_gauge();
         Ok(())
     }
 
-    /// Bytes currently in the WAL (useful for compaction policies).
+    /// Bytes currently in the WAL segments (useful for compaction
+    /// policies).
     pub fn wal_bytes(&self) -> u64 {
-        self.wal.len_bytes()
+        self.log.tail_bytes()
     }
 
-    /// Installs a fault hook on the underlying WAL (see
-    /// [`Wal::set_fault_hook`]). Injected errors surface from `insert` /
-    /// `update` / `delete` / `sync` as [`TableError::Io`]; the in-memory
-    /// index is not mutated when the log write fails.
+    /// Number of on-disk log segments (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.log.segment_count()
+    }
+
+    /// Number of sealed (read-only) segments awaiting compaction.
+    pub fn sealed_count(&self) -> usize {
+        self.log.sealed_count()
+    }
+
+    /// Monotonic log position (bytes ever appended); group commit compares
+    /// these positions to decide which callers an fsync satisfied.
+    pub fn wal_lsn(&self) -> u64 {
+        self.log.lsn()
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs a fault hook on the underlying log (see
+    /// [`crate::wal::Wal::set_fault_hook`]). Injected errors surface from
+    /// `insert` / `update` / `delete` / `sync` / `snapshot` / `compact` as
+    /// [`TableError::Io`]; the in-memory index is not mutated when the log
+    /// write fails.
     pub fn set_wal_fault_hook<F>(&mut self, hook: F)
     where
-        F: Fn(crate::wal::WalOp) -> Option<io::Error> + Send + Sync + 'static,
+        F: Fn(WalOp) -> Option<io::Error> + Send + Sync + 'static,
     {
-        self.wal.set_fault_hook(hook);
+        self.log.set_fault_hook(hook);
     }
 
     /// Removes the WAL fault hook.
     pub fn clear_wal_fault_hook(&mut self) {
-        self.wal.clear_fault_hook();
+        self.log.clear_fault_hook();
     }
+}
+
+impl<T: Serialize + DeserializeOwned + Clone + Send + Sync> Table<T> {
+    /// Compacts the table: rewrites the live rows into a fresh snapshot —
+    /// row encoding fanned out over `jobs` `imcf-pool` workers — and drops
+    /// the log segments. The snapshot bytes are byte-identical for any
+    /// `jobs` value: workers encode disjoint rows and the parts are
+    /// concatenated in id order.
+    pub fn compact(&mut self, jobs: usize) -> Result<(), TableError> {
+        self.log.check_fault(WalOp::Compact)?;
+        let pairs: Vec<(u64, &T)> = self.rows.iter().map(|(id, row)| (*id, row)).collect();
+        let encoded = imcf_pool::map_indexed(jobs, pairs, |_, (id, row)| {
+            encode_pair(id, row).map_err(|e| e.to_string())
+        });
+        let mut parts = Vec::with_capacity(encoded.len());
+        for part in encoded {
+            parts.push(part.map_err(io::Error::other)?);
+        }
+        let bytes = assemble_snapshot(self.next_id, &parts);
+        self.finish_compaction(bytes)
+    }
+}
+
+/// Encodes one `id: row` snapshot entry as JSON object-member bytes.
+fn encode_pair<T: Serialize>(id: u64, row: &T) -> Result<Vec<u8>, TableError> {
+    let mut out = format!("\"{id}\":").into_bytes();
+    out.extend_from_slice(&serde_json::to_vec(row)?);
+    Ok(out)
+}
+
+/// Assembles the snapshot document from pre-encoded `id: row` members.
+/// The layout matches what `serde_json` produces for [`Snapshot`], so
+/// snapshots written by any engine version parse identically.
+fn assemble_snapshot(next_id: u64, parts: &[Vec<u8>]) -> Vec<u8> {
+    let body: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(body + parts.len() + 32);
+    out.extend_from_slice(format!("{{\"next_id\":{next_id},\"rows\":{{").as_bytes());
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.extend_from_slice(part);
+    }
+    out.extend_from_slice(b"}}");
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::segment_path;
 
     #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
     struct Pref {
@@ -307,6 +470,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_compaction_is_byte_identical_to_sequential() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut snaps: Vec<Vec<u8>> = Vec::new();
+        for jobs in [1usize, 4] {
+            let sub = dir.path().join(format!("jobs{jobs}"));
+            let mut t: Table<Pref> = Table::open(&sub, "prefs").unwrap();
+            for i in 0..64 {
+                t.insert(pref(&format!("user-{i}"), i as f64 * 0.5))
+                    .unwrap();
+            }
+            t.compact(jobs).unwrap();
+            snaps.push(std::fs::read(sub.join("prefs.snap")).unwrap());
+        }
+        assert_eq!(
+            snaps[0], snaps[1],
+            "snapshot bytes must not depend on --jobs"
+        );
+        // And the hand-assembled document round-trips through serde.
+        let parsed: Snapshot<Pref> = serde_json::from_slice(&snaps[0]).unwrap();
+        assert_eq!(parsed.rows.len(), 64);
+        assert_eq!(parsed.next_id, 64);
+    }
+
+    #[test]
     fn ids_not_reused_after_reopen() {
         let dir = tempfile::tempdir().unwrap();
         let first;
@@ -328,7 +515,7 @@ mod tests {
             t.insert(pref("lose", 2.0)).unwrap();
             t.sync().unwrap();
         }
-        let wal_path = dir.path().join("prefs.wal");
+        let wal_path = segment_path(dir.path(), "prefs", 1);
         let len = std::fs::metadata(&wal_path).unwrap().len();
         let f = std::fs::OpenOptions::new()
             .write(true)
@@ -343,7 +530,6 @@ mod tests {
 
     #[test]
     fn injected_wal_fault_leaves_index_consistent() {
-        use crate::wal::WalOp;
         let dir = tempfile::tempdir().unwrap();
         let mut t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
         let id = t.insert(pref("stable", 1.0)).unwrap();
@@ -374,6 +560,90 @@ mod tests {
         drop(t);
         let t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn injected_truncate_fault_aborts_compaction_without_data_loss() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+        for i in 0..5 {
+            t.insert(pref(&format!("u{i}"), i as f64)).unwrap();
+        }
+        t.sync().unwrap();
+        t.set_wal_fault_hook(|op| {
+            matches!(op, WalOp::Truncate).then(|| io::Error::other("injected: wal_truncate"))
+        });
+        // The snapshot is published but the log truncation fails: the
+        // compaction reports the error and every row stays recoverable
+        // (replaying the untruncated log over the snapshot is idempotent).
+        assert!(matches!(t.snapshot(), Err(TableError::Io(_))));
+        assert!(t.wal_bytes() > 0, "log must survive the failed truncate");
+        drop(t);
+        let t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+        assert_eq!(t.len(), 5);
+        for i in 0..5u64 {
+            assert_eq!(t.get(i).unwrap().user, format!("u{i}"));
+        }
+    }
+
+    #[test]
+    fn injected_compact_fault_blocks_snapshot_before_any_write() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+        t.insert(pref("solo", 1.0)).unwrap();
+        t.set_wal_fault_hook(|op| {
+            matches!(op, WalOp::Compact).then(|| io::Error::other("injected: wal_compact"))
+        });
+        assert!(matches!(t.snapshot(), Err(TableError::Io(_))));
+        assert!(matches!(t.compact(2), Err(TableError::Io(_))));
+        // Nothing was published and the log is untouched.
+        assert!(!dir.path().join("prefs.snap").exists());
+        assert!(t.wal_bytes() > 0);
+    }
+
+    #[test]
+    fn undecodable_record_truncates_log_so_no_later_append_is_lost() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let mut t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+            t.insert(pref("keep", 1.0)).unwrap();
+            t.sync().unwrap();
+        }
+        // Plant a CRC-valid record that is not a decodable Op<T> — the
+        // shape of a version-mismatched write.
+        {
+            let mut wal = crate::wal::Wal::open(segment_path(dir.path(), "prefs", 1)).unwrap();
+            wal.append(b"{\"not\":\"an op\"}").unwrap();
+            wal.sync().unwrap();
+        }
+        // Replay stops at the undecodable record AND the log is truncated
+        // there, so the next append lands where replay will find it.
+        let mut t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+        assert_eq!(t.len(), 1);
+        let id = t.insert(pref("after-break", 2.0)).unwrap();
+        t.sync().unwrap();
+        drop(t);
+        // Before the fix, this append sat beyond the undecodable record
+        // and silently vanished on every subsequent open.
+        let t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(id).unwrap().user, "after-break");
+    }
+
+    #[test]
+    fn orphan_snap_tmp_is_cleaned_on_open() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let mut t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+            t.insert(pref("real", 1.0)).unwrap();
+            t.snapshot().unwrap();
+        }
+        // A crash mid-compaction leaves a temp snapshot behind.
+        let orphan = dir.path().join("prefs.snap.tmp");
+        std::fs::write(&orphan, b"{\"half\":\"written").unwrap();
+        let t: Table<Pref> = Table::open(dir.path(), "prefs").unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(!orphan.exists(), "orphan temp snapshot must be removed");
     }
 
     #[test]

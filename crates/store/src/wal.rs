@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 /// reading garbage lengths from a corrupt header.
 pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
 
-const HEADER_LEN: usize = 8;
+pub(crate) const HEADER_LEN: usize = 8;
 
 /// Fault hook consulted before each append / sync: `Some(err)` fails the
 /// operation with that error before any bytes reach the file. Installed by
@@ -38,6 +38,12 @@ pub enum WalOp {
     Append,
     /// An fsync durability point.
     Sync,
+    /// Sealing the active segment and rolling to the next sequence number.
+    Seal,
+    /// A compaction pass (snapshot rewrite + segment drop).
+    Compact,
+    /// Truncating a log file (the durability point after compaction).
+    Truncate,
 }
 
 /// An append-only CRC-checked log file.
@@ -46,6 +52,10 @@ pub struct Wal {
     file: File,
     /// Byte offset of the end of the last valid record.
     valid_len: u64,
+    /// Bytes physically in the file, including any torn-tail debris. Kept
+    /// current so appends never need a `metadata()` syscall: debris can
+    /// only exist at open time (a crash mid-write), never appear later.
+    physical_len: u64,
     faults: Option<std::sync::Arc<WalFaultHook>>,
 }
 
@@ -59,11 +69,13 @@ impl Wal {
             .append(true)
             .create(true)
             .open(&path)?;
+        let physical_len = file.metadata()?.len();
         let valid_len = Self::scan_valid_prefix(&mut file)?;
         Ok(Wal {
             path,
             file,
             valid_len,
+            physical_len,
             faults: None,
         })
     }
@@ -74,6 +86,12 @@ impl Wal {
         F: Fn(WalOp) -> Option<io::Error> + Send + Sync + 'static,
     {
         self.faults = Some(std::sync::Arc::new(hook));
+    }
+
+    /// Installs an already-shared fault hook (used by the segmented log to
+    /// hand every segment the same hook instance).
+    pub fn set_fault_hook_shared(&mut self, hook: Option<std::sync::Arc<WalFaultHook>>) {
+        self.faults = hook;
     }
 
     /// Removes the fault hook.
@@ -125,6 +143,17 @@ impl Wal {
         self.valid_len
     }
 
+    /// Bytes physically on disk, including torn-tail debris.
+    pub fn physical_bytes(&self) -> u64 {
+        self.physical_len
+    }
+
+    /// True when the file carries bytes beyond the valid prefix — the
+    /// debris of an interrupted write.
+    pub fn has_torn_tail(&self) -> bool {
+        self.physical_len != self.valid_len
+    }
+
     /// Appends one record. If a torn tail is present from a previous crash,
     /// it is truncated first.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
@@ -135,17 +164,22 @@ impl Wal {
         if let Some(err) = self.injected_fault(WalOp::Append) {
             return Err(err);
         }
-        let file_len = self.file.metadata()?.len();
-        if file_len != self.valid_len {
+        // Torn-tail debris only exists at open time; `physical_len` tracks
+        // the file length so no per-append `metadata()` syscall is needed.
+        if self.physical_len != self.valid_len {
             self.file.set_len(self.valid_len)?;
+            self.physical_len = self.valid_len;
         }
         let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
         buf.put_u32_le(payload.len() as u32);
         buf.put_u32_le(crc32(payload));
         buf.put_slice(payload);
-        self.file.seek(SeekFrom::Start(self.valid_len))?;
+        // The file is opened in append mode: every write lands at EOF,
+        // which equals `valid_len` once the debris (if any) is truncated
+        // above — no per-append seek syscall needed.
         self.file.write_all(&buf)?;
         self.valid_len += buf.len() as u64;
+        self.physical_len = self.valid_len;
         Ok(())
     }
 
@@ -157,8 +191,28 @@ impl Wal {
         self.file.sync_data()
     }
 
+    /// A duplicated handle to the log file. Appends write through to the
+    /// kernel (no userspace buffering), so `sync_data` on the clone makes
+    /// every record appended so far durable — this is what lets a group
+    /// commit leader fsync *outside* the table lock while writers keep
+    /// appending.
+    pub(crate) fn file_clone(&self) -> io::Result<File> {
+        self.file.try_clone()
+    }
+
     /// Reads every valid record from the start of the log.
     pub fn read_all(&mut self) -> io::Result<Vec<Vec<u8>>> {
+        Ok(self
+            .read_all_with_offsets()?
+            .into_iter()
+            .map(|(_, payload)| payload)
+            .collect())
+    }
+
+    /// Reads every valid record along with the byte offset at which each
+    /// record *ends* — the truncation point that keeps that record and
+    /// drops everything after it.
+    pub fn read_all_with_offsets(&mut self) -> io::Result<Vec<(u64, Vec<u8>)>> {
         self.file.seek(SeekFrom::Start(0))?;
         let mut data = Vec::with_capacity(self.valid_len as usize);
         io::Read::by_ref(&mut self.file)
@@ -166,6 +220,7 @@ impl Wal {
             .read_to_end(&mut data)?;
         let mut records = Vec::new();
         let mut cursor = &data[..];
+        let mut offset = 0u64;
         while cursor.len() >= HEADER_LEN {
             let len = cursor.get_u32_le() as usize;
             let crc = cursor.get_u32_le();
@@ -177,15 +232,39 @@ impl Wal {
             if crc32(&payload) != crc {
                 break;
             }
-            records.push(payload);
+            offset = offset.saturating_add((HEADER_LEN + len) as u64);
+            records.push((offset, payload));
         }
         Ok(records)
     }
 
-    /// Truncates the log to empty (used after snapshotting).
+    /// Physically drops any torn-tail debris beyond the valid prefix,
+    /// without consulting the fault hook (debris removal is not a logged
+    /// operation — it re-establishes the invariant appends rely on).
+    pub(crate) fn discard_debris(&mut self) -> io::Result<()> {
+        if self.physical_len != self.valid_len {
+            self.file.set_len(self.valid_len)?;
+            self.physical_len = self.valid_len;
+        }
+        Ok(())
+    }
+
+    /// Truncates the log to empty (used after snapshotting). Routed
+    /// through the fault hook as [`WalOp::Truncate`] so compaction faults
+    /// are injectable.
     pub fn truncate(&mut self) -> io::Result<()> {
-        self.file.set_len(0)?;
-        self.valid_len = 0;
+        self.truncate_to(0)
+    }
+
+    /// Truncates the log to `offset` bytes — a record boundary established
+    /// by a prior scan — and fsyncs. Consults the fault hook first.
+    pub fn truncate_to(&mut self, offset: u64) -> io::Result<()> {
+        if let Some(err) = self.injected_fault(WalOp::Truncate) {
+            return Err(err);
+        }
+        self.file.set_len(offset)?;
+        self.valid_len = offset;
+        self.physical_len = offset;
         self.file.sync_data()
     }
 }
@@ -315,6 +394,9 @@ mod tests {
                 io::Error::other(match op {
                     WalOp::Append => "injected: wal_write",
                     WalOp::Sync => "injected: wal_sync",
+                    WalOp::Seal => "injected: wal_seal",
+                    WalOp::Compact => "injected: wal_compact",
+                    WalOp::Truncate => "injected: wal_truncate",
                 })
             })
         });

@@ -37,7 +37,8 @@ fn populate(dir: &Path, n: u64) {
 }
 
 fn wal_path(dir: &Path) -> std::path::PathBuf {
-    dir.join("readings.wal")
+    // All rows fit in one segment here: the active (and only) segment is 1.
+    imcf_store::segment::segment_path(dir, "readings", 1)
 }
 
 #[test]

@@ -227,6 +227,30 @@ pub const METRICS: &[MetricDef] = &[
         help: "controller orchestration tick time, µs",
     },
     MetricDef {
+        name: "store.compactions",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "table compactions completed (snapshot published, log truncated)",
+    },
+    MetricDef {
+        name: "store.group_commit_batch",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "sync() callers acknowledged per group-commit fsync",
+    },
+    MetricDef {
+        name: "store.recovery_micros",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "table open time (snapshot load + segment replay), µs",
+    },
+    MetricDef {
+        name: "store.segments",
+        kind: MetricKind::Gauge,
+        labels: &["table"],
+        help: "WAL segment files backing a table after open",
+    },
+    MetricDef {
         name: "trace.completed",
         kind: MetricKind::Counter,
         labels: &[],

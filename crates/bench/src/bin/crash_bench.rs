@@ -1,0 +1,218 @@
+//! The crash bench: recovery time as a function of checkpoint interval
+//! (extension beyond the paper's evaluation — the durability half of the
+//! meta-control loop).
+//!
+//! For each checkpoint interval the bench spawns itself as a child
+//! process running the recoverable controller workload, arms a
+//! crashpoint that aborts the child mid-run (tick `KILL_TICK`, before
+//! planning), then measures what the interval trades:
+//!
+//! * **restore** — checkpoint load + journal replay into the device
+//!   twins (`restore_micros`, the controller's own instrumentation), and
+//! * **recovery** — total wall time to regain the pre-crash state:
+//!   restore plus deterministic re-execution of the ticks lost since the
+//!   last durable checkpoint (whose actuations the command journal
+//!   dedups rather than re-delivers).
+//!
+//! Sparse checkpoints keep the checkpoint table small but leave many
+//! ticks to re-execute; dense checkpoints invert the trade. Interval 0
+//! (no mid-run checkpoints) is the degenerate bound: recovery replays
+//! the whole journal and re-executes every tick.
+
+use imcf_chaos::crashpoint;
+use imcf_chaos::FaultPlan;
+use imcf_controller::{run_recoverable, RecoveryConfig};
+use imcf_telemetry::Stopwatch;
+use serde::Serialize;
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+const SEED: u64 = 7;
+const TICKS: u64 = 72;
+const ZONES: usize = 2;
+const FAULT_RATE: f64 = 0.2;
+/// The tick the child dies in (1-based occurrence of the pre-plan site
+/// on a fresh store = 0-based tick index 54): ticks `0..=53` are sealed.
+const KILL_TICK: u64 = 54;
+/// Checkpoint intervals swept (0 = terminal checkpoint only).
+const INTERVALS: [u64; 6] = [1, 2, 4, 8, 32, 0];
+
+fn config(checkpoint_every: u64, ticks: u64) -> RecoveryConfig {
+    RecoveryConfig {
+        seed: SEED,
+        ticks,
+        zones: ZONES,
+        checkpoint_every,
+        plan: FaultPlan::commands(SEED, FAULT_RATE),
+        ..RecoveryConfig::default()
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct IntervalRow {
+    checkpoint_every: u64,
+    /// Tick the last durable checkpoint covered (recovery's resume point).
+    resume_tick: u64,
+    /// Ticks deterministically re-executed to regain the pre-crash state.
+    ticks_reexecuted: u64,
+    /// Delivered commands replayed into twins from the journal.
+    replayed_commands: u64,
+    /// Re-executed actuations the journal deduped (not re-delivered).
+    deduped: u64,
+    /// Checkpoint load + journal replay, microseconds.
+    restore_micros: u64,
+    /// Total wall time back to the pre-crash state, microseconds.
+    recovery_micros: u64,
+    /// On-disk size of the checkpoint table at the moment of the crash.
+    checkpoint_bytes: u64,
+}
+
+/// Bytes of the named table's WAL segments in `dir`.
+fn table_bytes(dir: &Path, table: &str) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with(&format!("{table}."))
+        })
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+fn bench_interval(exe: &Path, dir: &Path, checkpoint_every: u64) -> Result<IntervalRow, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+
+    // The child runs the full workload fresh and dies at KILL_TICK.
+    let kill = crashpoint::Crashpoint {
+        site: String::from("controller.tick.pre_plan"),
+        occurrence: KILL_TICK + 1,
+    };
+    let status = Command::new(exe)
+        .args(["--crash-child", &checkpoint_every.to_string()])
+        .args([dir.display().to_string()])
+        .env(crashpoint::CRASHPOINT_ENV, kill.env_value())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map_err(|e| format!("cannot respawn `{}`: {e}", exe.display()))?;
+    if status.success() {
+        return Err(format!(
+            "child survived its crashpoint at interval {checkpoint_every}"
+        ));
+    }
+    let checkpoint_bytes = table_bytes(dir, "checkpoint");
+
+    // Recovery: restore from the last checkpoint and re-execute to the
+    // kill tick — the wall time an operator waits to be back where the
+    // power went out.
+    let stopwatch = Stopwatch::start();
+    let outcome = run_recoverable(&config(checkpoint_every, KILL_TICK), dir)
+        .map_err(|e| format!("recovery at interval {checkpoint_every} failed: {e}"))?;
+    let recovery_micros = stopwatch.elapsed_micros();
+
+    let resume_tick = outcome.resumed_from.unwrap_or(0);
+    Ok(IntervalRow {
+        checkpoint_every,
+        resume_tick,
+        ticks_reexecuted: KILL_TICK - resume_tick,
+        replayed_commands: outcome.replayed_commands,
+        deduped: outcome.deduped,
+        restore_micros: outcome.restore_micros,
+        recovery_micros,
+        checkpoint_bytes,
+    })
+}
+
+/// Hidden child mode: arm the crashpoint from the environment and run
+/// the workload fresh until it fires.
+fn run_child(checkpoint_every: u64, dir: &Path) {
+    crashpoint::arm_from_env();
+    match run_recoverable(&config(checkpoint_every, TICKS), dir) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("crash-bench child failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+// This bench *measures wall time* (restore/recovery µs) — nondeterministic
+// output is its purpose, and the stuck-tick watchdog inside the workload is
+// wall-clock by design. imcf-lint: allow(L008)
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--crash-child") {
+        let checkpoint_every = argv.get(2).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("usage: crash_bench --crash-child <interval> <dir>");
+            std::process::exit(2);
+        });
+        let Some(dir) = argv.get(3) else {
+            eprintln!("usage: crash_bench --crash-child <interval> <dir>");
+            std::process::exit(2);
+        };
+        run_child(checkpoint_every, Path::new(dir));
+        return;
+    }
+
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("cannot locate own binary: {e}");
+            std::process::exit(1);
+        }
+    };
+    let dir = std::env::temp_dir().join(format!("imcf-crash-bench-{}", std::process::id()));
+
+    imcf_telemetry::global().reset();
+    println!(
+        "=== Crash bench: recovery time vs checkpoint interval \
+         (seed {SEED}, {TICKS} ticks × {ZONES} zones, kill at tick {KILL_TICK}) ===\n"
+    );
+    println!(
+        "{:>8} | {:>6} | {:>7} | {:>8} | {:>7} | {:>10} | {:>11} | {:>8}",
+        "interval",
+        "resume",
+        "re-exec",
+        "replayed",
+        "deduped",
+        "restore µs",
+        "recovery µs",
+        "ckpt B"
+    );
+
+    let mut rows = Vec::new();
+    for interval in INTERVALS {
+        match bench_interval(&exe, &dir, interval) {
+            Ok(row) => {
+                println!(
+                    "{:>8} | {:>6} | {:>7} | {:>8} | {:>7} | {:>10} | {:>11} | {:>8}",
+                    row.checkpoint_every,
+                    row.resume_tick,
+                    row.ticks_reexecuted,
+                    row.replayed_commands,
+                    row.deduped,
+                    row.restore_micros,
+                    row.recovery_micros,
+                    row.checkpoint_bytes,
+                );
+                rows.push(row);
+            }
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                eprintln!("crash bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let Err(e) = imcf_bench::harness::write_artifacts("crash_bench", &rows) {
+        eprintln!("warning: could not write artifacts: {e}");
+    }
+}

@@ -16,6 +16,8 @@
 //!   exponential backoff and seeded jitter (ticks, not wall clock).
 //! * [`CircuitBreaker`] — the classic closed → open → half-open state
 //!   machine, per device, quarantining flapping actuators.
+//! * [`crashpoint`] — named kill-the-process sites with seeded selection,
+//!   the substrate of the crash-recovery soak (`imcf chaos --crash`).
 //!
 //! Fault *decisions* live here; fault *wiring* lives at the injection
 //! points (`DeviceRegistry::set_fault_injector`, `Wal::set_fault_hook`) so
@@ -26,10 +28,12 @@
 //! registered in the `imcf-telemetry` catalog.
 
 mod breaker;
+pub mod crashpoint;
 mod plan;
 mod retry;
 
 pub use breaker::{BreakerBank, BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
+pub use crashpoint::Crashpoint;
 pub use plan::{CommandFault, FaultPlan, StoreFault, StoreOp};
 pub use retry::RetryPolicy;
 

@@ -598,6 +598,14 @@ mod schedule_tests {
 /// at a chosen fault rate (and optionally keep the journal on disk to
 /// inspect the torn-tail recovery path).
 pub fn chaos(argv: &[String]) -> Result<(), String> {
+    // `--crash` switches to the kill-at-crashpoint soak: a child process
+    // is killed mid-write at seeded crashpoints and must recover with
+    // exactly-once actuation (see `crash_commands`).
+    if let Some(i) = argv.iter().position(|a| a == "--crash") {
+        let mut rest = argv.to_vec();
+        rest.remove(i);
+        return crate::crash_commands::crash_soak(&rest);
+    }
     let spec = ArgSpec {
         options: &[
             "rate",

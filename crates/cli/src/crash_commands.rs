@@ -1,0 +1,441 @@
+//! `imcf chaos --crash` — the kill-at-crashpoint soak.
+//!
+//! The parent process runs the recoverable controller workload in a child
+//! process (`imcf chaos-child`, a hidden subcommand), arms one seeded
+//! crashpoint per cycle through the `IMCF_CRASHPOINT` environment
+//! variable, and lets the child die mid-write. After every kill it
+//! restarts the child on the same store directory and audits the command
+//! journal; after every completed run it compares the recovered final
+//! state against an uncrashed in-process reference at the same seed.
+//!
+//! Invariants asserted across the whole soak (the run fails otherwise):
+//!
+//! * **No double actuation** — the journal never holds two delivered
+//!   records for one command id, no matter where the kill landed.
+//! * **No lost ack** — a command id seen as delivered in any audit is
+//!   still delivered in every later audit of the same run.
+//! * **Byte-identical recovery** — a run that was killed and restored any
+//!   number of times ends in a [`StateDigest`] that serializes to the
+//!   same bytes as an uncrashed run at the same seed.
+//!
+//! [`StateDigest`]: imcf_controller::StateDigest
+
+use crate::args::ArgSpec;
+use imcf_chaos::crashpoint::{self, Crashpoint};
+use imcf_chaos::FaultPlan;
+use imcf_controller::{
+    audit_journal, open_or_restore, run_complete, run_recoverable, state_digest, RecoveryConfig,
+    StateDigest,
+};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// The workload parameters one soak (and its reference runs) share.
+#[derive(Debug, Clone, Copy)]
+struct SoakParams {
+    ticks: u64,
+    zones: usize,
+    checkpoint_every: u64,
+    rate: f64,
+}
+
+/// The recoverable-run config for one run seed. Parent and child build
+/// their configs through this single constructor so the reference run,
+/// the restored runs, and the digest checks all describe the same
+/// workload.
+fn recovery_config(seed: u64, params: &SoakParams) -> RecoveryConfig {
+    RecoveryConfig {
+        seed,
+        ticks: params.ticks,
+        zones: params.zones,
+        checkpoint_every: params.checkpoint_every,
+        plan: FaultPlan::commands(seed, params.rate),
+        ..RecoveryConfig::default()
+    }
+}
+
+/// The seed of the `index`-th run in a soak (runs after the first start
+/// fresh once the previous run completed). Golden-ratio stride keeps the
+/// derived seeds well separated while staying pure in `(base, index)`.
+fn run_seed(base: u64, index: u64) -> u64 {
+    base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn zone_names(zones: usize) -> Vec<String> {
+    (0..zones).map(|z| format!("zone{z}")).collect()
+}
+
+/// Serialized digest bytes — the comparison unit for "byte-identical".
+fn digest_bytes(digest: &StateDigest) -> Result<String, String> {
+    serde_json::to_string(digest).map_err(|e| format!("cannot serialize digest: {e}"))
+}
+
+/// The final-state digest of the (completed) store in `dir`, computed by
+/// restoring from the terminal checkpoint and replaying the journal —
+/// i.e. through the same recovery machinery the soak is testing.
+fn digest_of_store(config: &RecoveryConfig, dir: &Path) -> Result<StateDigest, String> {
+    let opened = open_or_restore(config, dir)
+        .map_err(|e| format!("cannot reopen completed store `{}`: {e}", dir.display()))?;
+    Ok(state_digest(
+        &opened.controller,
+        &zone_names(config.zones),
+        config.ticks,
+    ))
+}
+
+/// Runs the workload uncrashed, in-process, in a scratch directory, and
+/// returns its digest — the byte-exact reference for a crashed run at the
+/// same seed.
+fn reference_digest(config: &RecoveryConfig, scratch: &Path) -> Result<StateDigest, String> {
+    let _ = std::fs::remove_dir_all(scratch);
+    std::fs::create_dir_all(scratch)
+        .map_err(|e| format!("cannot create reference dir `{}`: {e}", scratch.display()))?;
+    let outcome = run_recoverable(config, scratch)
+        .map_err(|e| format!("uncrashed reference run failed: {e}"))?;
+    let _ = std::fs::remove_dir_all(scratch);
+    Ok(outcome.digest)
+}
+
+fn wipe_and_create(dir: &Path) -> Result<(), String> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create soak dir `{}`: {e}", dir.display()))
+}
+
+/// The JSON invariant report `imcf chaos --crash` writes.
+#[derive(Debug, Serialize)]
+struct CrashSoakReport {
+    seed: u64,
+    ticks: u64,
+    zones: usize,
+    checkpoint_every: u64,
+    fault_rate: f64,
+    max_occurrence: u64,
+    /// Kill/restart cycles asked for and observed.
+    kills_target: u64,
+    kills: u64,
+    /// Child spawns (kills + runs that outran their armed crashpoint).
+    spawns: u64,
+    /// Workload runs driven to their terminal checkpoint and verified.
+    runs_completed: u64,
+    /// Kills per crashpoint site.
+    site_kills: BTreeMap<String, u64>,
+    /// Invariant counters — all must be zero for the soak to pass.
+    duplicate_deliveries: u64,
+    lost_acks: u64,
+    digest_mismatches: u64,
+    /// Children that exited cleanly without a terminal checkpoint (a
+    /// workload bug if ever nonzero).
+    clean_exits_without_completion: u64,
+    pass: bool,
+}
+
+/// Per-run audit state: every command id acknowledged so far must stay
+/// delivered in every later audit of the same run.
+#[derive(Default)]
+struct RunLedger {
+    acked: BTreeSet<u64>,
+}
+
+impl RunLedger {
+    /// Folds one journal audit in; returns acks lost since the last one.
+    fn observe(&mut self, delivered_ids: &[u64]) -> u64 {
+        let now: BTreeSet<u64> = delivered_ids.iter().copied().collect();
+        let lost = self.acked.difference(&now).count() as u64;
+        self.acked = now;
+        lost
+    }
+}
+
+/// `imcf chaos --crash` — see the module docs. `argv` is the chaos argv
+/// with the `--crash` token already removed.
+pub fn crash_soak(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &[
+            "kills",
+            "ticks",
+            "seed",
+            "zones",
+            "checkpoint-every",
+            "rate",
+            "max-occurrence",
+            "dir",
+            "report",
+        ],
+        min_positional: 0,
+        max_positional: 0,
+    };
+    let parsed = spec.parse(argv)?;
+    let kills_target = parsed.get_u64("kills", 50)?.max(1);
+    let seed = parsed.get_u64("seed", 1)?;
+    let max_occurrence = parsed.get_u64("max-occurrence", 12)?.max(1);
+    let params = SoakParams {
+        ticks: parsed.get_u64("ticks", 72)?.max(1),
+        zones: parsed.get_u64("zones", 2)?.max(1) as usize,
+        checkpoint_every: parsed.get_u64("checkpoint-every", 8)?,
+        rate: parsed.get_f64("rate", 0.2)?,
+    };
+    if !(0.0..=1.0).contains(&params.rate) {
+        return Err(String::from("--rate must be within 0.0..=1.0"));
+    }
+    let workdir = match parsed.get("dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("imcf-crash-soak-{}", std::process::id())),
+    };
+    let scratch = workdir.join("reference");
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the imcf binary to respawn: {e}"))?;
+
+    println!(
+        "crash soak: {kills_target} kill(s) over {} tick × {} zone runs \
+         (seed {seed}, checkpoint every {}, fault rate {}, dir {})",
+        params.ticks,
+        params.zones,
+        params.checkpoint_every,
+        params.rate,
+        workdir.display()
+    );
+    wipe_and_create(&workdir)?;
+
+    let mut report = CrashSoakReport {
+        seed,
+        ticks: params.ticks,
+        zones: params.zones,
+        checkpoint_every: params.checkpoint_every,
+        fault_rate: params.rate,
+        max_occurrence,
+        kills_target,
+        kills: 0,
+        spawns: 0,
+        runs_completed: 0,
+        site_kills: BTreeMap::new(),
+        duplicate_deliveries: 0,
+        lost_acks: 0,
+        digest_mismatches: 0,
+        clean_exits_without_completion: 0,
+        pass: false,
+    };
+    let mut ledger = RunLedger::default();
+    let mut run_index = 0u64;
+    let mut cycle = 0u64;
+    // A picked crashpoint whose occurrence the run never reaches cannot
+    // kill, so some cycles complete the run instead. Well before this
+    // bound the soak has either met its kill target or demonstrated that
+    // nothing ever dies (also worth failing loudly on).
+    let max_cycles = kills_target.saturating_mul(40).saturating_add(200);
+
+    while report.kills < kills_target {
+        cycle += 1;
+        if cycle > max_cycles {
+            return Err(format!(
+                "crash soak stalled: {cycle} cycles produced only {} of {kills_target} kills",
+                report.kills
+            ));
+        }
+        let seed_now = run_seed(seed, run_index);
+        let point = crashpoint::pick(seed, cycle, max_occurrence);
+        let status = spawn_child(&exe, &workdir, seed_now, &params, Some(&point))?;
+        report.spawns += 1;
+
+        let completed = run_complete(&workdir, params.ticks)
+            .map_err(|e| format!("cannot inspect soak store: {e}"))?;
+        if !status.success() {
+            // The armed crashpoint fired: audit the half-written store
+            // exactly as the next incarnation will see it.
+            report.kills += 1;
+            *report.site_kills.entry(point.site.clone()).or_insert(0) += 1;
+            check_journal(&workdir, &mut ledger, &mut report)?;
+        } else if !completed {
+            report.clean_exits_without_completion += 1;
+        }
+        if completed {
+            finish_run(
+                &workdir,
+                &scratch,
+                seed_now,
+                &params,
+                &mut ledger,
+                &mut report,
+            )?;
+            run_index += 1;
+            wipe_and_create(&workdir)?;
+        }
+    }
+
+    // The kill target is met mid-run: drive the final, many-times-killed
+    // run to completion in-process (no crashpoint armed in the parent)
+    // and hold it to the same digest invariant.
+    if !run_complete(&workdir, params.ticks)
+        .map_err(|e| format!("cannot inspect soak store: {e}"))?
+    {
+        let seed_now = run_seed(seed, run_index);
+        run_recoverable(&recovery_config(seed_now, &params), &workdir)
+            .map_err(|e| format!("final resume failed: {e}"))?;
+        finish_run(
+            &workdir,
+            &scratch,
+            seed_now,
+            &params,
+            &mut ledger,
+            &mut report,
+        )?;
+    }
+    let _ = std::fs::remove_dir_all(&workdir);
+
+    report.pass = report.kills >= kills_target
+        && report.runs_completed > 0
+        && report.duplicate_deliveries == 0
+        && report.lost_acks == 0
+        && report.digest_mismatches == 0
+        && report.clean_exits_without_completion == 0;
+
+    println!(
+        "crash soak: {} kills over {} spawns, {} run(s) completed and verified",
+        report.kills, report.spawns, report.runs_completed
+    );
+    for (site, kills) in &report.site_kills {
+        println!("  {site}: {kills} kill(s)");
+    }
+    println!(
+        "  invariants: duplicate deliveries {}, lost acks {}, digest mismatches {} — {}",
+        report.duplicate_deliveries,
+        report.lost_acks,
+        report.digest_mismatches,
+        if report.pass { "PASS" } else { "FAIL" }
+    );
+
+    let out_path = match parsed.get("report") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let dir =
+                std::env::var("IMCF_OUT").unwrap_or_else(|_| String::from("target/experiments"));
+            PathBuf::from(dir).join("crash_soak.json")
+        }
+    };
+    if let Some(dir) = out_path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+    }
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out_path, json)
+        .map_err(|e| format!("cannot write report to `{}`: {e}", out_path.display()))?;
+    println!("  report: {}", out_path.display());
+
+    if report.pass {
+        Ok(())
+    } else {
+        Err(String::from(
+            "crash soak failed: an exactly-once or determinism invariant was violated \
+             (see the report JSON)",
+        ))
+    }
+}
+
+/// Spawns one child incarnation on `dir`, optionally with a crashpoint
+/// armed, and waits for it.
+fn spawn_child(
+    exe: &Path,
+    dir: &Path,
+    seed: u64,
+    params: &SoakParams,
+    point: Option<&Crashpoint>,
+) -> Result<std::process::ExitStatus, String> {
+    let mut command = Command::new(exe);
+    command
+        .arg("chaos-child")
+        .args(["--dir".into(), dir.display().to_string()])
+        .args(["--seed".into(), seed.to_string()])
+        .args(["--ticks".into(), params.ticks.to_string()])
+        .args(["--zones".into(), params.zones.to_string()])
+        .args([
+            "--checkpoint-every".into(),
+            params.checkpoint_every.to_string(),
+        ])
+        .args(["--rate".into(), params.rate.to_string()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        // The parent's environment must not leak an armed crashpoint into
+        // cycles that want the child to run free.
+        .env_remove(crashpoint::CRASHPOINT_ENV);
+    if let Some(point) = point {
+        command.env(crashpoint::CRASHPOINT_ENV, point.env_value());
+    }
+    command
+        .status()
+        .map_err(|e| format!("cannot spawn `{} chaos-child`: {e}", exe.display()))
+}
+
+/// Audits the journal in `dir` and folds the exactly-once counters into
+/// the report.
+fn check_journal(
+    dir: &Path,
+    ledger: &mut RunLedger,
+    report: &mut CrashSoakReport,
+) -> Result<(), String> {
+    let audit = audit_journal(dir).map_err(|e| format!("journal audit failed: {e}"))?;
+    report.duplicate_deliveries += audit.duplicate_deliveries;
+    report.lost_acks += ledger.observe(&audit.delivered_ids);
+    Ok(())
+}
+
+/// A run reached its terminal checkpoint: audit it one last time, compare
+/// its recovered digest against the uncrashed reference, and reset the
+/// per-run ledger for the next run.
+fn finish_run(
+    dir: &Path,
+    scratch: &Path,
+    seed: u64,
+    params: &SoakParams,
+    ledger: &mut RunLedger,
+    report: &mut CrashSoakReport,
+) -> Result<(), String> {
+    check_journal(dir, ledger, report)?;
+    let config = recovery_config(seed, params);
+    let recovered = digest_bytes(&digest_of_store(&config, dir)?)?;
+    let reference = digest_bytes(&reference_digest(&config, scratch)?)?;
+    if recovered != reference {
+        report.digest_mismatches += 1;
+        eprintln!(
+            "digest mismatch at seed {seed}:\n  crashed run: {recovered}\n  reference:   {reference}"
+        );
+    }
+    report.runs_completed += 1;
+    *ledger = RunLedger::default();
+    Ok(())
+}
+
+/// `imcf chaos-child` — the hidden child mode of the crash soak: arm the
+/// crashpoint named by `IMCF_CRASHPOINT` (if any), then run (or resume)
+/// the recoverable workload on `--dir`. Prints the outcome JSON when it
+/// survives to the terminal checkpoint.
+pub fn crash_child(argv: &[String]) -> Result<(), String> {
+    let spec = ArgSpec {
+        options: &["dir", "seed", "ticks", "zones", "checkpoint-every", "rate"],
+        min_positional: 0,
+        max_positional: 0,
+    };
+    let parsed = spec.parse(argv)?;
+    let dir = PathBuf::from(
+        parsed
+            .get("dir")
+            .ok_or("chaos-child requires --dir <store directory>")?,
+    );
+    let seed = parsed.get_u64("seed", 1)?;
+    let params = SoakParams {
+        ticks: parsed.get_u64("ticks", 72)?.max(1),
+        zones: parsed.get_u64("zones", 2)?.max(1) as usize,
+        checkpoint_every: parsed.get_u64("checkpoint-every", 8)?,
+        rate: parsed.get_f64("rate", 0.2)?,
+    };
+    let armed = crashpoint::arm_from_env();
+    let outcome = run_recoverable(&recovery_config(seed, &params), &dir)
+        .map_err(|e| format!("recoverable run failed: {e}"))?;
+    // Reaching this line means the armed occurrence was never hit (or no
+    // crashpoint was armed): report the completed run.
+    let _ = armed;
+    let json = serde_json::to_string(&outcome).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}

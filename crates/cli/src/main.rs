@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod crash_commands;
 mod net_commands;
 
 use std::process::ExitCode;
@@ -33,6 +34,11 @@ USAGE:
   imcf chaos [--rate R] [--store-rate R] [--ticks N] [--seed N] [--zones N]
              [--outage-rate R] [--journal DIR]  (fault-injection soak run)
              [--trace PATH]  (record causal traces; write Chrome-trace JSON)
+  imcf chaos --crash [--kills K] [--ticks N] [--seed N] [--zones N]
+             [--checkpoint-every N] [--rate R] [--max-occurrence M]
+             [--dir DIR] [--report PATH]
+             (kill-at-crashpoint soak: K child kills + restarts must keep
+              actuation exactly-once and recovery byte-identical)
   imcf trace explain <command-id> --input <trace.json>
              (render the causal chain behind a command in plain text)
   imcf serve [--port N] [--zones Z] [--duration-secs S] [--max-conns C]
@@ -86,6 +92,9 @@ fn main() -> ExitCode {
         "workflow" => commands::workflow(rest),
         "schedule" => commands::schedule(rest),
         "chaos" => commands::chaos(rest),
+        // Hidden: the crash soak's child incarnation (`chaos --crash`
+        // respawns itself through this entry point).
+        "chaos-child" => crash_commands::crash_child(rest),
         "trace" => commands::trace(rest),
         "serve" => net_commands::serve(rest),
         "loadgen" => net_commands::loadgen(rest),

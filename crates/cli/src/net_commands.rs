@@ -63,6 +63,7 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
     )
     .with_breakers(controller.breakers(), controller.chaos_clock());
+    let readiness = router.readiness();
 
     let config = NetConfig {
         addr: format!("127.0.0.1:{port}"),
@@ -99,7 +100,11 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             }
         }
     }
-    println!("imcf-net: shutting down (draining in-flight requests)");
+    // Flip readiness before the drain: load balancers probing
+    // `/rest/readyz` see 503 and stop routing here while in-flight
+    // requests (and liveness probes) still complete.
+    readiness.store(false, std::sync::atomic::Ordering::SeqCst);
+    println!("imcf-net: shutting down (readyz=503, draining in-flight requests)");
     handle.shutdown();
     Ok(())
 }

@@ -1,0 +1,78 @@
+//! End-to-end test of `imcf chaos --crash`: the real binary respawning
+//! itself as `chaos-child`, dying at armed crashpoints, and holding the
+//! exactly-once invariants across kill/restart cycles.
+
+use std::process::Command;
+
+#[test]
+fn crash_soak_passes_and_writes_the_invariant_report() {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let soak_dir = dir.path().join("soak");
+    let report_path = dir.path().join("crash_soak.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_imcf"))
+        .args([
+            "chaos",
+            "--crash",
+            "--kills",
+            "5",
+            "--ticks",
+            "36",
+            "--seed",
+            "11",
+            "--max-occurrence",
+            "8",
+        ])
+        .args(["--dir".into(), soak_dir.display().to_string()])
+        .args(["--report".into(), report_path.display().to_string()])
+        .output()
+        .expect("run imcf chaos --crash");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "crash soak must pass:\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("PASS"), "verdict missing: {stdout}");
+
+    // The invariant report is machine-checkable: kills happened, runs
+    // were verified, and every violation counter reads zero.
+    let report = std::fs::read_to_string(&report_path).expect("report JSON written");
+    for must in [
+        "\"kills\": 5",
+        "\"duplicate_deliveries\": 0",
+        "\"lost_acks\": 0",
+        "\"digest_mismatches\": 0",
+        "\"pass\": true",
+    ] {
+        assert!(report.contains(must), "report lacks `{must}`:\n{report}");
+    }
+
+    // The soak cleans its working store up after itself.
+    assert!(!soak_dir.exists(), "soak dir must be removed on success");
+}
+
+#[test]
+fn crash_child_without_a_crashpoint_completes_a_run() {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let output = Command::new(env!("CARGO_BIN_EXE_imcf"))
+        .args(["chaos-child", "--ticks", "12", "--seed", "3"])
+        .args(["--dir".into(), dir.path().display().to_string()])
+        .env_remove("IMCF_CRASHPOINT")
+        .output()
+        .expect("run imcf chaos-child");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("\"resumed_from\":null") || stdout.contains("\"resumed_from\": null"),
+        "fresh run must not resume: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"digest\""),
+        "outcome carries the digest: {stdout}"
+    );
+}

@@ -16,6 +16,8 @@
 //! GET  /rest/metrics            (Prometheus text; `?format=json` for JSON)
 //! GET  /rest/traces             (flight-recorder summaries; `?id=<hex>`
 //!                                for one trace as Chrome-trace JSON)
+//! GET  /rest/healthz            (liveness: 200 while the process serves)
+//! GET  /rest/readyz             (readiness: 503 while restoring/draining)
 //! ```
 //!
 //! and answers with JSON, so a GUI, a test harness, or a TCP shim can drive
@@ -30,7 +32,7 @@ use imcf_devices::registry::DeviceRegistry;
 use imcf_sim::meter::EnergyMeter;
 use parking_lot::Mutex;
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Content type of the Prometheus text exposition format (version 0.0.4,
@@ -145,6 +147,10 @@ pub struct Router {
     firewall: Arc<Mutex<Chain>>,
     meter: Arc<Mutex<EnergyMeter>>,
     breakers: Option<(Arc<Mutex<BreakerBank>>, Arc<AtomicU64>)>,
+    /// Readiness flag behind `/rest/readyz`: flipped false while the
+    /// controller restores from a checkpoint or drains for shutdown, so a
+    /// load balancer routes around the instance without killing it.
+    ready: Arc<AtomicBool>,
 }
 
 impl Router {
@@ -159,7 +165,14 @@ impl Router {
             firewall,
             meter,
             breakers: None,
+            ready: Arc::new(AtomicBool::new(true)),
         }
+    }
+
+    /// The shared readiness flag: store `false` during restore/drain to
+    /// make `/rest/readyz` answer 503, `true` once serving again.
+    pub fn readiness(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.ready)
     }
 
     /// Attaches the controller's circuit breakers (and its virtual chaos
@@ -182,7 +195,8 @@ impl Router {
                 Some("GET, POST")
             }
             "/rest/items" | "/rest/things" | "/rest/firewall" | "/rest/meter"
-            | "/rest/breakers" | "/rest/metrics" | "/rest/traces" => Some("GET"),
+            | "/rest/breakers" | "/rest/metrics" | "/rest/traces" | "/rest/healthz"
+            | "/rest/readyz" => Some("GET"),
             _ => None,
         }
     }
@@ -211,6 +225,8 @@ impl Router {
             ("GET", "/rest/breakers") => self.get_breakers(),
             ("GET", "/rest/metrics") => Self::get_metrics(query),
             ("GET", "/rest/traces") => Self::get_traces(query),
+            ("GET", "/rest/healthz") => Response::ok(&serde_json::json!({ "status": "ok" })),
+            ("GET", "/rest/readyz") => self.get_readyz(),
             _ if method.is_empty() || path.is_empty() || !path.starts_with('/') => {
                 Response::error(400, "expected `<METHOD> <path>` with an optional value")
             }
@@ -229,6 +245,20 @@ impl Router {
             .counter_with("api.requests", &[("status", status_class(response.status))])
             .inc();
         response
+    }
+
+    /// `GET /rest/readyz`: 200 while ready, 503 (with a `Retry-After`
+    /// hint) while the instance restores from a checkpoint or drains for
+    /// shutdown. Liveness (`/rest/healthz`) stays 200 either way — a
+    /// not-ready instance is routed around, not restarted.
+    fn get_readyz(&self) -> Response {
+        if self.ready.load(Ordering::SeqCst) {
+            Response::ok(&serde_json::json!({ "ready": true }))
+        } else {
+            let mut r = Response::error(503, "not ready: restoring or draining");
+            r.headers.push(("Retry-After", "1".to_string()));
+            r
+        }
     }
 
     fn get_metrics(query: &str) -> Response {
@@ -585,6 +615,31 @@ mod tests {
         // Query strings do not defeat path recognition.
         let r = router.handle("POST /rest/traces?id=00ff");
         assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn healthz_always_ok_and_readyz_follows_the_flag() {
+        let (_c, router) = router_with_zone();
+        assert_eq!(router.handle("GET /rest/healthz").status, 200);
+        assert_eq!(router.handle("GET /rest/readyz").status, 200);
+        assert!(router.handle("GET /rest/readyz").body.contains("true"));
+
+        // Drain: readiness flips, liveness does not.
+        let ready = router.readiness();
+        ready.store(false, Ordering::SeqCst);
+        let r = router.handle("GET /rest/readyz");
+        assert_eq!(r.status, 503);
+        assert_eq!(r.header("Retry-After"), Some("1"));
+        assert_eq!(router.handle("GET /rest/healthz").status, 200);
+
+        // Restore completes: ready again.
+        ready.store(true, Ordering::SeqCst);
+        assert_eq!(router.handle("GET /rest/readyz").status, 200);
+
+        // Probes are GET-only, like the rest of the read surface.
+        let r = router.handle("POST /rest/healthz");
+        assert_eq!(r.status, 405);
+        assert_eq!(r.header("Allow"), Some("GET"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 use crate::bus::{Event, EventBus};
 use crate::firewall::{Chain, FirewallRule, Match, Verdict};
+use crate::recovery::CommandJournal;
 use imcf_chaos::{BreakerBank, BreakerConfig, BreakerSnapshot, FaultPlan, RetryPolicy};
 use imcf_core::calendar::PaperCalendar;
 use imcf_core::candidate::PlanningSlot;
@@ -180,6 +181,58 @@ pub struct LocalController {
     /// Seed for per-tick trace-id derivation (the planner seed, so trace
     /// identity follows the same reproducibility contract as planning).
     trace_seed: u64,
+    /// The planner configuration the controller was built from, retained
+    /// verbatim so a checkpoint is self-contained (the planner itself does
+    /// not expose its config).
+    planner_config: PlannerConfig,
+    /// Optional exactly-once command journal (see [`crate::recovery`]).
+    /// When attached, every actuation is recorded under a deterministic
+    /// command id before the tick is acknowledged, and already-delivered
+    /// ids are skipped (not re-actuated) on post-crash re-execution.
+    journal: Option<CommandJournal>,
+}
+
+/// Version tag for [`ControllerCheckpoint`]; bump on layout change so a
+/// restore from an incompatible checkpoint fails loudly instead of
+/// misinterpreting bytes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The full serializable control state of a [`LocalController`], written
+/// to the `checkpoint` table by the recovery layer and restored with
+/// [`LocalController::restore`].
+///
+/// The checkpoint is *self-contained*: it carries the planner and retry
+/// configuration plus the provisioned zones, so restoring needs no
+/// external configuration — only this record. Device twin state is NOT
+/// checkpointed; it is rebuilt by replaying the delivered half of the
+/// command journal (see [`CommandJournal::replay_into`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerCheckpoint {
+    /// Layout version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The first tick the restored controller should execute (one past
+    /// the last tick fully covered by this checkpoint).
+    pub next_tick: u64,
+    /// Planner configuration (includes the seed: trace/command identity).
+    pub planner: PlannerConfig,
+    /// Actuation retry policy.
+    pub retry: RetryPolicy,
+    /// Zones provisioned at checkpoint time, in provisioning order (host
+    /// address assignment depends on the order).
+    pub zones: Vec<String>,
+    /// The carry-over budget reserve, kWh.
+    pub reserve_kwh: f64,
+    /// Next host address octet for zone provisioning.
+    pub next_host: u8,
+    /// The planner RNG, mid-stream — restoring it is what makes resumed
+    /// planning byte-deterministic with the uncrashed run.
+    pub rng: ChaCha8Rng,
+    /// The cumulative energy meter (carries its calendar).
+    pub meter: EnergyMeter,
+    /// Per-device circuit breakers, including open/half-open cooldowns.
+    pub breakers: BreakerBank,
+    /// The virtual fault-plane clock.
+    pub chaos_tick: u64,
 }
 
 impl LocalController {
@@ -207,7 +260,96 @@ impl LocalController {
             breakers: Arc::new(Mutex::new(BreakerBank::new(config.breaker))),
             chaos_tick: Arc::new(AtomicU64::new(0)),
             trace_seed: config.planner.seed,
+            planner_config: config.planner,
+            journal: None,
         }
+    }
+
+    /// Serializes the full control state as of `next_tick` (the first tick
+    /// a restored controller should run). `zones` is the provisioning
+    /// order, needed to rebuild the device inventory on restore.
+    pub fn checkpoint(&self, next_tick: u64, zones: &[String]) -> ControllerCheckpoint {
+        ControllerCheckpoint {
+            version: CHECKPOINT_VERSION,
+            next_tick,
+            planner: self.planner_config,
+            retry: self.retry,
+            zones: zones.to_vec(),
+            reserve_kwh: self.reserve_kwh,
+            next_host: self.next_host,
+            rng: self.rng.clone(),
+            meter: self.meter.clone(),
+            breakers: self.breakers.lock().clone(),
+            chaos_tick: self.chaos_tick.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Reconstructs a controller from a checkpoint: re-provisions the
+    /// zones, then overwrites every piece of control state (RNG, meter,
+    /// breakers, reserve, virtual clock) with the checkpointed values.
+    ///
+    /// Device twin state is NOT restored here — replay the command
+    /// journal's delivered records into [`registry`](Self::registry)
+    /// afterwards (the recovery layer's
+    /// [`open_or_restore`](crate::recovery::open_or_restore) does both).
+    pub fn restore(checkpoint: &ControllerCheckpoint) -> Result<LocalController, ControllerError> {
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(ControllerError::Storage {
+                source: format!(
+                    "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+                    checkpoint.version
+                ),
+            });
+        }
+        let mut controller = LocalController::new(
+            ControllerConfig {
+                planner: checkpoint.planner,
+                retry: checkpoint.retry,
+                // The breaker bank below carries its own config; the value
+                // here only seeds the pre-restore empty bank.
+                breaker: BreakerConfig::default(),
+            },
+            PaperCalendar::january_start(),
+        );
+        for zone in &checkpoint.zones {
+            controller.provision_zone(zone)?;
+        }
+        controller.next_host = checkpoint.next_host;
+        controller.rng = checkpoint.rng.clone();
+        // The meter embeds its calendar, so the placeholder above is
+        // replaced wholesale.
+        controller.meter = checkpoint.meter.clone();
+        controller.reserve_kwh = checkpoint.reserve_kwh;
+        *controller.breakers.lock() = checkpoint.breakers.clone();
+        controller
+            .chaos_tick
+            .store(checkpoint.chaos_tick, Ordering::SeqCst);
+        Ok(controller)
+    }
+
+    /// Attaches an exactly-once command journal: subsequent ticks record
+    /// every actuation under a deterministic command id and skip ids the
+    /// journal already acknowledges as delivered.
+    pub fn attach_journal(&mut self, journal: CommandJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// Detaches and returns the command journal, if any.
+    pub fn detach_journal(&mut self) -> Option<CommandJournal> {
+        self.journal.take()
+    }
+
+    /// The attached command journal, if any.
+    pub fn journal(&self) -> Option<&CommandJournal> {
+        self.journal.as_ref()
+    }
+
+    /// A probe draw from a clone of the planner RNG (the RNG itself is
+    /// not advanced). Two controllers with byte-identical control state
+    /// produce the same probe — the digest's RNG fingerprint.
+    pub fn rng_probe(&self) -> u64 {
+        use rand::RngCore;
+        self.rng.clone().next_u64()
     }
 
     /// Installs `plan` as the registry's fault injector. Command faults are
@@ -377,6 +519,7 @@ impl LocalController {
             format!("tick/{hour}")
         });
         self.chaos_tick.store(hour, Ordering::SeqCst);
+        imcf_chaos::crashpoint::reached("controller.tick.pre_plan");
 
         // 0. Quarantine: candidates whose device breaker is open are pulled
         //    from the slot *before* planning, so the EP re-allocates their
@@ -497,6 +640,12 @@ impl LocalController {
         let mut retried = 0;
         let mut undelivered_kwh = 0.0;
         let mut errors = Vec::new();
+        // Deterministic per-tick command index: event 0 is the tick trace
+        // itself, so command ids start at 1. The id is a pure function of
+        // (seed, hour, index) — the same command has the same id in every
+        // incarnation of this controller, which is what makes post-crash
+        // journal dedup sound.
+        let mut command_index: u64 = 0;
         for (candidate, keep) in slot.candidates.iter().zip(bits.iter()) {
             if !keep {
                 continue;
@@ -509,7 +658,37 @@ impl LocalController {
             };
             let uid = Self::thing_uid_for(&candidate.zone, class)
                 .unwrap_or_else(|| candidate.zone.clone());
+            command_index += 1;
+            let command_id = trace::TraceId::derive(self.trace_seed, hour, command_index).0;
             self.chaos_tick.store(hour, Ordering::SeqCst);
+
+            // Exactly-once replay: a command the journal already
+            // acknowledges as delivered was actuated by a previous
+            // incarnation of this controller. Skip the dispatch (the twin
+            // already holds its effect, rebuilt at restore) but redo the
+            // in-memory bookkeeping the crash wiped out, so the resumed
+            // run's meter/breaker/reserve state matches the uncrashed one.
+            if let Some(wire) = self
+                .journal
+                .as_ref()
+                .and_then(|journal| journal.delivered_wire(command_id))
+            {
+                delivered += 1;
+                energy += candidate.exec_kwh;
+                self.meter
+                    .record(hour, &candidate.zone, class, candidate.exec_kwh);
+                self.breakers.lock().breaker(&uid).record_success();
+                imcf_telemetry::global().counter("journal.deduped").inc();
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.note_deduped();
+                }
+                if trace::active() {
+                    trace::point("actuation.replayed", &[("thing", &uid)]);
+                }
+                self.bus.publish(Event::CommandDelivered { wire });
+                continue;
+            }
+
             let actuate_span = trace::span("actuate");
             if trace::active() {
                 actuate_span.attr("thing", &uid);
@@ -529,6 +708,13 @@ impl LocalController {
                                 "actuation.delivered",
                                 &[("thing", &uid), ("attempt", &attempt.to_string())],
                             );
+                        }
+                        if let Some(journal) = self.journal.as_mut() {
+                            if let Err(e) =
+                                journal.record_delivered(command_id, hour, &cmd, &wire, attempt)
+                            {
+                                errors.push(e);
+                            }
                         }
                         self.bus.publish(Event::CommandDelivered { wire });
                         break;
@@ -580,6 +766,13 @@ impl LocalController {
                             }
                             self.breakers.lock().breaker(&uid).record_failure(hour);
                             undelivered_kwh += candidate.exec_kwh;
+                            if let Some(journal) = self.journal.as_mut() {
+                                if let Err(e) =
+                                    journal.record_failed(command_id, hour, &cmd, attempt, &reason)
+                                {
+                                    errors.push(e);
+                                }
+                            }
                             self.bus.publish(Event::CommandFailed {
                                 thing: uid.clone(),
                                 attempts: attempt,
@@ -609,20 +802,27 @@ impl LocalController {
         });
         self.bus.publish(Event::TickCompleted { hour_index: hour });
 
-        (
-            TickSummary {
-                hour_index: hour,
-                adopted,
-                dropped,
-                energy_kwh: energy,
-                delivered,
-                blocked,
-                failed,
-                retried,
-                quarantined,
-            },
-            errors,
-        )
+        let summary = TickSummary {
+            hour_index: hour,
+            adopted,
+            dropped,
+            energy_kwh: energy,
+            delivered,
+            blocked,
+            failed,
+            retried,
+            quarantined,
+        };
+        imcf_chaos::crashpoint::reached("controller.tick.post_dispatch");
+        // Acknowledge the tick: the journal's durability point. Commands
+        // recorded above are only *acknowledged* once this sync returns —
+        // a crash before it re-executes them, a crash after it dedups them.
+        if let Some(journal) = self.journal.as_mut() {
+            if let Err(e) = journal.seal_tick(&summary) {
+                errors.push(e);
+            }
+        }
+        (summary, errors)
     }
 }
 

@@ -26,7 +26,11 @@
 //!   (paper §III-F, Tables IV and V);
 //! * [`soak`] — the chaos soak harness driving the controller under an
 //!   `imcf-chaos` fault plan (device faults, store faults, sensor
-//!   outages, bus stalls) to measure survivability.
+//!   outages, bus stalls) to measure survivability;
+//! * [`recovery`] — checkpoint/restore plus the exactly-once command
+//!   journal (the crash-recovery substrate of `imcf chaos --crash`);
+//! * [`supervisor`] — the stuck-tick watchdog feeding
+//!   `controller.watchdog_trips` and the flight recorder.
 
 pub mod api;
 pub mod bus;
@@ -37,13 +41,22 @@ pub mod controller;
 pub mod firewall;
 pub mod polling;
 pub mod prototype;
+pub mod recovery;
 pub mod scheduler;
 pub mod soak;
+pub mod supervisor;
 
 pub use bus::{Event, EventBus};
 pub use cloud::{CloudController, RateLimit, RelayError, RelayStats};
-pub use controller::{ControllerConfig, ControllerError, LocalController, TickSummary};
+pub use controller::{
+    ControllerCheckpoint, ControllerConfig, ControllerError, LocalController, TickSummary,
+};
 pub use firewall::{Chain, FirewallRule, Verdict};
 pub use prototype::{PrototypeConfig, PrototypeOutcome};
+pub use recovery::{
+    audit_journal, open_or_restore, run_complete, run_recoverable, state_digest, CommandJournal,
+    JournalAudit, JournalRecord, RecoveryConfig, RecoveryOutcome, StateDigest,
+};
 pub use scheduler::{CronSpec, Scheduler};
 pub use soak::{run_soak, SoakConfig, SoakOutcome};
+pub use supervisor::TickWatchdog;

@@ -1,0 +1,791 @@
+//! Crash recovery: checkpoint/restore plus an exactly-once command journal.
+//!
+//! The durability model has two tables in one store directory:
+//!
+//! * **`checkpoint`** — versioned [`ControllerCheckpoint`] records written
+//!   through a group-commit [`SharedTable`] every N ticks. A checkpoint is
+//!   the *full* control state (planner RNG mid-stream, energy meter,
+//!   breaker banks and cooldowns, carry-over reserve, virtual chaos
+//!   clock), so a restored controller plans byte-identically to one that
+//!   never crashed.
+//! * **`command_journal`** — one [`CommandRecord`] per actuation attempt
+//!   outcome, keyed by a deterministic command id derived from
+//!   `(planner seed, tick, per-tick command index)` — the same derivation
+//!   as trace identity — plus one [`TickSummary`] seal per completed tick.
+//!   The journal's per-tick fsync (in
+//!   [`CommandJournal::seal_tick`]) is the acknowledgement point.
+//!
+//! Together they give **exactly-once actuation across crashes**:
+//!
+//! * A command acknowledged before the crash re-derives the same id on
+//!   re-execution, hits the journal's delivered set, and is *skipped* —
+//!   no double actuation. Its effect on the device twin was already
+//!   rebuilt by [`CommandJournal::replay_into`] at restore time, and the
+//!   skip path redoes the in-memory bookkeeping (meter, breaker, reserve)
+//!   the crash wiped out.
+//! * A command that was in flight (journaled but not yet synced, or never
+//!   journaled) is re-executed from the restored control state, which
+//!   replays the original decision deterministically — no lost command.
+//!
+//! Restores re-execute at most `checkpoint_interval` ticks of work (the
+//! journal tail); [`run_recoverable`] is the harnessable unit the
+//! `imcf chaos --crash` soak kills and restarts.
+
+use crate::controller::{
+    ControllerCheckpoint, ControllerConfig, ControllerError, LocalController, TickSummary,
+};
+use crate::supervisor::TickWatchdog;
+use imcf_chaos::{BreakerBank, BreakerConfig, FaultPlan, RetryPolicy};
+use imcf_core::calendar::PaperCalendar;
+use imcf_core::candidate::{CandidateRule, PlanningSlot};
+use imcf_core::planner::PlannerConfig;
+use imcf_devices::command::Command;
+use imcf_devices::energy::{DeviceEnergyModel, HvacModel, LightModel};
+use imcf_devices::registry::DeviceRegistry;
+use imcf_rules::action::DeviceClass;
+use imcf_rules::meta_rule::RuleId;
+use imcf_sim::illuminance::RoomLight;
+use imcf_sim::thermal::RoomThermalModel;
+use imcf_sim::weather::WeatherApi;
+use imcf_store::commit::SharedTable;
+use imcf_store::Table;
+use imcf_telemetry::Stopwatch;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::time::Duration;
+
+/// Store-directory table holding [`ControllerCheckpoint`] rows.
+pub const CHECKPOINT_TABLE: &str = "checkpoint";
+/// Store-directory table holding the exactly-once command journal.
+pub const JOURNAL_TABLE: &str = "command_journal";
+
+/// One journaled record: either a command attempt outcome or a tick seal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A completed tick's summary — the journal's acknowledgement marker
+    /// (sealed ticks were fully journaled before their fsync).
+    Tick(TickSummary),
+    /// One command's final outcome for this incarnation.
+    Command(CommandRecord),
+}
+
+/// The journal row for one command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandRecord {
+    /// Deterministic id: `TraceId::derive(seed, tick, index)` — identical
+    /// across incarnations, which is what makes dedup sound.
+    pub command_id: u64,
+    /// The tick that issued the command.
+    pub hour_index: u64,
+    /// The full command, replayable into a registry.
+    pub command: Command,
+    /// The rendered wire form on delivery; `None` for a command that
+    /// exhausted its retries.
+    pub wire: Option<String>,
+    /// Delivery attempts made (first try included).
+    pub attempts: u32,
+    /// The final failure reason for undelivered commands.
+    pub reason: Option<String>,
+}
+
+/// The exactly-once command journal: a WAL-backed [`Table`] plus the
+/// in-memory dedup indexes rebuilt from it on open.
+pub struct CommandJournal {
+    table: Table<JournalRecord>,
+    /// Delivered command ids → their wire form (the dedup set).
+    delivered: BTreeMap<u64, String>,
+    /// Every journaled command id, delivered or failed — duplicate
+    /// appends are suppressed against this.
+    recorded: BTreeSet<u64>,
+    /// Hour indexes already sealed with a [`JournalRecord::Tick`] row.
+    sealed: BTreeSet<u64>,
+    /// Commands skipped (not re-actuated) because the journal already
+    /// acknowledged them — this incarnation only.
+    deduped: u64,
+}
+
+impl CommandJournal {
+    /// Opens (or creates) the journal in `dir`, rebuilding the dedup
+    /// indexes from the surviving rows.
+    pub fn open(dir: &Path) -> Result<CommandJournal, ControllerError> {
+        let table: Table<JournalRecord> = Table::open(dir, JOURNAL_TABLE)?;
+        let mut delivered = BTreeMap::new();
+        let mut recorded = BTreeSet::new();
+        let mut sealed = BTreeSet::new();
+        for (_, record) in table.scan() {
+            match record {
+                JournalRecord::Tick(summary) => {
+                    sealed.insert(summary.hour_index);
+                }
+                JournalRecord::Command(cmd) => {
+                    recorded.insert(cmd.command_id);
+                    if let Some(wire) = &cmd.wire {
+                        delivered.insert(cmd.command_id, wire.clone());
+                    }
+                }
+            }
+        }
+        Ok(CommandJournal {
+            table,
+            delivered,
+            recorded,
+            sealed,
+            deduped: 0,
+        })
+    }
+
+    /// Journal rows currently readable (commands + tick seals).
+    pub fn rows(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    /// Count of distinct delivered command ids.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered.len() as u64
+    }
+
+    /// Count of distinct command ids journaled as permanently failed.
+    pub fn failed_count(&self) -> u64 {
+        (self.recorded.len() - self.delivered.len()) as u64
+    }
+
+    /// Count of sealed (fully journaled + fsynced) ticks.
+    pub fn sealed_ticks(&self) -> u64 {
+        self.sealed.len() as u64
+    }
+
+    /// Commands this incarnation skipped because a previous incarnation
+    /// already delivered them.
+    pub fn deduped(&self) -> u64 {
+        self.deduped
+    }
+
+    /// The delivered command ids, sorted.
+    pub fn delivered_ids(&self) -> Vec<u64> {
+        self.delivered.keys().copied().collect()
+    }
+
+    /// The wire form of an already-delivered command, if the journal
+    /// acknowledges `command_id`.
+    pub fn delivered_wire(&self, command_id: u64) -> Option<String> {
+        self.delivered.get(&command_id).cloned()
+    }
+
+    pub(crate) fn note_deduped(&mut self) {
+        self.deduped += 1;
+    }
+
+    /// Replays every delivered command into `registry`, rebuilding device
+    /// twin state without re-actuating (egress filters and fault
+    /// injectors are bypassed). Returns the number of commands applied.
+    pub fn replay_into(&self, registry: &DeviceRegistry) -> u64 {
+        let mut applied = 0;
+        for (_, record) in self.table.scan() {
+            if let JournalRecord::Command(cmd) = record {
+                if cmd.wire.is_some() && registry.apply_replayed(&cmd.command).is_ok() {
+                    applied += 1;
+                }
+            }
+        }
+        applied
+    }
+
+    pub(crate) fn record_delivered(
+        &mut self,
+        command_id: u64,
+        hour_index: u64,
+        command: &Command,
+        wire: &str,
+        attempts: u32,
+    ) -> Result<(), ControllerError> {
+        // An id already journaled by a previous incarnation (an append
+        // that survived the crash without its fsync) must not be
+        // journaled twice.
+        if !self.recorded.insert(command_id) {
+            return Ok(());
+        }
+        self.delivered.insert(command_id, wire.to_string());
+        self.table.insert(JournalRecord::Command(CommandRecord {
+            command_id,
+            hour_index,
+            command: command.clone(),
+            wire: Some(wire.to_string()),
+            attempts,
+            reason: None,
+        }))?;
+        Ok(())
+    }
+
+    pub(crate) fn record_failed(
+        &mut self,
+        command_id: u64,
+        hour_index: u64,
+        command: &Command,
+        attempts: u32,
+        reason: &str,
+    ) -> Result<(), ControllerError> {
+        if !self.recorded.insert(command_id) {
+            return Ok(());
+        }
+        self.table.insert(JournalRecord::Command(CommandRecord {
+            command_id,
+            hour_index,
+            command: command.clone(),
+            wire: None,
+            attempts,
+            reason: Some(reason.to_string()),
+        }))?;
+        Ok(())
+    }
+
+    /// Seals a tick: journals its summary (once) and fsyncs the log. The
+    /// sync is the acknowledgement point for every command of the tick —
+    /// a crash before it re-executes them, a crash after it dedups them.
+    pub(crate) fn seal_tick(&mut self, summary: &TickSummary) -> Result<(), ControllerError> {
+        if self.sealed.insert(summary.hour_index) {
+            self.table.insert(JournalRecord::Tick(summary.clone()))?;
+        }
+        imcf_chaos::crashpoint::reached("journal.pre_sync");
+        self.table.sync()?;
+        imcf_chaos::crashpoint::reached("journal.post_sync");
+        Ok(())
+    }
+}
+
+/// A read-only audit of the on-disk journal — the crash soak's invariant
+/// source. Opened fresh (recovering any torn tail the same way a
+/// restarting controller would).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalAudit {
+    /// Journal rows readable.
+    pub rows: u64,
+    /// Distinct delivered command ids, sorted.
+    pub delivered_ids: Vec<u64>,
+    /// Delivered rows beyond the first per command id — a double
+    /// actuation; must be zero.
+    pub duplicate_deliveries: u64,
+    /// Sealed tick count.
+    pub sealed_ticks: u64,
+}
+
+/// Audits the journal in `dir` without mutating controller state.
+pub fn audit_journal(dir: &Path) -> Result<JournalAudit, ControllerError> {
+    let table: Table<JournalRecord> = Table::open(dir, JOURNAL_TABLE)?;
+    let mut ids = BTreeSet::new();
+    let mut duplicate_deliveries = 0;
+    let mut sealed_ticks = 0;
+    for (_, record) in table.scan() {
+        match record {
+            JournalRecord::Tick(_) => sealed_ticks += 1,
+            JournalRecord::Command(cmd) => {
+                if cmd.wire.is_some() && !ids.insert(cmd.command_id) {
+                    duplicate_deliveries += 1;
+                }
+            }
+        }
+    }
+    Ok(JournalAudit {
+        rows: table.len() as u64,
+        delivered_ids: ids.into_iter().collect(),
+        duplicate_deliveries,
+        sealed_ticks,
+    })
+}
+
+/// Configuration of a recoverable controller run (the crash soak's unit
+/// of work). The workload is the soak workload minus sensor outages:
+/// pure in `(seed, tick)`, so an uncrashed run at the same seed is the
+/// byte-exact reference for a crashed-and-restored one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Run seed (weather, planner, command/trace identity).
+    pub seed: u64,
+    /// Ticks (hours) to run in total.
+    pub ticks: u64,
+    /// Zones provisioned (`zone0`, `zone1`, …), two devices each.
+    pub zones: usize,
+    /// Checkpoint every N completed ticks (0 = only the terminal
+    /// checkpoint).
+    pub checkpoint_every: u64,
+    /// Device fault schedule (exercises the failed-command journal path).
+    pub plan: FaultPlan,
+    /// Actuation retry policy.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Weekly energy budget per zone, kWh.
+    pub weekly_budget_kwh: f64,
+    /// 1-based month the run starts in.
+    pub month: u32,
+    /// Stuck-tick watchdog timeout, milliseconds (0 disables it).
+    pub watchdog_timeout_ms: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            seed: 0,
+            ticks: 72,
+            zones: 2,
+            checkpoint_every: 8,
+            plan: FaultPlan::disabled(0),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            weekly_budget_kwh: 165.0,
+            month: 1,
+            watchdog_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// A canonical fingerprint of the full post-run state. Two runs at the
+/// same config are equivalent iff their digests serialize byte-identically
+/// — the crash soak's strongest invariant. Deliberately excludes
+/// wall-clock measurements and registry *attempt* counters (a crashed run
+/// legitimately re-attempts blocked/failed dispatches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateDigest {
+    /// One past the last executed tick.
+    pub next_tick: u64,
+    /// The carry-over budget reserve, kWh.
+    pub reserve_kwh: f64,
+    /// Total metered energy, kWh.
+    pub energy_kwh: f64,
+    /// A probe draw from a clone of the planner RNG — fingerprints the
+    /// RNG stream position without advancing it.
+    pub rng_probe: u64,
+    /// Final device item states, rendered, by item name.
+    pub item_states: BTreeMap<String, String>,
+    /// The full circuit-breaker bank (states, cooldowns, counters).
+    pub breakers: BreakerBank,
+    /// Distinct delivered command ids in the journal.
+    pub journal_delivered: u64,
+    /// Distinct permanently-failed command ids in the journal.
+    pub journal_failed: u64,
+    /// Sealed ticks in the journal.
+    pub journal_ticks: u64,
+}
+
+/// Computes the [`StateDigest`] of a controller (journal attached) after
+/// it has executed ticks `0..ticks`.
+pub fn state_digest(controller: &LocalController, zones: &[String], ticks: u64) -> StateDigest {
+    let registry = controller.registry();
+    let mut item_states = BTreeMap::new();
+    for zone in zones {
+        for item in [format!("{zone}_SetPoint"), format!("{zone}_Light")] {
+            if let Some(found) = registry.item(&item) {
+                item_states.insert(item, format!("{:?}", found.state));
+            }
+        }
+    }
+    StateDigest {
+        next_tick: ticks,
+        reserve_kwh: controller.reserve_kwh(),
+        energy_kwh: controller.meter().total_kwh(),
+        rng_probe: controller.rng_probe(),
+        item_states,
+        breakers: controller.checkpoint(ticks, zones).breakers,
+        journal_delivered: controller.journal().map_or(0, |j| j.delivered_count()),
+        journal_failed: controller.journal().map_or(0, |j| j.failed_count()),
+        journal_ticks: controller.journal().map_or(0, |j| j.sealed_ticks()),
+    }
+}
+
+/// What [`open_or_restore`] hands back: a controller positioned at
+/// `start_tick` with its journal attached and twins still to be replayed.
+pub struct OpenedController {
+    /// The controller, restored from the latest checkpoint when one
+    /// existed, fresh otherwise.
+    pub controller: LocalController,
+    /// The first tick to execute.
+    pub start_tick: u64,
+    /// `Some(start_tick)` when restored from a checkpoint.
+    pub resumed_from: Option<u64>,
+    /// Delivered journal commands replayed into the device twins.
+    pub replayed_commands: u64,
+    /// Wall time of the open/restore (checkpoint load + journal replay),
+    /// microseconds.
+    pub restore_micros: u64,
+    /// The checkpoint table, group-commit shared, for subsequent writes.
+    pub checkpoints: SharedTable<ControllerCheckpoint>,
+}
+
+/// Opens the store in `dir` and either restores the controller from the
+/// latest durable checkpoint or builds a fresh one from `config`. Either
+/// way the journal is opened, its delivered half replayed into the
+/// device twins, and the journal attached for exactly-once dedup.
+pub fn open_or_restore(
+    config: &RecoveryConfig,
+    dir: &Path,
+) -> Result<OpenedController, ControllerError> {
+    let stopwatch = Stopwatch::start();
+    let table: Table<ControllerCheckpoint> = Table::open(dir, CHECKPOINT_TABLE)?;
+    // Highest row id = latest checkpoint (appends only).
+    let latest = table
+        .scan()
+        .max_by_key(|(id, _)| *id)
+        .map(|(_, cp)| cp.clone());
+    let checkpoints = table.into_shared();
+
+    let zones: Vec<String> = (0..config.zones).map(|z| format!("zone{z}")).collect();
+    let (mut controller, start_tick, resumed_from) = match latest {
+        Some(cp) => {
+            let start = cp.next_tick;
+            (LocalController::restore(&cp)?, start, Some(start))
+        }
+        None => {
+            let mut fresh = LocalController::new(
+                ControllerConfig {
+                    planner: PlannerConfig {
+                        seed: config.seed,
+                        ..PlannerConfig::default()
+                    },
+                    retry: config.retry,
+                    breaker: config.breaker,
+                },
+                PaperCalendar::starting_in(config.month),
+            );
+            for zone in &zones {
+                fresh.provision_zone(zone)?;
+            }
+            (fresh, 0, None)
+        }
+    };
+
+    let journal = CommandJournal::open(dir)?;
+    let replayed_commands = journal.replay_into(&controller.registry());
+    controller.attach_journal(journal);
+
+    let restore_micros = stopwatch.elapsed_micros();
+    imcf_telemetry::global()
+        .histogram("controller.restore_micros")
+        .observe(restore_micros as f64);
+
+    Ok(OpenedController {
+        controller,
+        start_tick,
+        resumed_from,
+        replayed_commands,
+        restore_micros,
+        checkpoints,
+    })
+}
+
+/// Makes a checkpoint durable through the group-commit path, with
+/// crashpoints bracketing the durability point.
+fn write_checkpoint(
+    checkpoints: &SharedTable<ControllerCheckpoint>,
+    checkpoint: ControllerCheckpoint,
+) -> Result<(), ControllerError> {
+    checkpoints.insert(checkpoint)?;
+    imcf_chaos::crashpoint::reached("checkpoint.pre_sync");
+    checkpoints.sync()?;
+    imcf_chaos::crashpoint::reached("checkpoint.post_sync");
+    imcf_telemetry::global()
+        .counter("controller.checkpoints")
+        .inc();
+    Ok(())
+}
+
+/// The outcome of one (possibly resumed) recoverable run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// The run seed.
+    pub seed: u64,
+    /// Total ticks the run covers.
+    pub ticks: u64,
+    /// Zones provisioned.
+    pub zones: usize,
+    /// `Some(tick)` when this incarnation resumed from a checkpoint.
+    pub resumed_from: Option<u64>,
+    /// Delivered journal commands replayed into twins at restore.
+    pub replayed_commands: u64,
+    /// Commands skipped (not re-actuated) by journal dedup.
+    pub deduped: u64,
+    /// Checkpoints made durable by this incarnation.
+    pub checkpoints_written: u64,
+    /// Open/restore wall time, microseconds (not part of the digest).
+    pub restore_micros: u64,
+    /// Journal/checkpoint writes that failed with a storage error.
+    pub storage_errors: u64,
+    /// Watchdog trips observed (stuck ticks).
+    pub watchdog_trips: u64,
+    /// The canonical final-state fingerprint.
+    pub digest: StateDigest,
+}
+
+/// Runs (or resumes) the recoverable workload to `config.ticks`,
+/// checkpointing every `config.checkpoint_every` ticks. Kill this at any
+/// instruction and a re-invocation on the same `dir` finishes the run
+/// with the exactly-once guarantees documented at module level.
+pub fn run_recoverable(
+    config: &RecoveryConfig,
+    dir: &Path,
+) -> Result<RecoveryOutcome, ControllerError> {
+    let calendar = PaperCalendar::starting_in(config.month);
+    let weather = WeatherApi::new(
+        imcf_traces::generator::ClimateModel::mediterranean(),
+        calendar,
+        config.seed,
+    );
+    let hvac = HvacModel::split_unit_flat();
+    let light_model = LightModel::led_array();
+    let zones: Vec<String> = (0..config.zones).map(|z| format!("zone{z}")).collect();
+    let hourly_budget = config.weekly_budget_kwh * config.zones as f64 / (7.0 * 24.0);
+
+    let OpenedController {
+        mut controller,
+        start_tick,
+        resumed_from,
+        replayed_commands,
+        restore_micros,
+        checkpoints,
+    } = open_or_restore(config, dir)?;
+    controller.attach_chaos(config.plan.clone());
+
+    // The twins are pure in (seed, tick): re-stepping them to the resume
+    // point is the deterministic alternative to checkpointing them.
+    let mut twins: Vec<RoomThermalModel> =
+        zones.iter().map(|_| RoomThermalModel::flat(18.0)).collect();
+    let room_light = RoomLight::typical();
+    for h in 0..start_tick {
+        let sample = weather.sample(h);
+        for twin in twins.iter_mut() {
+            twin.step_free(sample.outdoor_c);
+        }
+    }
+
+    let watchdog = (config.watchdog_timeout_ms > 0)
+        .then(|| TickWatchdog::start(Duration::from_millis(config.watchdog_timeout_ms)));
+    let mut checkpoints_written = 0;
+    let mut storage_errors = 0;
+    for h in start_tick..config.ticks {
+        let _tick_guard = watchdog.as_ref().map(|w| w.guard(h));
+        let sample = weather.sample(h);
+        let mut candidates = Vec::new();
+        let daylight = room_light.perceived(sample.daylight);
+        for (zi, (zone, twin)) in zones.iter().zip(twins.iter_mut()).enumerate() {
+            twin.step_free(sample.outdoor_c);
+            let ambient = twin.indoor_c;
+            candidates.push(
+                CandidateRule::convenience(
+                    RuleId((zi * 2) as u32),
+                    22.0,
+                    ambient,
+                    hvac.hourly_kwh(22.0, ambient),
+                )
+                .in_zone(zone),
+            );
+            candidates.push(
+                CandidateRule::convenience(
+                    RuleId((zi * 2 + 1) as u32),
+                    50.0,
+                    daylight,
+                    light_model.hourly_kwh(50.0, daylight),
+                )
+                .in_zone(zone)
+                .for_class(DeviceClass::Light),
+            );
+        }
+        let slot = PlanningSlot::new(h, candidates, hourly_budget);
+        let (_, errors) = controller.tick_with_errors(&slot);
+        storage_errors += errors
+            .iter()
+            .filter(|e| matches!(e, ControllerError::Storage { .. }))
+            .count() as u64;
+
+        if config.checkpoint_every > 0
+            && (h + 1) % config.checkpoint_every == 0
+            && h + 1 < config.ticks
+        {
+            write_checkpoint(&checkpoints, controller.checkpoint(h + 1, &zones))?;
+            checkpoints_written += 1;
+        }
+    }
+    // Terminal checkpoint: marks the run complete (next_tick == ticks).
+    write_checkpoint(&checkpoints, controller.checkpoint(config.ticks, &zones))?;
+    checkpoints_written += 1;
+
+    let digest = state_digest(&controller, &zones, config.ticks);
+    Ok(RecoveryOutcome {
+        seed: config.seed,
+        ticks: config.ticks,
+        zones: config.zones,
+        resumed_from,
+        replayed_commands,
+        deduped: controller.journal().map_or(0, |j| j.deduped()),
+        checkpoints_written,
+        restore_micros,
+        storage_errors,
+        watchdog_trips: watchdog.as_ref().map_or(0, |w| w.trips()),
+        digest,
+    })
+}
+
+/// Has a completed run (terminal checkpoint at `ticks`) been recorded in
+/// `dir`? The crash soak's parent uses this to detect child completion
+/// independently of exit codes.
+pub fn run_complete(dir: &Path, ticks: u64) -> Result<bool, ControllerError> {
+    let table: Table<ControllerCheckpoint> = Table::open(dir, CHECKPOINT_TABLE)?;
+    Ok(table
+        .scan()
+        .max_by_key(|(id, _)| *id)
+        .is_some_and(|(_, cp)| cp.next_tick >= ticks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(seed: u64) -> RecoveryConfig {
+        RecoveryConfig {
+            seed,
+            ticks: 48,
+            zones: 2,
+            checkpoint_every: 7,
+            ..RecoveryConfig::default()
+        }
+    }
+
+    #[test]
+    fn uncrashed_runs_are_byte_deterministic() {
+        let a_dir = tempfile::tempdir().unwrap();
+        let b_dir = tempfile::tempdir().unwrap();
+        let a = run_recoverable(&config(5), a_dir.path()).unwrap();
+        let b = run_recoverable(&config(5), b_dir.path()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a.digest).unwrap(),
+            serde_json::to_string(&b.digest).unwrap()
+        );
+        assert_eq!(a.deduped, 0);
+        assert!(a.resumed_from.is_none());
+        assert!(a.digest.journal_delivered > 0);
+        assert_eq!(a.digest.journal_ticks, 48);
+    }
+
+    #[test]
+    fn resumed_run_matches_uncrashed_digest() {
+        // Reference: one uninterrupted run.
+        let ref_dir = tempfile::tempdir().unwrap();
+        let reference = run_recoverable(&config(9), ref_dir.path()).unwrap();
+
+        // Interrupted: run half the ticks, "crash" (drop everything), then
+        // resume to the full horizon in a second incarnation.
+        let dir = tempfile::tempdir().unwrap();
+        let half = RecoveryConfig {
+            ticks: 23,
+            ..config(9)
+        };
+        let first = run_recoverable(&half, dir.path()).unwrap();
+        assert_eq!(first.digest.next_tick, 23);
+
+        let resumed = run_recoverable(&config(9), dir.path()).unwrap();
+        assert_eq!(resumed.resumed_from, Some(23));
+        assert!(resumed.replayed_commands > 0, "twins rebuilt from journal");
+        assert_eq!(
+            serde_json::to_string(&resumed.digest).unwrap(),
+            serde_json::to_string(&reference.digest).unwrap(),
+            "resumed state must be byte-identical to the uncrashed run"
+        );
+    }
+
+    #[test]
+    fn reexecuted_ticks_dedup_instead_of_double_actuating() {
+        // Simulate losing the post-checkpoint work: complete a run, then
+        // delete the checkpoints (but keep the journal) so the next
+        // incarnation re-executes everything. Every delivered command must
+        // dedup — zero new actuations — and the digest must still match.
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = config(3);
+        let first = run_recoverable(&cfg, dir.path()).unwrap();
+        let delivered_before = first.digest.journal_delivered;
+        assert!(delivered_before > 0);
+
+        let table: Table<ControllerCheckpoint> = Table::open(dir.path(), CHECKPOINT_TABLE).unwrap();
+        let ids: Vec<u64> = table.scan().map(|(id, _)| id).collect();
+        let mut table = table;
+        for id in ids {
+            table.delete(id).unwrap();
+        }
+        table.sync().unwrap();
+        drop(table);
+
+        let second = run_recoverable(&cfg, dir.path()).unwrap();
+        assert!(second.resumed_from.is_none(), "no checkpoint survives");
+        assert_eq!(
+            second.deduped, delivered_before,
+            "every delivered command must be skipped, not re-actuated"
+        );
+        assert_eq!(second.digest.journal_delivered, delivered_before);
+        let audit = audit_journal(dir.path()).unwrap();
+        assert_eq!(audit.duplicate_deliveries, 0);
+        assert_eq!(
+            serde_json::to_string(&second.digest).unwrap(),
+            serde_json::to_string(&first.digest).unwrap()
+        );
+    }
+
+    #[test]
+    fn faulty_workload_journals_failures_and_still_resumes_exactly() {
+        let faulty = |ticks| RecoveryConfig {
+            seed: 7,
+            ticks,
+            zones: 2,
+            checkpoint_every: 5,
+            plan: FaultPlan::commands(7, 0.35),
+            ..RecoveryConfig::default()
+        };
+        let ref_dir = tempfile::tempdir().unwrap();
+        let reference = run_recoverable(&faulty(40), ref_dir.path()).unwrap();
+        assert!(
+            reference.digest.journal_failed > 0,
+            "fault plan must produce journaled failures: {reference:?}"
+        );
+
+        let dir = tempfile::tempdir().unwrap();
+        run_recoverable(&faulty(17), dir.path()).unwrap();
+        let resumed = run_recoverable(&faulty(40), dir.path()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&resumed.digest).unwrap(),
+            serde_json::to_string(&reference.digest).unwrap()
+        );
+    }
+
+    #[test]
+    fn audit_sees_acked_ids_monotonically() {
+        let dir = tempfile::tempdir().unwrap();
+        run_recoverable(
+            &RecoveryConfig {
+                ticks: 10,
+                ..config(1)
+            },
+            dir.path(),
+        )
+        .unwrap();
+        let early = audit_journal(dir.path()).unwrap();
+        run_recoverable(&config(1), dir.path()).unwrap();
+        let late = audit_journal(dir.path()).unwrap();
+        let late_ids: BTreeSet<u64> = late.delivered_ids.iter().copied().collect();
+        for id in &early.delivered_ids {
+            assert!(late_ids.contains(id), "acked id {id} lost after resume");
+        }
+        assert_eq!(late.duplicate_deliveries, 0);
+    }
+
+    #[test]
+    fn run_complete_tracks_terminal_checkpoint() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(!run_complete(dir.path(), 10).unwrap());
+        run_recoverable(
+            &RecoveryConfig {
+                ticks: 10,
+                ..config(2)
+            },
+            dir.path(),
+        )
+        .unwrap();
+        assert!(run_complete(dir.path(), 10).unwrap());
+        assert!(!run_complete(dir.path(), 11).unwrap());
+    }
+}

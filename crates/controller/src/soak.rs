@@ -73,7 +73,7 @@ impl Default for SoakConfig {
 
 /// What a soak run survived. Plain data, no wall-clock fields — byte
 /// identical for identical configs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SoakOutcome {
     /// The run seed.
     pub seed: u64,
@@ -116,6 +116,10 @@ pub struct SoakOutcome {
     /// adopted rules cost nothing, dropped/quarantined/failed slots cost
     /// their ambient deficiency).
     pub fce_percent: f64,
+    /// A soak-level failure (e.g. the journal directory could not be
+    /// opened, or the final reopen failed). `None` on a clean run; when
+    /// set, the counters describe however much of the run completed.
+    pub error: Option<String>,
 }
 
 /// Runs a soak scenario. With `journal_dir`, every tick summary is
@@ -155,27 +159,44 @@ pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome 
     let outage = (config.outage_rate_per_week > 0.0)
         .then(|| OutagePlan::sample(config.ticks, config.outage_rate_per_week, 6, config.seed));
 
-    // Optional WAL-backed journal with injected store faults.
-    let mut journal: Option<Table<TickSummary>> = journal_dir.map(|dir| {
-        let mut table = Table::open(dir, "soak_journal").expect("journal dir must be creatable"); // imcf-lint: allow(L001)
-        let plan = config.plan.clone();
-        let op_index = Arc::new(AtomicU64::new(0));
-        table.set_wal_fault_hook(move |op| {
-            let i = op_index.fetch_add(1, Ordering::SeqCst);
-            let op = match op {
-                WalOp::Append => StoreOp::Append,
-                WalOp::Sync => StoreOp::Sync,
-                WalOp::Seal => StoreOp::Seal,
-                WalOp::Compact => StoreOp::Compact,
-                WalOp::Truncate => StoreOp::Truncate,
-            };
-            plan.store_fault(op, i).map(|fault| {
-                imcf_chaos::record_injection(fault.kind());
-                std::io::Error::other(fault.kind())
-            })
-        });
-        table
-    });
+    // Optional WAL-backed journal with injected store faults. An
+    // unusable journal directory (missing parent, a file in the way, no
+    // permissions) is an operator error, not a soak survivability
+    // finding: report it in the outcome instead of panicking.
+    let mut journal: Option<Table<TickSummary>> = None;
+    if let Some(dir) = journal_dir {
+        match Table::open(dir, "soak_journal") {
+            Ok(mut table) => {
+                let plan = config.plan.clone();
+                let op_index = Arc::new(AtomicU64::new(0));
+                table.set_wal_fault_hook(move |op| {
+                    let i = op_index.fetch_add(1, Ordering::SeqCst);
+                    let op = match op {
+                        WalOp::Append => StoreOp::Append,
+                        WalOp::Sync => StoreOp::Sync,
+                        WalOp::Seal => StoreOp::Seal,
+                        WalOp::Compact => StoreOp::Compact,
+                        WalOp::Truncate => StoreOp::Truncate,
+                    };
+                    plan.store_fault(op, i).map(|fault| {
+                        imcf_chaos::record_injection(fault.kind());
+                        std::io::Error::other(fault.kind())
+                    })
+                });
+                journal = Some(table);
+            }
+            Err(e) => {
+                return SoakOutcome {
+                    seed: config.seed,
+                    error: Some(format!(
+                        "cannot open soak journal in `{}`: {e}",
+                        dir.display()
+                    )),
+                    ..SoakOutcome::default()
+                };
+            }
+        }
+    }
 
     // One free-running thermal twin and light model per zone; outage
     // windows freeze the *sensor reading* at its last healthy value while
@@ -191,22 +212,7 @@ pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome 
     let mut out = SoakOutcome {
         seed: config.seed,
         ticks: config.ticks,
-        instances: 0,
-        delivered: 0,
-        blocked: 0,
-        failed: 0,
-        retried: 0,
-        quarantined: 0,
-        faults_injected: 0,
-        breaker_opens: 0,
-        breakers_recovered: 0,
-        storage_errors: 0,
-        journal_rows: 0,
-        torn_reopen: false,
-        stalled_ticks: 0,
-        max_bus_backlog: 0,
-        energy_kwh: 0.0,
-        fce_percent: 0.0,
+        ..SoakOutcome::default()
     };
     let mut ce_sum = 0.0;
 
@@ -332,9 +338,22 @@ pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome 
                 }
             }
         }
-        let reopened: Table<TickSummary> =
-            Table::open(dir, "soak_journal").expect("journal must reopen after a torn tail"); // imcf-lint: allow(L001)
-        out.journal_rows = reopened.len() as u64;
+        // The whole point of the WAL is that a torn tail reopens cleanly;
+        // if it does not, that is a store bug the outcome must surface —
+        // still not worth killing the process that holds the counters.
+        match Table::<TickSummary>::open(dir, "soak_journal") {
+            Ok(reopened) => out.journal_rows = reopened.len() as u64,
+            Err(e) => {
+                out.error = Some(format!(
+                    "journal failed to reopen after {} run: {e}",
+                    if out.torn_reopen {
+                        "a torn-tail"
+                    } else {
+                        "the"
+                    }
+                ));
+            }
+        }
     }
 
     out
@@ -458,6 +477,26 @@ mod tests {
             "dump names the quarantined device:\n{text}"
         );
         assert!(text.contains("breaker.open"), "open transition recorded");
+    }
+
+    #[test]
+    fn uncreatable_journal_dir_reports_instead_of_panicking() {
+        let dir = tempfile::tempdir().unwrap();
+        let in_the_way = dir.path().join("not-a-dir");
+        std::fs::write(&in_the_way, b"occupied").unwrap();
+
+        let config = SoakConfig {
+            ticks: 4,
+            zones: 1,
+            ..SoakConfig::default()
+        };
+        // The requested journal dir sits *under a file*: uncreatable.
+        let out = run_soak(&config, Some(&in_the_way.join("journal")));
+        let error = out.error.as_deref().expect("outcome must carry the error");
+        assert!(error.contains("soak journal"), "{error}");
+        assert_eq!(out.ticks, 0, "the run must not start without its journal");
+        assert_eq!(out.delivered, 0);
+        assert_eq!(out.seed, config.seed, "the outcome still names its run");
     }
 
     #[test]

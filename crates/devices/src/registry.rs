@@ -229,6 +229,31 @@ impl DeviceRegistry {
         Ok(CommandOutcome::Delivered(wire))
     }
 
+    /// Applies an already-acknowledged command during journal replay:
+    /// reflects the payload into linked items and counts the delivery,
+    /// bypassing the egress filter and the fault injector. The command was
+    /// delivered in a previous life of this process — replay must neither
+    /// re-ask the firewall nor re-draw faults nor re-actuate the device,
+    /// only bring the twin back to the acknowledged state.
+    pub fn apply_replayed(&self, cmd: &Command) -> Result<(), RegistryError> {
+        let mut inner = self.inner.write();
+        if !inner.things.contains_key(&cmd.channel.thing) {
+            return Err(RegistryError::UnknownChannelThing(cmd.channel.clone()));
+        }
+        let new_state = match cmd.payload {
+            CommandPayload::Power(on) => ItemState::OnOff(on),
+            CommandPayload::SetTemperature { celsius, .. } => ItemState::Decimal(celsius),
+            CommandPayload::SetLevel(level) => ItemState::Percent(level),
+        };
+        for item in inner.items.values_mut() {
+            if item.channel.as_ref() == Some(&cmd.channel) {
+                let _ = item.apply(new_state);
+            }
+        }
+        inner.delivered += 1;
+        Ok(())
+    }
+
     /// `(delivered, blocked)` dispatch counters.
     pub fn counters(&self) -> (u64, u64) {
         let inner = self.inner.read();
@@ -330,6 +355,39 @@ mod tests {
             CommandOutcome::Delivered(_)
         ));
         assert_eq!(reg.failed_count(), 1);
+    }
+
+    #[test]
+    fn replay_apply_bypasses_egress_and_faults() {
+        let (reg, ch) = setup();
+        // Both hooks would stop a live dispatch cold…
+        reg.set_egress_filter(|_, _| false);
+        reg.set_fault_injector(|_, _| Some("cmd_drop".into()));
+        let cmd = Command::binding(
+            ch.clone(),
+            CommandPayload::SetTemperature {
+                celsius: 21.5,
+                cooling: true,
+            },
+        );
+        assert_eq!(reg.dispatch(&cmd).unwrap(), CommandOutcome::Blocked);
+        // …but replay of an acknowledged command lands regardless.
+        reg.apply_replayed(&cmd).unwrap();
+        assert_eq!(
+            reg.item("DaikinACUnit_SetPoint").unwrap().state,
+            ItemState::Decimal(21.5)
+        );
+        assert_eq!(reg.counters(), (1, 1));
+        assert_eq!(reg.failed_count(), 0);
+        // Unknown things still error.
+        let ghost = Command::binding(
+            ChannelUid::new(ThingUid::new("no", "such", "thing"), "settemp"),
+            CommandPayload::Power(true),
+        );
+        assert!(matches!(
+            reg.apply_replayed(&ghost),
+            Err(RegistryError::UnknownChannelThing(_))
+        ));
     }
 
     #[test]

@@ -14,6 +14,14 @@ use std::time::Duration;
 /// (`den_SetPoint` and friends exist). The caller must call
 /// `handle.shutdown()` at the end of the test.
 pub fn start(config: NetConfig) -> ServerHandle {
+    start_with_readiness(config).0
+}
+
+/// Like [`start`], but also hands back the router's readiness flag so a
+/// test can drive `/rest/readyz` through its drain transition.
+pub fn start_with_readiness(
+    config: NetConfig,
+) -> (ServerHandle, Arc<std::sync::atomic::AtomicBool>) {
     let mut controller =
         LocalController::new(ControllerConfig::default(), PaperCalendar::january_start());
     controller.provision_zone("den").expect("provision den");
@@ -23,7 +31,9 @@ pub fn start(config: NetConfig) -> ServerHandle {
         Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
     )
     .with_breakers(controller.breakers(), controller.chaos_clock());
-    serve(config, Arc::new(router)).expect("bind an ephemeral port")
+    let readiness = router.readiness();
+    let handle = serve(config, Arc::new(router)).expect("bind an ephemeral port");
+    (handle, readiness)
 }
 
 /// A config with test-friendly (short) timeouts.

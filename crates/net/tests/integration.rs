@@ -4,7 +4,7 @@
 
 mod common;
 
-use common::{quick_config, start, CLIENT_TIMEOUT};
+use common::{quick_config, start, start_with_readiness, CLIENT_TIMEOUT};
 use imcf_controller::cloud::RateLimit;
 use imcf_net::client::Connection;
 use imcf_net::NetConfig;
@@ -62,6 +62,36 @@ fn routes_work_end_to_end_on_one_keep_alive_connection() {
         "wire scrape must carry net.requests: {}",
         metrics.body_text()
     );
+    server.shutdown();
+}
+
+/// Supervision probes over the wire: liveness stays 200 across the
+/// readiness transition; readiness answers 503 + `Retry-After` while the
+/// instance drains, without closing the keep-alive connection.
+#[test]
+fn healthz_and_readyz_probe_the_drain_transition() {
+    let (server, readiness) = start_with_readiness(quick_config());
+    let addr = server.addr().to_string();
+
+    let mut conn = Connection::open(&addr, CLIENT_TIMEOUT).expect("connect");
+    let health = conn
+        .round_trip("GET", "/rest/healthz", b"")
+        .expect("healthz");
+    assert_eq!(health.status, 200);
+    let ready = conn.round_trip("GET", "/rest/readyz", b"").expect("readyz");
+    assert_eq!(ready.status, 200, "body: {}", ready.body_text());
+
+    // Drain begins: readiness flips, liveness must not.
+    readiness.store(false, std::sync::atomic::Ordering::SeqCst);
+    let ready = conn.round_trip("GET", "/rest/readyz", b"").expect("readyz");
+    assert_eq!(ready.status, 503);
+    assert_eq!(ready.header("retry-after"), Some("1"));
+    assert!(!ready.closing, "a 503 probe must not tear down the conn");
+    let health = conn
+        .round_trip("GET", "/rest/healthz", b"")
+        .expect("healthz");
+    assert_eq!(health.status, 200);
+
     server.shutdown();
 }
 

@@ -101,6 +101,24 @@ pub const METRICS: &[MetricDef] = &[
         help: "faults injected by the chaos plane, by kind",
     },
     MetricDef {
+        name: "controller.checkpoints",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "controller state checkpoints made durable",
+    },
+    MetricDef {
+        name: "controller.restore_micros",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "controller restore time (checkpoint load + journal replay), µs",
+    },
+    MetricDef {
+        name: "controller.watchdog_trips",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "tick watchdog expiries (stuck tick detected, flight dump requested)",
+    },
+    MetricDef {
         name: "firewall.rule_hits",
         kind: MetricKind::Counter,
         labels: &["rule"],
@@ -111,6 +129,12 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Counter,
         labels: &["verdict"],
         help: "firewall egress verdicts (accept/drop)",
+    },
+    MetricDef {
+        name: "journal.deduped",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "journaled commands skipped on replay (already acknowledged)",
     },
     MetricDef {
         name: "lint.files",

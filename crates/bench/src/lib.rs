@@ -14,11 +14,13 @@
 //! | `ablation_optimizers` | extension: hill climbing vs annealing vs oracle |
 //! | `ablation_amortization` | extension: LAF vs BLAF vs EAF budget shaping |
 //! | `chaos_soak` | extension: survivability under injected faults |
+//! | `obs_bench` | extension: obs sampler overhead + query latency |
 //!
 //! Set `IMCF_REPS` to override the number of repetitions (default 10, as in
 //! the paper) — useful for quick smoke runs.
 
 pub mod chaos;
 pub mod harness;
+pub mod obs;
 
 pub use harness::{ep_run, run_method, DatasetBundle, Method};

@@ -1,0 +1,41 @@
+//! Pins the `obs_bench` determinism contract: the sweep JSON is
+//! byte-identical for every worker count, and re-running the same cell
+//! reproduces the same row.
+
+use imcf_bench::obs::{obs_cells, obs_sweep, run_cell, sweep_json, ObsCell};
+
+#[test]
+fn sweep_json_is_byte_identical_across_worker_counts() {
+    let cells = obs_cells(&[64, 256], 512, 2);
+    let rows_serial = obs_sweep(1, cells.clone());
+    let rows_parallel = obs_sweep(4, cells);
+    assert_eq!(
+        sweep_json(&rows_serial),
+        sweep_json(&rows_parallel),
+        "obs sweep must not depend on worker count"
+    );
+}
+
+#[test]
+fn cell_rows_are_reproducible_and_populated() {
+    let cell = ObsCell {
+        capacity: 128,
+        ticks: 512,
+        seed: 3,
+    };
+    let a = run_cell(cell);
+    let b = run_cell(cell);
+    assert_eq!(
+        serde_json::to_string(&a).expect("serializes"),
+        serde_json::to_string(&b).expect("serializes")
+    );
+    assert_eq!(a.samples, 512);
+    assert!(a.series > 0, "{a:?}");
+    assert!(
+        a.evictions > 0,
+        "512 ticks over a 128-point ring must evict: {a:?}"
+    );
+    assert!(a.journal_value > 0.0, "{a:?}");
+    assert!(a.journal_increase_60 > 0.0, "{a:?}");
+    assert!(a.slot_p99_120.is_finite(), "{a:?}");
+}

@@ -216,6 +216,21 @@ impl BreakerBank {
         out
     }
 
+    /// Aggregate counters without allocation: lifetime open transitions
+    /// summed over every breaker, plus how many are open at `tick` — the
+    /// per-tick sampling counterpart of [`BreakerBank::snapshots`].
+    pub fn totals(&mut self, tick: u64) -> (u64, u64) {
+        let mut opens = 0u64;
+        let mut open_now = 0u64;
+        for b in self.breakers.values_mut() {
+            if b.state_at(tick) == BreakerState::Open {
+                open_now += 1;
+            }
+            opens += b.times_opened();
+        }
+        (opens, open_now)
+    }
+
     /// Number of devices with a breaker.
     pub fn len(&self) -> usize {
         self.breakers.len()

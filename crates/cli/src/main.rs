@@ -15,6 +15,7 @@ mod args;
 mod commands;
 mod crash_commands;
 mod net_commands;
+mod obs_commands;
 
 use std::process::ExitCode;
 
@@ -49,6 +50,14 @@ USAGE:
              [--mix items,post,metrics,...] [--zone Z] [--timeout-ms MS]
              [--out PATH] [--strict true]
              (closed-loop load run; writes a JSON report with RPS + p50/p99/p999)
+  imcf top --addr HOST:PORT [--refresh-ms MS] [--iterations N] [--limit K]
+             [--timeout-ms MS] [--plain true]
+             (live dashboard: retained series sparklines + alert table;
+              iterations 0 = refresh until interrupted)
+  imcf doctor --addr HOST:PORT [--out PATH] [--timeout-ms MS]
+             [--require-series a,b,...] [--require-alert NAME]
+             (one-shot JSON debug bundle: health, metrics, series, alerts,
+              traces; --require-* flags turn missing data into exit 1)
 
 GLOBAL OPTIONS:
   --telemetry <path>    dump a JSON telemetry snapshot to <path> on exit
@@ -98,6 +107,8 @@ fn main() -> ExitCode {
         "trace" => commands::trace(rest),
         "serve" => net_commands::serve(rest),
         "loadgen" => net_commands::loadgen(rest),
+        "top" => obs_commands::top(rest),
+        "doctor" => obs_commands::doctor(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

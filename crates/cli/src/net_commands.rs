@@ -7,8 +7,10 @@ use imcf_controller::controller::{ControllerConfig, LocalController};
 use imcf_core::calendar::PaperCalendar;
 use imcf_net::loadgen::{self, LoadConfig};
 use imcf_net::server::NetConfig;
+use imcf_obs::{default_rules, ObsConfig, ObsEngine};
 use imcf_sim::meter::EnergyMeter;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -19,6 +21,13 @@ use std::time::Duration;
 /// serves until `--duration-secs` elapses (0 = until stdin reaches EOF or
 /// a line saying `quit`), then shuts down gracefully, draining in-flight
 /// requests.
+///
+/// An in-process [`ObsEngine`] samples the global telemetry registry
+/// every `--tick-ms` milliseconds (one sampler tick each), which powers
+/// `GET /rest/query`, `GET /rest/alerts`, `imcf top` and `imcf doctor`.
+/// `--demo-alert true` bumps `breaker.open` each tick so the
+/// `breaker.open.storm` rule fires — used by the CI smoke run to assert
+/// the alerting path end to end.
 pub fn serve(argv: &[String]) -> Result<(), String> {
     let spec = ArgSpec {
         options: &[
@@ -31,6 +40,8 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             "max-requests-per-conn",
             "burst",
             "refill-per-sec",
+            "tick-ms",
+            "demo-alert",
         ],
         min_positional: 0,
         max_positional: 0,
@@ -45,6 +56,8 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     let max_requests_per_conn = parsed.get_u64("max-requests-per-conn", 1000)?.max(1) as u32;
     let burst = parsed.get_u64("burst", 0)?;
     let refill_per_sec = parsed.get_f64("refill-per-sec", 10.0)?;
+    let tick_ms = parsed.get_u64("tick-ms", 200)?.max(1);
+    let demo_alert = matches!(parsed.get("demo-alert"), Some("1") | Some("true"));
     let rate_limit = (burst > 0).then_some(RateLimit {
         burst: burst.min(u64::from(u32::MAX)) as u32,
         refill_per_tick: refill_per_sec,
@@ -57,13 +70,37 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             .provision_zone(&format!("zone{z}"))
             .map_err(|e| format!("cannot provision zone{z}: {e}"))?;
     }
+    let engine = ObsEngine::in_memory(ObsConfig::default(), default_rules())
+        .map_err(|e| format!("invalid alert rules: {e}"))?;
+    let obs = Arc::new(Mutex::new(engine));
     let router = Router::new(
         controller.registry(),
         controller.firewall(),
         Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
     )
-    .with_breakers(controller.breakers(), controller.chaos_clock());
+    .with_breakers(controller.breakers(), controller.chaos_clock())
+    .with_obs(obs.clone());
     let readiness = router.readiness();
+
+    // The sampler thread: one obs tick per `--tick-ms`, reading whatever
+    // the server threads have recorded into the global telemetry
+    // registry (request counters, handling-latency histogram, ...).
+    let sampling = Arc::new(AtomicBool::new(true));
+    let sampler = {
+        let obs = obs.clone();
+        let sampling = sampling.clone();
+        std::thread::spawn(move || {
+            let mut tick: u64 = 0;
+            while sampling.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(tick_ms));
+                tick += 1;
+                if demo_alert {
+                    imcf_telemetry::global().counter("breaker.open").add(1);
+                }
+                obs.lock().observe(tick, imcf_telemetry::global());
+            }
+        })
+    };
 
     let config = NetConfig {
         addr: format!("127.0.0.1:{port}"),
@@ -83,6 +120,15 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             Some(l) => format!(", edge bucket {}+{}/s", l.burst, l.refill_per_tick),
             None => String::from(", no edge rate limit"),
         }
+    );
+    println!(
+        "imcf-obs: sampling telemetry every {tick_ms} ms{} — query with `imcf top --addr {}`",
+        if demo_alert {
+            " (demo alert storm on)"
+        } else {
+            ""
+        },
+        handle.addr()
     );
 
     if duration_secs > 0 {
@@ -105,7 +151,9 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     // requests (and liveness probes) still complete.
     readiness.store(false, std::sync::atomic::Ordering::SeqCst);
     println!("imcf-net: shutting down (readyz=503, draining in-flight requests)");
+    sampling.store(false, Ordering::SeqCst);
     handle.shutdown();
+    let _ = sampler.join();
     Ok(())
 }
 

@@ -18,6 +18,8 @@
 //!                                for one trace as Chrome-trace JSON)
 //! GET  /rest/healthz            (liveness: 200 while the process serves)
 //! GET  /rest/readyz             (readiness: 503 while restoring/draining)
+//! GET  /rest/query              (imcf-obs range queries; `?series=...&fn=...`)
+//! GET  /rest/alerts             (imcf-obs alert rule states)
 //! ```
 //!
 //! and answers with JSON, so a GUI, a test harness, or a TCP shim can drive
@@ -29,6 +31,7 @@ use imcf_devices::channel::ChannelUid;
 use imcf_devices::command::{Command, CommandOutcome, CommandPayload};
 use imcf_devices::item::{ItemKind, ItemState};
 use imcf_devices::registry::DeviceRegistry;
+use imcf_obs::{ObsEngine, QueryError};
 use imcf_sim::meter::EnergyMeter;
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -147,6 +150,9 @@ pub struct Router {
     firewall: Arc<Mutex<Chain>>,
     meter: Arc<Mutex<EnergyMeter>>,
     breakers: Option<(Arc<Mutex<BreakerBank>>, Arc<AtomicU64>)>,
+    /// The observability engine behind `/rest/query` and `/rest/alerts`
+    /// (shared with the sampling loop, hence the mutex).
+    obs: Option<Arc<Mutex<ObsEngine>>>,
     /// Readiness flag behind `/rest/readyz`: flipped false while the
     /// controller restores from a checkpoint or drains for shutdown, so a
     /// load balancer routes around the instance without killing it.
@@ -165,6 +171,7 @@ impl Router {
             firewall,
             meter,
             breakers: None,
+            obs: None,
             ready: Arc::new(AtomicBool::new(true)),
         }
     }
@@ -184,6 +191,14 @@ impl Router {
         self
     }
 
+    /// Attaches an observability engine so `GET /rest/query` and
+    /// `GET /rest/alerts` can answer. Unattached routers answer both
+    /// routes with an empty-but-valid body.
+    pub fn with_obs(mut self, obs: Arc<Mutex<ObsEngine>>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// The methods a known path answers, rendered for an `Allow` header;
     /// `None` for unknown paths.
     fn allowed_methods(path: &str) -> Option<&'static str> {
@@ -196,7 +211,7 @@ impl Router {
             }
             "/rest/items" | "/rest/things" | "/rest/firewall" | "/rest/meter"
             | "/rest/breakers" | "/rest/metrics" | "/rest/traces" | "/rest/healthz"
-            | "/rest/readyz" => Some("GET"),
+            | "/rest/readyz" | "/rest/query" | "/rest/alerts" => Some("GET"),
             _ => None,
         }
     }
@@ -227,6 +242,8 @@ impl Router {
             ("GET", "/rest/traces") => Self::get_traces(query),
             ("GET", "/rest/healthz") => Response::ok(&serde_json::json!({ "status": "ok" })),
             ("GET", "/rest/readyz") => self.get_readyz(),
+            ("GET", "/rest/query") => self.get_query(query),
+            ("GET", "/rest/alerts") => self.get_alerts(),
             _ if method.is_empty() || path.is_empty() || !path.starts_with('/') => {
                 Response::error(400, "expected `<METHOD> <path>` with an optional value")
             }
@@ -259,6 +276,40 @@ impl Router {
             r.headers.push(("Retry-After", "1".to_string()));
             r
         }
+    }
+
+    /// `GET /rest/query?series=...&fn=value|rate|increase|points|quantile`
+    /// `&window=<ticks>&q=<0..1>`: range queries over the obs engine's
+    /// retained series. No `series` parameter lists the series keys.
+    fn get_query(&self, query: &str) -> Response {
+        let Some(obs) = &self.obs else {
+            return Response::ok(&serde_json::json!({
+                "tick": serde_json::Value::Null,
+                "series": Vec::<String>::new(),
+            }));
+        };
+        let engine = obs.lock();
+        match imcf_obs::handle_query(&engine, query) {
+            Ok(body) => Response::json_text(body),
+            Err(QueryError::BadRequest(msg)) => Response::error(400, &msg),
+            Err(QueryError::UnknownSeries(series)) => {
+                Response::error(404, &format!("unknown series: {series}"))
+            }
+        }
+    }
+
+    /// `GET /rest/alerts`: every alert rule with its state-machine
+    /// position and last computed value.
+    fn get_alerts(&self) -> Response {
+        let Some(obs) = &self.obs else {
+            return Response::ok(&serde_json::json!({
+                "tick": serde_json::Value::Null,
+                "firing": 0,
+                "alerts": Vec::<imcf_obs::AlertRow>::new(),
+            }));
+        };
+        let engine = obs.lock();
+        Response::json_text(engine.alerts_json())
     }
 
     fn get_metrics(query: &str) -> Response {
@@ -640,6 +691,67 @@ mod tests {
         let r = router.handle("POST /rest/healthz");
         assert_eq!(r.status, 405);
         assert_eq!(r.header("Allow"), Some("GET"));
+    }
+
+    #[test]
+    fn query_and_alerts_endpoints() {
+        use imcf_obs::{default_rules, ObsConfig, ObsEngine};
+
+        let (_c, plain) = router_with_zone();
+        // Unattached router answers both routes with empty-but-valid JSON.
+        let r = plain.handle("GET /rest/query");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"series\":[]"), "body: {}", r.body);
+        let r = plain.handle("GET /rest/alerts");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"alerts\":[]"), "body: {}", r.body);
+
+        // Attached router serves real series sampled from a registry.
+        let (c, _unused) = router_with_zone();
+        let mut engine = ObsEngine::in_memory(ObsConfig::default(), default_rules())
+            .expect("stock rules validate");
+        let sampled = imcf_telemetry::Registry::new();
+        let work = sampled.counter("journal.deduped");
+        for tick in 1..=10u64 {
+            work.add(3);
+            engine.observe(tick, &sampled);
+        }
+        let router = Router::new(
+            c.registry(),
+            c.firewall(),
+            Arc::new(Mutex::new(EnergyMeter::new(PaperCalendar::january_start()))),
+        )
+        .with_obs(Arc::new(Mutex::new(engine)));
+
+        let r = router.handle("GET /rest/query?series=journal.deduped&fn=rate&window=5");
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        assert_eq!(r.content_type, JSON_CONTENT_TYPE);
+        assert!(r.body.contains("\"value\":3"), "body: {}", r.body);
+
+        // Typed errors map onto HTTP statuses.
+        assert_eq!(
+            router
+                .handle("GET /rest/query?series=no.such&fn=value")
+                .status,
+            404
+        );
+        assert_eq!(
+            router
+                .handle("GET /rest/query?series=journal.deduped&fn=bogus")
+                .status,
+            400
+        );
+
+        let r = router.handle("GET /rest/alerts");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("breaker.open.storm"), "body: {}", r.body);
+
+        // Both are GET-only.
+        let r = router.handle("POST /rest/query");
+        assert_eq!(r.status, 405);
+        assert_eq!(r.header("Allow"), Some("GET"));
+        let r = router.handle("POST /rest/alerts");
+        assert_eq!(r.status, 405);
     }
 
     #[test]

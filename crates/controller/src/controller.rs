@@ -388,6 +388,14 @@ impl LocalController {
         self.breakers.lock().snapshots(tick)
     }
 
+    /// Aggregate breaker counters (lifetime opens, currently open) — the
+    /// allocation-free counterpart of [`LocalController::breaker_snapshots`]
+    /// for per-tick sampling loops.
+    pub fn breaker_totals(&self) -> (u64, u64) {
+        let tick = self.chaos_tick.load(Ordering::SeqCst);
+        self.breakers.lock().totals(tick)
+    }
+
     /// The device registry (shared handle).
     pub fn registry(&self) -> DeviceRegistry {
         self.registry.clone()

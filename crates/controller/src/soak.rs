@@ -53,6 +53,9 @@ pub struct SoakConfig {
     pub weekly_budget_kwh: f64,
     /// 1-based month the soak starts in.
     pub month: u32,
+    /// Raw points retained per obs series (0 disables the observability
+    /// plane — no sampling, no alert evaluation).
+    pub obs_capacity: usize,
 }
 
 impl Default for SoakConfig {
@@ -67,6 +70,7 @@ impl Default for SoakConfig {
             outage_rate_per_week: 0.0,
             weekly_budget_kwh: 165.0,
             month: 1,
+            obs_capacity: 256,
         }
     }
 }
@@ -106,6 +110,14 @@ pub struct SoakOutcome {
     pub journal_rows: u64,
     /// Whether the final reopen was handed a torn WAL tail.
     pub torn_reopen: bool,
+    /// Alert rules that reached the firing state at least once (counts
+    /// firing transitions, from the obs plane's stock rule set).
+    pub alerts_fired: u64,
+    /// Total alert state-machine transitions over the run.
+    pub alert_transitions: u64,
+    /// Alert trace events recorded by the obs plane, rendered
+    /// `name(alert=rule)` in order — e.g. `alert.firing(breaker.open.storm)`.
+    pub alert_events: Vec<String>,
     /// Ticks during which the chaos subscriber stalled (did not drain).
     pub stalled_ticks: u64,
     /// Worst bus backlog observed at a drain point.
@@ -151,6 +163,34 @@ pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome 
             .expect("fresh controller has no zones"); // imcf-lint: allow(L001)
     }
     controller.attach_chaos(config.plan.clone());
+
+    // The observability plane samples a *private* mirror registry (fed
+    // from tick summaries and breaker snapshots, all virtual-clock
+    // state), not the process-global one — the global registry is shared
+    // across concurrently running soaks, which would break the
+    // byte-identical guarantee.
+    let mirror = imcf_telemetry::Registry::new();
+    // Metric handles hoisted out of the tick loop: registry lookups
+    // allocate a key per call, and the obs tick path is measured against
+    // a ≤5 %-of-tick overhead budget (`obs_bench`).
+    let mirror_breaker_open = mirror.counter("breaker.open");
+    let mirror_breaker_open_now = mirror.gauge("breaker.open_now");
+    let mirror_retries = mirror.counter("actuation.retries");
+    let mirror_gave_up = mirror.counter("actuation.gave_up");
+    let mut obs = if config.obs_capacity > 0 {
+        let obs_config = imcf_obs::ObsConfig {
+            capacity: config.obs_capacity,
+            persist_every: 0,
+            ..imcf_obs::ObsConfig::default()
+        };
+        // The stock rules validate against the catalog by construction
+        // (pinned by imcf-obs tests); a failure here just disables the
+        // plane rather than killing the soak.
+        imcf_obs::ObsEngine::in_memory(obs_config, imcf_obs::default_rules()).ok()
+    } else {
+        None
+    };
+    let mut breaker_opens_seen = 0u64;
 
     // The chaos subscriber: drains the bus except on stalled ticks, so
     // backlog builds and must be absorbed without blocking publishers.
@@ -292,12 +332,45 @@ pub fn run_soak(config: &SoakConfig, journal_dir: Option<&Path>) -> SoakOutcome 
             }
         }
 
+        if let Some(engine) = obs.as_mut() {
+            let (opens_total, open_now) = controller.breaker_totals();
+            let newly_opened = opens_total.saturating_sub(breaker_opens_seen);
+            breaker_opens_seen = opens_total;
+            if newly_opened > 0 {
+                mirror_breaker_open.add(newly_opened);
+            }
+            mirror_breaker_open_now.set(open_now as f64);
+            mirror_retries.add(summary.retried);
+            mirror_gave_up.add(summary.failed);
+            engine.observe(h, &mirror);
+        }
+
         if config.plan.bus_stalled(h) {
             out.stalled_ticks += 1;
         } else {
             out.max_bus_backlog = out.max_bus_backlog.max(rx.len() as u64);
             for _ in rx.try_iter() {}
         }
+    }
+
+    if let Some(engine) = obs.as_ref() {
+        let stats = engine.stats();
+        out.alerts_fired = stats.alerts_fired;
+        out.alert_transitions = stats.alert_transitions;
+        out.alert_events = mirror
+            .events()
+            .into_iter()
+            .filter(|e| e.name.starts_with("alert."))
+            .map(|e| {
+                let rule = e
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "alert")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or("?");
+                format!("{}({rule})", e.name)
+            })
+            .collect();
     }
 
     out.faults_injected = controller.registry().failed_count();

@@ -272,6 +272,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
             .or_insert(0) += count;
     }
 
+    let digest = latency.summary();
     Ok(LoadReport {
         connections: config.connections,
         attempted: config.connections as u64 * config.requests_per_conn,
@@ -286,10 +287,10 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         } else {
             0.0
         },
-        p50_micros: latency.quantile(0.50),
-        p99_micros: latency.quantile(0.99),
-        p999_micros: latency.quantile(0.999),
-        mean_micros: latency.mean(),
+        p50_micros: digest.p50,
+        p99_micros: digest.p99,
+        p999_micros: digest.p999,
+        mean_micros: digest.mean,
     })
 }
 

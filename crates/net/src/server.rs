@@ -338,7 +338,14 @@ fn respond(request: &Request, shared: &Shared) -> Response {
     } else {
         format!("{} {} {}", request.method, request.target, body)
     };
-    shared.router.handle(&line)
+    // Server-side handling latency feeds the obs plane's p99 SLO alert
+    // (`net.request_micros.p99_slo` over the sampled histogram).
+    let watch = imcf_telemetry::Stopwatch::start();
+    let response = shared.router.handle(&line);
+    imcf_telemetry::global()
+        .histogram("net.request_micros")
+        .observe(watch.elapsed_micros() as f64);
+    response
 }
 
 /// Serializes one response onto the wire.

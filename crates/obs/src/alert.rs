@@ -1,0 +1,391 @@
+//! Declarative alert rules with a deterministic pending → firing →
+//! resolved state machine.
+//!
+//! Rules are evaluated on the controller's **virtual clock** against the
+//! in-process time-series engine, so a run produces the same alert
+//! transitions at the same ticks regardless of worker count or wall-clock
+//! speed. A rule breaches when its expression compares true against the
+//! threshold; it must breach for `for_ticks` consecutive evaluations
+//! before firing (the "pending" holdoff, Prometheus `for:` semantics).
+//!
+//! Rules are validated at load: an expression referencing a series whose
+//! base metric is absent from the telemetry catalog is a typed error, not
+//! a silently-empty query.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a rule computes each evaluation tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlertExpr {
+    /// Current value of the series (gauge level or counter total).
+    Value(String),
+    /// Per-tick rate of a counter over the trailing window `(series, window)`.
+    Rate(String, u64),
+    /// Absolute counter increase over the trailing window `(series, window)`.
+    Increase(String, u64),
+    /// Quantile-over-time of a histogram `(series, q, window)`.
+    Quantile(String, f64, u64),
+}
+
+impl AlertExpr {
+    /// The series the expression reads.
+    pub fn series(&self) -> &str {
+        match self {
+            AlertExpr::Value(s)
+            | AlertExpr::Rate(s, _)
+            | AlertExpr::Increase(s, _)
+            | AlertExpr::Quantile(s, _, _) => s,
+        }
+    }
+
+    /// The trailing window in ticks (0 for instant expressions).
+    pub fn window(&self) -> u64 {
+        match self {
+            AlertExpr::Value(_) => 0,
+            AlertExpr::Rate(_, w) | AlertExpr::Increase(_, w) | AlertExpr::Quantile(_, _, w) => *w,
+        }
+    }
+
+    /// Human-readable rendering for `/rest/alerts` and `imcf top`.
+    pub fn render(&self) -> String {
+        match self {
+            AlertExpr::Value(s) => format!("value({s})"),
+            AlertExpr::Rate(s, w) => format!("rate({s}[{w}])"),
+            AlertExpr::Increase(s, w) => format!("increase({s}[{w}])"),
+            AlertExpr::Quantile(s, q, w) => format!("quantile({s}[{w}], {q})"),
+        }
+    }
+}
+
+/// Comparison between the computed value and the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl Cmp {
+    pub fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Cmp::Gt => value > threshold,
+            Cmp::Ge => value >= threshold,
+            Cmp::Lt => value < threshold,
+            Cmp::Le => value <= threshold,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+        }
+    }
+}
+
+/// How loud the alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    Info,
+    Warning,
+    Critical,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Unique rule name; by convention prefixed with the base metric it
+    /// watches (see CONTRIBUTING on L004 and alert naming).
+    pub name: String,
+    pub expr: AlertExpr,
+    pub cmp: Cmp,
+    pub threshold: f64,
+    /// Consecutive breached evaluations required before firing.
+    pub for_ticks: u64,
+    pub severity: Severity,
+}
+
+/// The state machine position of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertState {
+    Inactive,
+    /// Breaching since the contained tick, not yet held long enough.
+    Pending(u64),
+    /// Firing since the contained tick.
+    Firing(u64),
+}
+
+impl AlertState {
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending(_) => "pending",
+            AlertState::Firing(_) => "firing",
+        }
+    }
+}
+
+/// A state-machine edge taken during one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    ToPending,
+    ToFiring,
+    ToResolved,
+}
+
+impl Transition {
+    /// The `to` label value recorded on `alerts.transitions`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transition::ToPending => "pending",
+            Transition::ToFiring => "firing",
+            Transition::ToResolved => "resolved",
+        }
+    }
+}
+
+/// Advances one rule's state machine given whether the rule breaches at
+/// `tick`. Pure: same inputs, same edge, on every worker layout.
+pub fn step(
+    state: AlertState,
+    breach: bool,
+    tick: u64,
+    for_ticks: u64,
+) -> (AlertState, Option<Transition>) {
+    match (state, breach) {
+        (AlertState::Inactive, false) => (AlertState::Inactive, None),
+        (AlertState::Inactive, true) => {
+            if for_ticks == 0 {
+                (AlertState::Firing(tick), Some(Transition::ToFiring))
+            } else {
+                (AlertState::Pending(tick), Some(Transition::ToPending))
+            }
+        }
+        (AlertState::Pending(_), false) => (AlertState::Inactive, Some(Transition::ToResolved)),
+        (AlertState::Pending(since), true) => {
+            // Held for `for_ticks` evaluations counting the first breach.
+            if tick.saturating_sub(since) + 1 >= for_ticks {
+                (AlertState::Firing(since), Some(Transition::ToFiring))
+            } else {
+                (AlertState::Pending(since), None)
+            }
+        }
+        (AlertState::Firing(_), false) => (AlertState::Inactive, Some(Transition::ToResolved)),
+        (AlertState::Firing(since), true) => (AlertState::Firing(since), None),
+    }
+}
+
+/// Why a rule set was rejected at load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertError {
+    /// The rule reads a series whose base metric is not in the telemetry
+    /// catalog — a typo or an uncataloged metric (see lint L004).
+    UnknownSeries { rule: String, series: String },
+    /// Quantile outside `(0, 1)`.
+    BadQuantile { rule: String, q: f64 },
+    /// Windowed expression with a zero window.
+    ZeroWindow { rule: String },
+    /// Two rules share a name.
+    DuplicateRule { rule: String },
+}
+
+impl fmt::Display for AlertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlertError::UnknownSeries { rule, series } => write!(
+                f,
+                "alert rule {rule:?} reads series {series:?} whose base metric is not in the \
+                 telemetry catalog"
+            ),
+            AlertError::BadQuantile { rule, q } => {
+                write!(f, "alert rule {rule:?} uses quantile {q} outside (0, 1)")
+            }
+            AlertError::ZeroWindow { rule } => {
+                write!(
+                    f,
+                    "alert rule {rule:?} uses a windowed expression with window 0"
+                )
+            }
+            AlertError::DuplicateRule { rule } => {
+                write!(f, "alert rule name {rule:?} is used more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlertError {}
+
+/// The catalog metric name underneath a series key: everything before the
+/// first `{` (labels) or `:` (histogram sub-series separator).
+pub fn base_metric(series: &str) -> &str {
+    let end = series.find(['{', ':']).unwrap_or(series.len());
+    &series[..end]
+}
+
+/// Validates a rule set against the telemetry catalog. Called by the
+/// engine constructor; exposed for tools that load rules from config.
+pub fn validate_rules(rules: &[AlertRule]) -> Result<(), AlertError> {
+    let mut seen: Vec<&str> = Vec::with_capacity(rules.len());
+    for rule in rules {
+        if seen.contains(&rule.name.as_str()) {
+            return Err(AlertError::DuplicateRule {
+                rule: rule.name.clone(),
+            });
+        }
+        seen.push(&rule.name);
+        let series = rule.expr.series();
+        let base = base_metric(series);
+        if !imcf_telemetry::catalog::is_cataloged(base) {
+            return Err(AlertError::UnknownSeries {
+                rule: rule.name.clone(),
+                series: series.to_string(),
+            });
+        }
+        match rule.expr {
+            AlertExpr::Quantile(_, q, _) if !(q > 0.0 && q < 1.0) => {
+                return Err(AlertError::BadQuantile {
+                    rule: rule.name.clone(),
+                    q,
+                });
+            }
+            _ => {}
+        }
+        match rule.expr {
+            AlertExpr::Rate(_, 0) | AlertExpr::Increase(_, 0) | AlertExpr::Quantile(_, _, 0) => {
+                return Err(AlertError::ZeroWindow {
+                    rule: rule.name.clone(),
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// The stock rule set: the failure modes the reproduction already
+/// instruments, expressed as burn-rate / threshold rules.
+pub fn default_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule {
+            name: "breaker.open.storm".to_string(),
+            expr: AlertExpr::Increase("breaker.open".to_string(), 60),
+            cmp: Cmp::Gt,
+            threshold: 0.0,
+            for_ticks: 0,
+            severity: Severity::Critical,
+        },
+        AlertRule {
+            name: "journal.deduped.burn".to_string(),
+            expr: AlertExpr::Rate("journal.deduped".to_string(), 120),
+            cmp: Cmp::Gt,
+            threshold: 0.5,
+            for_ticks: 3,
+            severity: Severity::Warning,
+        },
+        AlertRule {
+            name: "controller.watchdog_trips.any".to_string(),
+            expr: AlertExpr::Increase("controller.watchdog_trips".to_string(), 60),
+            cmp: Cmp::Gt,
+            threshold: 0.0,
+            for_ticks: 0,
+            severity: Severity::Critical,
+        },
+        AlertRule {
+            name: "net.request_micros.p99_slo".to_string(),
+            expr: AlertExpr::Quantile("net.request_micros".to_string(), 0.99, 120),
+            cmp: Cmp::Gt,
+            threshold: 50_000.0,
+            for_ticks: 3,
+            severity: Severity::Warning,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rules_validate() {
+        validate_rules(&default_rules()).expect("stock rules reference cataloged metrics");
+    }
+
+    #[test]
+    fn unknown_series_rejected() {
+        let rules = vec![AlertRule {
+            name: "bogus".to_string(),
+            expr: AlertExpr::Value("no.such.metric".to_string()),
+            cmp: Cmp::Gt,
+            threshold: 0.0,
+            for_ticks: 0,
+            severity: Severity::Info,
+        }];
+        match validate_rules(&rules) {
+            Err(AlertError::UnknownSeries { rule, series }) => {
+                assert_eq!(rule, "bogus");
+                assert_eq!(series, "no.such.metric");
+            }
+            other => panic!("expected UnknownSeries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn base_metric_strips_labels_and_subseries() {
+        assert_eq!(base_metric("breaker.open"), "breaker.open");
+        assert_eq!(base_metric("api.requests{status=2xx}"), "api.requests");
+        assert_eq!(
+            base_metric("net.request_micros:le:100"),
+            "net.request_micros"
+        );
+    }
+
+    #[test]
+    fn state_machine_holds_for_ticks_then_fires_and_resolves() {
+        let mut state = AlertState::Inactive;
+        let mut edges = Vec::new();
+        for (tick, breach) in [(10, true), (11, true), (12, true), (13, false)] {
+            let (next, edge) = step(state, breach, tick, 3);
+            state = next;
+            edges.push(edge);
+        }
+        assert_eq!(
+            edges,
+            vec![
+                Some(Transition::ToPending),
+                None,
+                Some(Transition::ToFiring),
+                Some(Transition::ToResolved),
+            ]
+        );
+        assert_eq!(state, AlertState::Inactive);
+    }
+
+    #[test]
+    fn pending_deflates_without_firing() {
+        let (pending, _) = step(AlertState::Inactive, true, 5, 10);
+        let (next, edge) = step(pending, false, 6, 10);
+        assert_eq!(next, AlertState::Inactive);
+        assert_eq!(edge, Some(Transition::ToResolved));
+    }
+
+    #[test]
+    fn zero_for_ticks_fires_immediately() {
+        let (next, edge) = step(AlertState::Inactive, true, 7, 0);
+        assert_eq!(next, AlertState::Firing(7));
+        assert_eq!(edge, Some(Transition::ToFiring));
+    }
+}

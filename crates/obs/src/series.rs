@@ -1,0 +1,309 @@
+//! Per-series delta rings: bounded history with eviction-driven
+//! downsampling.
+//!
+//! Counters are stored as per-sample **increments** (the delta between
+//! consecutive cumulative readings), gauges as raw levels. Increments make
+//! windowed queries a plain sum and make the ring robust to counter resets
+//! (a reading below its predecessor starts a new epoch — the fresh reading
+//! is taken as the increment, matching Prometheus `increase()` semantics).
+//!
+//! When the raw ring is full, evicted points fold into a coarse ring:
+//! every `downsample_every` evictions become one aggregated block (sum of
+//! increments for counters, mean level for gauges) stamped with the last
+//! tick of the block. Windowed counter queries transparently extend into
+//! the coarse ring when the window predates raw history.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The sampled value semantics of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeriesKind {
+    /// Monotonic cumulative total; the ring stores per-sample increments.
+    Counter,
+    /// Point-in-time level; the ring stores raw values.
+    Gauge,
+}
+
+impl SeriesKind {
+    /// Lowercase wire name (`counter` / `gauge`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One stored sample: `(virtual tick, increment-or-level)`.
+pub type Point = (u64, f64);
+
+/// A bounded, delta-encoded history for one series.
+#[derive(Debug, Clone)]
+pub struct SeriesRing {
+    kind: SeriesKind,
+    capacity: usize,
+    downsample_every: usize,
+    coarse_capacity: usize,
+    points: VecDeque<Point>,
+    /// Cumulative value at the last sample (counters only).
+    last_raw: Option<f64>,
+    /// Sum of every evicted increment (counters): lets `value()` stay
+    /// exact after the ring wraps.
+    base: f64,
+    evictions: u64,
+    pending: Vec<Point>,
+    coarse: VecDeque<Point>,
+}
+
+impl SeriesRing {
+    pub fn new(
+        kind: SeriesKind,
+        capacity: usize,
+        downsample_every: usize,
+        coarse_capacity: usize,
+    ) -> SeriesRing {
+        SeriesRing {
+            kind,
+            capacity: capacity.max(1),
+            downsample_every: downsample_every.max(1),
+            coarse_capacity: coarse_capacity.max(1),
+            points: VecDeque::new(),
+            last_raw: None,
+            base: 0.0,
+            evictions: 0,
+            pending: Vec::new(),
+            coarse: VecDeque::new(),
+        }
+    }
+
+    /// Rebuilds a ring from persisted state (already delta-encoded points).
+    pub fn restore(
+        kind: SeriesKind,
+        capacity: usize,
+        downsample_every: usize,
+        coarse_capacity: usize,
+        points: Vec<Point>,
+        last_raw: Option<f64>,
+        base: f64,
+    ) -> SeriesRing {
+        let mut ring = SeriesRing::new(kind, capacity, downsample_every, coarse_capacity);
+        for point in points.into_iter() {
+            ring.points.push_back(point);
+        }
+        while ring.points.len() > ring.capacity {
+            ring.points.pop_front();
+        }
+        ring.last_raw = last_raw;
+        ring.base = base;
+        ring
+    }
+
+    /// Records one raw sample of the underlying metric at `tick`.
+    pub fn push(&mut self, tick: u64, raw: f64) {
+        let stored = match self.kind {
+            SeriesKind::Counter => {
+                let delta = match self.last_raw {
+                    Some(last) if raw >= last => raw - last,
+                    // First sample or counter reset: the reading itself is
+                    // the increment of the new epoch.
+                    _ => raw,
+                };
+                self.last_raw = Some(raw);
+                delta
+            }
+            SeriesKind::Gauge => raw,
+        };
+        self.points.push_back((tick, stored));
+        while self.points.len() > self.capacity {
+            if let Some(evicted) = self.points.pop_front() {
+                self.evictions += 1;
+                if self.kind == SeriesKind::Counter {
+                    self.base += evicted.1;
+                }
+                self.pending.push(evicted);
+                if self.pending.len() >= self.downsample_every {
+                    self.fold_pending();
+                }
+            }
+        }
+    }
+
+    fn fold_pending(&mut self) {
+        let Some(&(last_tick, _)) = self.pending.last() else {
+            return;
+        };
+        let value = match self.kind {
+            SeriesKind::Counter => self.pending.iter().map(|p| p.1).sum(),
+            SeriesKind::Gauge => {
+                let sum: f64 = self.pending.iter().map(|p| p.1).sum();
+                sum / self.pending.len() as f64
+            }
+        };
+        self.coarse.push_back((last_tick, value));
+        while self.coarse.len() > self.coarse_capacity {
+            self.coarse.pop_front();
+        }
+        self.pending.clear();
+    }
+
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw points evicted since the ring was created.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub fn last_tick(&self) -> Option<u64> {
+        self.points.back().map(|p| p.0)
+    }
+
+    /// Cumulative value at the last sample for counters (exact across
+    /// wraps thanks to `base`), last observed level for gauges.
+    pub fn value(&self) -> Option<f64> {
+        match self.kind {
+            SeriesKind::Counter => self
+                .last_raw
+                .map(|_| self.base + self.points.iter().map(|p| p.1).sum::<f64>()),
+            SeriesKind::Gauge => self.points.back().map(|p| p.1),
+        }
+    }
+
+    /// Total increase over the trailing `window` ticks ending at `now`
+    /// (points with `tick > now - window`). Counters extend into the
+    /// coarse ring when the window predates raw history.
+    pub fn increase(&self, now: u64, window: u64) -> f64 {
+        let from = now.saturating_sub(window);
+        // Points are tick-ascending: walk newest-first and stop at the
+        // window edge, so per-tick alert evaluation scales with the
+        // window, not the ring capacity.
+        let mut total: f64 = 0.0;
+        for p in self.points.iter().rev() {
+            if p.0 <= from {
+                break;
+            }
+            total += p.1;
+        }
+        if self.kind == SeriesKind::Counter {
+            let raw_start = self.points.front().map(|p| p.0).unwrap_or(u64::MAX);
+            for p in self.coarse.iter().rev() {
+                if p.0 <= from {
+                    break;
+                }
+                if p.0 < raw_start {
+                    total += p.1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Per-tick rate over the trailing window: `increase / window`.
+    pub fn rate(&self, now: u64, window: u64) -> f64 {
+        let window = window.max(1);
+        self.increase(now, window) / window as f64
+    }
+
+    /// The raw ring contents, oldest first (counter series yield
+    /// per-sample increments, not cumulative totals).
+    pub fn raw_points(&self) -> Vec<Point> {
+        self.points.iter().copied().collect()
+    }
+
+    /// The downsampled blocks, oldest first.
+    pub fn coarse_points(&self) -> Vec<Point> {
+        self.coarse.iter().copied().collect()
+    }
+
+    /// Cumulative counter value at the last sample, as last pushed
+    /// (used to persist delta-encoding state across restarts).
+    pub fn last_raw(&self) -> Option<f64> {
+        self.last_raw
+    }
+
+    /// Sum of evicted counter increments (persisted with `last_raw`).
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_deltas_and_value() {
+        let mut r = SeriesRing::new(SeriesKind::Counter, 8, 4, 4);
+        for (tick, v) in [(1, 2.0), (2, 5.0), (3, 5.0), (4, 9.0)] {
+            r.push(tick, v);
+        }
+        assert_eq!(r.raw_points(), vec![(1, 2.0), (2, 3.0), (3, 0.0), (4, 4.0)]);
+        assert_eq!(r.value(), Some(9.0));
+        assert!((r.increase(4, 2) - 4.0).abs() < 1e-9);
+        assert!((r.increase(4, 100) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_reset_starts_new_epoch() {
+        let mut r = SeriesRing::new(SeriesKind::Counter, 8, 4, 4);
+        r.push(1, 10.0);
+        r.push(2, 3.0); // reset: process restarted
+        assert_eq!(r.raw_points(), vec![(1, 10.0), (2, 3.0)]);
+        assert_eq!(r.value(), Some(13.0));
+    }
+
+    #[test]
+    fn eviction_keeps_counter_value_exact() {
+        let mut r = SeriesRing::new(SeriesKind::Counter, 4, 2, 8);
+        for tick in 1..=20u64 {
+            r.push(tick, tick as f64); // +1 per tick
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.evictions(), 16);
+        assert_eq!(r.value(), Some(20.0));
+        // Window spanning into coarse history still sums correctly: the
+        // last 10 ticks grew the counter by 10.
+        assert!((r.increase(20, 10) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_value_is_last_level_and_coarse_is_mean() {
+        let mut r = SeriesRing::new(SeriesKind::Gauge, 2, 2, 8);
+        for (tick, v) in [(1, 1.0), (2, 3.0), (3, 7.0), (4, 9.0)] {
+            r.push(tick, v);
+        }
+        assert_eq!(r.value(), Some(9.0));
+        assert_eq!(r.coarse_points(), vec![(2, 2.0)]);
+    }
+
+    #[test]
+    fn restore_round_trips_delta_state() {
+        let mut r = SeriesRing::new(SeriesKind::Counter, 8, 4, 4);
+        r.push(1, 5.0);
+        r.push(2, 8.0);
+        let restored = SeriesRing::restore(
+            SeriesKind::Counter,
+            8,
+            4,
+            4,
+            r.raw_points(),
+            r.last_raw(),
+            r.base(),
+        );
+        assert_eq!(restored.value(), Some(8.0));
+        let mut restored = restored;
+        restored.push(3, 10.0);
+        // No double counting after restart: 8 -> 10 is +2.
+        assert_eq!(restored.value(), Some(10.0));
+    }
+}

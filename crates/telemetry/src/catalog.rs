@@ -47,6 +47,18 @@ pub const METRICS: &[MetricDef] = &[
         help: "actuation retry attempts beyond first tries",
     },
     MetricDef {
+        name: "alerts.firing",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "alert rules currently in the firing state",
+    },
+    MetricDef {
+        name: "alerts.transitions",
+        kind: MetricKind::Counter,
+        labels: &["alert", "to"],
+        help: "alert state-machine transitions by rule and target state",
+    },
+    MetricDef {
         name: "amortization.recomputes",
         kind: MetricKind::Counter,
         labels: &[],
@@ -167,6 +179,12 @@ pub const METRICS: &[MetricDef] = &[
         help: "requests refused at the network edge (saturated, rate_limited)",
     },
     MetricDef {
+        name: "net.request_micros",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "server-side request handling time inside imcf-net (router dispatch), µs",
+    },
+    MetricDef {
         name: "net.requests",
         kind: MetricKind::Counter,
         labels: &["status"],
@@ -177,6 +195,24 @@ pub const METRICS: &[MetricDef] = &[
         kind: MetricKind::Counter,
         labels: &["kind"],
         help: "socket timeouts observed by imcf-net (read, write, idle keep-alive)",
+    },
+    MetricDef {
+        name: "obs.evictions",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "raw time-series points evicted from imcf-obs ring buffers",
+    },
+    MetricDef {
+        name: "obs.samples",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "registry sampling passes completed by the imcf-obs sampler",
+    },
+    MetricDef {
+        name: "obs.series",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "live time series retained by the imcf-obs engine",
     },
     MetricDef {
         name: "optimizer.iterations",

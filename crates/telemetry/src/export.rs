@@ -27,6 +27,12 @@ pub struct MetricSnapshot {
     pub buckets: Option<Vec<(f64, u64)>>,
     /// Histogram observations above the last bound.
     pub overflow: Option<u64>,
+    /// Histogram median estimate (shared `quantile_from_buckets` path).
+    pub p50: Option<f64>,
+    /// Histogram 99th percentile estimate.
+    pub p99: Option<f64>,
+    /// Histogram 99.9th percentile estimate.
+    pub p999: Option<f64>,
 }
 
 /// Rewrites a dotted metric name into the Prometheus charset.
@@ -69,6 +75,9 @@ fn snapshot_one(key: &MetricKey, metric: &Metric) -> MetricSnapshot {
         sum: None,
         buckets: None,
         overflow: None,
+        p50: None,
+        p99: None,
+        p999: None,
     };
     match metric {
         Metric::Counter(c) => {
@@ -83,6 +92,10 @@ fn snapshot_one(key: &MetricKey, metric: &Metric) -> MetricSnapshot {
             snap.kind = "histogram".to_string();
             snap.count = Some(h.count());
             snap.sum = Some(h.sum());
+            let summary = h.summary();
+            snap.p50 = Some(summary.p50);
+            snap.p99 = Some(summary.p99);
+            snap.p999 = Some(summary.p999);
             let core = &h.0;
             let mut cumulative = 0u64;
             let mut buckets = Vec::with_capacity(core.bounds.len());

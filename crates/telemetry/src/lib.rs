@@ -38,7 +38,11 @@ mod span;
 pub mod trace;
 
 pub use clock::Stopwatch;
-pub use registry::{global, Counter, Gauge, Histogram, Registry, DEFAULT_BUCKETS};
+pub use export::MetricSnapshot;
+pub use registry::{
+    global, quantile_from_buckets, Counter, Gauge, Histogram, HistogramSummary, MetricView,
+    Registry, DEFAULT_BUCKETS,
+};
 pub use ring::TraceEvent;
 pub use span::{start_span, start_span_with, Span};
 

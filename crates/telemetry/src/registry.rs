@@ -82,6 +82,62 @@ pub(crate) struct HistogramCore {
     pub(crate) sum_bits: AtomicU64,
 }
 
+/// Estimates the `q`-quantile (`q` in `[0, 1]`) from fixed histogram
+/// buckets, interpolating linearly inside the bucket that crosses the
+/// target rank — the standard Prometheus `histogram_quantile` estimator.
+///
+/// `bounds` are the ascending finite bucket upper bounds; `counts` are the
+/// **per-bucket** (non-cumulative) observation counts and must carry one
+/// extra trailing slot for the overflow (+Inf) bucket. Observations in the
+/// overflow bucket report the largest finite bound: the estimate is
+/// clamped to the histogram's range, never extrapolated. Returns 0 for an
+/// empty histogram.
+///
+/// This is the single quantile estimator in the workspace: live
+/// [`Histogram`] handles, the `/rest/metrics?format=json` summary fields,
+/// the load generator's latency report, and `imcf-obs`
+/// `quantile_over_time` range queries all delegate here, so every surface
+/// agrees on the estimate for the same buckets.
+pub fn quantile_from_buckets(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cumulative = 0u64;
+    let mut lower = 0.0f64;
+    for (i, bound) in bounds.iter().enumerate() {
+        let in_bucket = counts.get(i).copied().unwrap_or(0);
+        let before = cumulative;
+        cumulative += in_bucket;
+        if cumulative as f64 >= rank && in_bucket > 0 {
+            let fraction = ((rank - before as f64) / in_bucket as f64).clamp(0.0, 1.0);
+            return lower + (bound - lower) * fraction;
+        }
+        lower = *bound;
+    }
+    lower
+}
+
+/// The quantile/mean digest of a histogram, computed once from a
+/// consistent read of the buckets — the shape the JSON exporter and the
+/// load generator report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Mean observation, or 0 when empty.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+    /// 99.9th percentile estimate.
+    pub p999: f64,
+}
+
 /// A fixed-bucket histogram of `f64` observations.
 #[derive(Debug, Clone)]
 pub struct Histogram(pub(crate) Arc<HistogramCore>);
@@ -133,31 +189,69 @@ impl Histogram {
     }
 
     /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the bucket
-    /// counts, interpolating linearly inside the bucket that crosses the
-    /// target rank — the standard Prometheus `histogram_quantile`
-    /// estimator. Observations in the overflow (+Inf) bucket report the
-    /// largest finite bound: the estimate is clamped to the histogram's
-    /// range, never extrapolated. Returns 0 for an empty histogram.
+    /// counts via the shared [`quantile_from_buckets`] estimator (see its
+    /// docs for the interpolation and clamping rules).
     pub fn quantile(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = q.clamp(0.0, 1.0) * total as f64;
-        let mut cumulative = 0u64;
-        let mut lower = 0.0f64;
-        for (i, bound) in self.0.bounds.iter().enumerate() {
-            let in_bucket = self.0.counts[i].load(Ordering::Relaxed);
-            let before = cumulative;
-            cumulative += in_bucket;
-            if cumulative as f64 >= rank && in_bucket > 0 {
-                let fraction = ((rank - before as f64) / in_bucket as f64).clamp(0.0, 1.0);
-                return lower + (bound - lower) * fraction;
-            }
-            lower = *bound;
-        }
-        lower
+        quantile_from_buckets(&self.0.bounds, &self.bucket_counts(), q)
     }
+
+    /// Per-bucket (non-cumulative) counts, one extra trailing slot for the
+    /// overflow (+Inf) bucket — the layout [`quantile_from_buckets`]
+    /// consumes.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The histogram's ascending finite bucket upper bounds.
+    pub fn bucket_bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// The count in one bucket — finite buckets at `0..bounds.len()`,
+    /// the overflow (+Inf) bucket at `bounds.len()`; 0 out of range.
+    /// Lets per-tick samplers walk buckets without the `Vec` allocation
+    /// of [`Histogram::bucket_counts`].
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.0
+            .counts
+            .get(idx)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Count, sum, mean and the p50/p99/p999 estimates in one digest,
+    /// from a single read of the buckets.
+    pub fn summary(&self) -> HistogramSummary {
+        let counts = self.bucket_counts();
+        let count: u64 = counts.iter().sum();
+        let sum = self.sum();
+        HistogramSummary {
+            count,
+            sum,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: quantile_from_buckets(&self.0.bounds, &counts, 0.50),
+            p99: quantile_from_buckets(&self.0.bounds, &counts, 0.99),
+            p999: quantile_from_buckets(&self.0.bounds, &counts, 0.999),
+        }
+    }
+}
+
+/// A borrowed, allocation-free view of one metric's live value — the
+/// hot-path counterpart of the owning snapshot types, consumed through
+/// [`Registry::visit_metrics`] by per-tick samplers (`imcf-obs`).
+#[derive(Debug)]
+pub enum MetricView<'a> {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's last value.
+    Gauge(f64),
+    /// The histogram handle; read bounds and counts through its
+    /// accessors ([`Histogram::bucket_bounds`], [`Histogram::bucket_count`]).
+    Histogram(&'a Histogram),
 }
 
 /// Identity of one metric: dotted name plus sorted label pairs.
@@ -287,6 +381,22 @@ impl Registry {
         }) {
             Metric::Histogram(h) => h.clone(),
             other => panic!("metric `{name}` already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    /// Visits every registered metric in sorted `(name, labels)` order,
+    /// handing the closure borrowed names, labels and live values — no
+    /// per-metric allocation, unlike the snapshot exporters. The metrics
+    /// mutex is held for the whole visit, so the closure must not
+    /// register metrics on (or snapshot) this registry.
+    pub fn visit_metrics(&self, mut f: impl FnMut(&str, &[(String, String)], MetricView<'_>)) {
+        let map = locked(&self.metrics);
+        for (key, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => f(&key.name, &key.labels, MetricView::Counter(c.get())),
+                Metric::Gauge(g) => f(&key.name, &key.labels, MetricView::Gauge(g.get())),
+                Metric::Histogram(h) => f(&key.name, &key.labels, MetricView::Histogram(h)),
+            }
         }
     }
 

@@ -1,0 +1,127 @@
+//! Exhaustive catalog ↔ exposition round trip: every metric in
+//! `catalog::METRICS`, once registered under its cataloged name and label
+//! keys, must appear in the Prometheus text export with the correct
+//! `# TYPE` line and in the JSON snapshot with the correct kind. This
+//! catches catalog drift the L004 lint cannot see at runtime (the lint
+//! only checks call-site literals, not what the exporters emit).
+
+use imcf_telemetry::catalog::{MetricKind, METRICS};
+use imcf_telemetry::Registry;
+
+/// The exporter's name rewrite, mirrored here so the test stays honest
+/// about what consumers actually scrape.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn kind_word(kind: MetricKind) -> &'static str {
+    match kind {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+        MetricKind::Histogram => "histogram",
+    }
+}
+
+/// Registers one instance of every cataloged metric (using each metric's
+/// declared label keys with a placeholder value) and observes a sample.
+fn register_all(registry: &Registry) {
+    for def in METRICS {
+        let labels: Vec<(&str, &str)> = def.labels.iter().map(|k| (*k, "x")).collect();
+        match def.kind {
+            MetricKind::Counter => registry.counter_with(def.name, &labels).add(3),
+            MetricKind::Gauge => registry.gauge_with(def.name, &labels).set(2.0),
+            MetricKind::Histogram => registry.histogram_with(def.name, &labels).observe(1.5),
+        }
+    }
+}
+
+#[test]
+fn every_cataloged_metric_round_trips_through_prometheus_text() {
+    let registry = Registry::new();
+    register_all(&registry);
+    let text = registry.prometheus_text();
+    for def in METRICS {
+        let san = prometheus_name(def.name);
+        let type_line = format!("# TYPE {san} {}", kind_word(def.kind));
+        assert!(
+            text.lines().any(|l| l == type_line),
+            "catalog metric {} missing or mistyped in exposition: wanted {:?}",
+            def.name,
+            type_line
+        );
+        if def.kind == MetricKind::Histogram {
+            assert!(
+                text.contains(&format!("{san}_bucket")),
+                "histogram {} must expose _bucket series",
+                def.name
+            );
+            assert!(
+                text.lines().any(|l| l.starts_with(&format!("{san}_sum"))),
+                "histogram {} must expose _sum",
+                def.name
+            );
+            assert!(
+                text.lines().any(|l| l.starts_with(&format!("{san}_count"))),
+                "histogram {} must expose _count",
+                def.name
+            );
+            assert!(
+                text.contains(&format!("{san}_bucket")) && text.contains("le=\"+Inf\""),
+                "histogram {} must expose a +Inf bucket",
+                def.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_cataloged_metric_round_trips_through_json_snapshot() {
+    let registry = Registry::new();
+    register_all(&registry);
+    let snaps = registry.metric_snapshots();
+    for def in METRICS {
+        let snap = snaps
+            .iter()
+            .find(|s| s.name == def.name)
+            .unwrap_or_else(|| panic!("catalog metric {} missing from JSON snapshot", def.name));
+        assert_eq!(
+            snap.kind,
+            kind_word(def.kind),
+            "catalog metric {} has wrong kind in JSON snapshot",
+            def.name
+        );
+        let keys: Vec<&str> = snap.labels.iter().map(|(k, _)| k.as_str()).collect();
+        let mut wanted: Vec<&str> = def.labels.to_vec();
+        wanted.sort_unstable();
+        assert_eq!(
+            keys, wanted,
+            "catalog metric {} carries unexpected label keys",
+            def.name
+        );
+        if def.kind == MetricKind::Histogram {
+            for (field, value) in [("p50", snap.p50), ("p99", snap.p99), ("p999", snap.p999)] {
+                assert!(
+                    value.is_some(),
+                    "histogram {} must carry a {field} summary field",
+                    def.name
+                );
+            }
+        } else {
+            assert!(snap.p50.is_none() && snap.p99.is_none() && snap.p999.is_none());
+        }
+    }
+}
+
+#[test]
+fn catalog_is_sorted_and_unique() {
+    for pair in METRICS.windows(2) {
+        assert!(
+            pair[0].name < pair[1].name,
+            "catalog must stay sorted and deduplicated: {} >= {}",
+            pair[0].name,
+            pair[1].name
+        );
+    }
+}
